@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the Graphene implementation itself: the
+//! layout algebra, the index-expression simplifier, IR construction,
+//! CUDA code generation, static analysis, and functional simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphene_ir::builder::KernelBuilder;
+use graphene_ir::spec::SpecKind;
+use graphene_ir::{Arch, ScalarType};
+use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
+use graphene_layout::{coalesce, complement, composition, zipped_divide, Layout};
+use graphene_sym::{simplify, IntExpr};
+use std::collections::HashMap;
+
+fn bench_layout_algebra(c: &mut Criterion) {
+    let a = Layout::row_major(&[128, 128]);
+    c.bench_function("layout/zipped_divide_128x128_by_16x8", |b| {
+        b.iter(|| {
+            zipped_divide(black_box(&a), &[Layout::contiguous(16), Layout::contiguous(8)]).unwrap()
+        })
+    });
+    c.bench_function("layout/composition", |b| {
+        let rhs = Layout::column_major(&[64, 256]);
+        b.iter(|| composition(black_box(&a), black_box(&rhs)).unwrap())
+    });
+    c.bench_function("layout/complement", |b| {
+        let tile = Layout::strided(8, 4);
+        b.iter(|| complement(black_box(&tile), 16384).unwrap())
+    });
+    c.bench_function("layout/coalesce", |b| {
+        let l =
+            Layout::new(graphene_layout::it![2, [4, 2], 8], graphene_layout::it![1, [2, 8], 16]);
+        b.iter(|| coalesce(black_box(&l)))
+    });
+}
+
+fn bench_simplifier(c: &mut Criterion) {
+    let tid = IntExpr::var_bounded("threadIdx.x", 256);
+    let bid = IntExpr::var_bounded("blockIdx.x", 4096);
+    let expr = (bid.clone() / 42) * 131072
+        + (bid % 42) * 128
+        + (tid.clone() / 32) * 8192
+        + ((tid.clone() % 32) / 4) * 512
+        + (tid.clone() % 4) * 2
+        + ((tid.clone() / 16) * 16 + tid.clone() % 16);
+    c.bench_function("sym/simplify_gemm_index", |b| b.iter(|| simplify(black_box(&expr))));
+}
+
+fn bench_ir_and_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.finish();
+    c.bench_function("ir/build_gemm_schedule_sm86", |b| {
+        b.iter(|| {
+            build_gemm(Arch::Sm86, &GemmConfig::cublas_like(5376, 5376, 2048), Epilogue::BiasRelu)
+        })
+    });
+    let kernel = build_gemm(Arch::Sm86, &GemmConfig::cublas_like(5376, 5376, 2048), Epilogue::None);
+    c.bench_function("codegen/gemm_sm86", |b| {
+        b.iter(|| graphene_codegen::generate(black_box(&kernel), Arch::Sm86).unwrap())
+    });
+    c.bench_function("sim/analyze_gemm_sm86", |b| {
+        b.iter(|| graphene_sim::analyze(black_box(&kernel), Arch::Sm86).unwrap())
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // A small copy kernel: 4 blocks x 64 threads.
+    let mut kb = KernelBuilder::new("copy", &[4], &[64]);
+    let src = kb.param("src", &[256], ScalarType::F32);
+    let dst = kb.param("dst", &[256], ScalarType::F32);
+    let block = kb.block();
+    let grid = kb.grid();
+    let bid = kb.module()[grid].group_coords()[0].clone();
+    let tid = kb.module()[block].group_coords()[0].clone();
+    let idx = bid * 64 + tid;
+    let r =
+        kb.alloc_reg("r", graphene_ir::TensorType::scalar(Layout::contiguous(1), ScalarType::F32));
+    let s = kb.index(src, std::slice::from_ref(&idx));
+    let d = kb.index(dst, &[idx]);
+    let ts = kb.thread_scalar(block);
+    kb.spec(SpecKind::Move, vec![ts], vec![s], vec![r]);
+    let ts = kb.thread_scalar(block);
+    kb.spec(SpecKind::Move, vec![ts], vec![r], vec![d]);
+    let kernel = kb.build();
+    let inputs: HashMap<_, _> =
+        [(kernel.params[0], (0..256).map(|i| i as f32).collect::<Vec<_>>())].into();
+    c.bench_function("sim/execute_copy_256", |b| {
+        b.iter(|| graphene_sim::execute(black_box(&kernel), Arch::Sm86, &inputs).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_layout_algebra,
+    bench_simplifier,
+    bench_ir_and_codegen,
+    bench_interpreter
+);
+criterion_main!(benches);

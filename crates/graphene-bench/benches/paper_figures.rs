@@ -1,0 +1,102 @@
+//! Criterion benches over the paper-figure harnesses.
+//!
+//! Each benchmark runs one figure's full pipeline (build the Graphene
+//! schedule, statically analyse it, time it and its baselines on the
+//! machine model) and, as a side effect of the first iteration, prints
+//! the figure's reproduced rows — so `cargo bench` regenerates every
+//! table and figure of the paper's evaluation (see `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphene_bench::figures;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_all_figures() {
+    PRINT.call_once(|| {
+        println!("\n================ Reproduced paper figures ================\n");
+        for r in figures::figure09() {
+            println!(
+                "Fig 9  {:6} GEMM: graphene {:9.1} us, cuBLAS {:9.1} us, speedup {:.3}x, \
+                 compute {:.1}%, mem {:.1}%",
+                r.arch.to_string(),
+                r.graphene.time_s * 1e6,
+                r.cublas.time_s * 1e6,
+                r.speedup,
+                r.graphene.compute_util * 100.0,
+                r.graphene.dram_util * 100.0
+            );
+        }
+        for r in figures::figure10() {
+            println!(
+                "Fig 10 {:6} {:10}: graphene {:9.1} us, cuBLASLt {:9.1} us, speedup {:.3}x",
+                r.arch.to_string(),
+                r.epilogue.label(),
+                r.graphene.time_s * 1e6,
+                r.cublaslt.time_s * 1e6,
+                r.speedup
+            );
+        }
+        for r in figures::figure11(4096, &[1, 4, 8, 12, 16, 20]) {
+            println!(
+                "Fig 11 {:6} L={:2}: fused {:8.1} us, cuBLASLt {:8.1} us, speedup {:.2}x",
+                r.arch.to_string(),
+                r.layers,
+                r.fused_s * 1e6,
+                r.cublaslt_s * 1e6,
+                r.speedup
+            );
+        }
+        for r in figures::figure12(4096) {
+            println!(
+                "Fig 12 {:6}: 5-kernel {:7.1} us, 2-kernel {:7.1} us, fused {:7.1} us \
+                 ({:.2}x vs 5k, {:.2}x vs 2k)",
+                r.arch.to_string(),
+                r.unfused_s * 1e6,
+                r.two_kernel_s * 1e6,
+                r.fused_s * 1e6,
+                r.speedup_vs_unfused,
+                r.speedup_vs_two_kernel
+            );
+        }
+        for r in figures::figure13(1024, &[16384]) {
+            println!("Fig 13 rows={} {:14}: {:8.1} us", r.rows, r.label, r.time_s * 1e6);
+        }
+        let f = figures::figure14();
+        println!(
+            "Fig 14 FMHA: unfused {:.1} us, mlperf {:.1} us, graphene {:.1} us \
+             ({:.2}x vs unfused, {:.2}x vs mlperf)",
+            f.unfused_s * 1e6,
+            f.mlperf_s * 1e6,
+            f.graphene_s * 1e6,
+            f.speedup_vs_unfused,
+            f.speedup_vs_mlperf
+        );
+        for r in figures::figure15() {
+            println!(
+                "Fig 15 {:12}: PyTorch {:8.2} ms, +FMHA {:8.2} ms, speedup {:.2}x (frac {:.2})",
+                r.name, r.baseline_ms, r.graphene_ms, r.speedup, r.fmha_fraction
+            );
+        }
+        println!("\n===========================================================\n");
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_all_figures();
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("fig09_gemm_vs_cublas", |b| b.iter(figures::figure09));
+    g.bench_function("fig10_gemm_pointwise", |b| b.iter(figures::figure10));
+    g.bench_function("fig11_mlp_fusion", |b| b.iter(|| figures::figure11(4096, &[1, 20])));
+    g.bench_function("fig12_lstm_fusion", |b| b.iter(|| figures::figure12(4096)));
+    g.bench_function("fig13_layernorm", |b| b.iter(|| figures::figure13(1024, &[16384])));
+    g.bench_function("fig14_fmha", |b| b.iter(figures::figure14));
+    g.bench_function("fig15_transformers", |b| b.iter(figures::figure15));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation studies: what the optimizations in the Graphene schedules
+//! buy, on the simulated Ampere machine.
+use graphene_bench::ablations::all;
+use graphene_bench::report::{fmt_time, Table};
+
+fn main() {
+    println!("Ablations (Ampere, paper-scale GEMM 5376x5376x2048):\n");
+    let mut t = Table::new(&["ablation", "optimized", "ablated", "slowdown"]);
+    for a in all() {
+        t.row(vec![
+            a.name.to_string(),
+            fmt_time(a.optimized_s),
+            fmt_time(a.ablated_s),
+            format!("{:.2}x", a.slowdown),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("The paper's Section 2 reports up to 17% GEMM slowdown when ldmatrix");
+    println!("is replaced with equivalent simpler data movements.");
+}

@@ -1,0 +1,23 @@
+//! Figure 9: Graphene GEMM vs cuBLAS (speedup + achieved throughput).
+use graphene_bench::figures::{figure09, paper_gemm_size};
+use graphene_bench::report::{fmt_pct, fmt_time, Table};
+
+fn main() {
+    println!("Figure 9: Graphene GEMM performance compared against cuBLAS");
+    println!("(M=N=5120, K=2048 on Volta; M=N=5376, K=2048 on Ampere; 128x128x32 tiles)\n");
+    let mut t =
+        Table::new(&["arch", "size", "graphene", "cuBLAS", "speedup", "compute SOL", "mem SOL"]);
+    for row in figure09() {
+        let (m, n, k) = paper_gemm_size(row.arch);
+        t.row(vec![
+            row.arch.to_string(),
+            format!("{m}x{n}x{k}"),
+            fmt_time(row.graphene.time_s),
+            fmt_time(row.cublas.time_s),
+            format!("{:.3}x", row.speedup),
+            fmt_pct(row.graphene.compute_util),
+            fmt_pct(row.graphene.dram_util),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,18 @@
+//! Figure 10: fused GEMM + pointwise epilogues vs cuBLASLt.
+use graphene_bench::figures::figure10;
+use graphene_bench::report::{fmt_time, Table};
+
+fn main() {
+    println!("Figure 10: Graphene vs cuBLASLt for fused GEMM + pointwise kernels\n");
+    let mut t = Table::new(&["arch", "epilogue", "graphene", "cuBLASLt", "speedup"]);
+    for row in figure10() {
+        t.row(vec![
+            row.arch.to_string(),
+            row.epilogue.label().to_string(),
+            fmt_time(row.graphene.time_s),
+            fmt_time(row.cublaslt.time_s),
+            format!("{:.3}x", row.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,19 @@
+//! Figure 11: multi-layer MLP fusion vs cumulative cuBLASLt calls.
+use graphene_bench::figures::figure11;
+use graphene_bench::report::{fmt_time, Table};
+
+fn main() {
+    println!("Figure 11: fusing multiple MLP layers (GEMM + bias + ReLU) into one kernel");
+    println!("(hidden N=K=128, M=4096, vs per-layer cuBLASLt invocations)\n");
+    let mut t = Table::new(&["arch", "layers", "fused", "cuBLASLt xL", "speedup"]);
+    for row in figure11(4096, &[1, 2, 4, 8, 12, 16, 20]) {
+        t.row(vec![
+            row.arch.to_string(),
+            row.layers.to_string(),
+            fmt_time(row.fused_s),
+            fmt_time(row.cublaslt_s),
+            format!("{:.2}x", row.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,26 @@
+//! Figure 12: the fused LSTM cell vs CUDA library lowerings.
+use graphene_bench::figures::figure12;
+use graphene_bench::report::{fmt_time, Table};
+
+fn main() {
+    println!("Figure 12: fused LSTM cell (relu(X*Wx + H*Wh + bias)), M=4096, hidden=128\n");
+    let mut t = Table::new(&[
+        "arch",
+        "5-kernel (cuBLAS+cuDNN)",
+        "2-kernel (cuBLASLt)",
+        "Graphene fused",
+        "speedup vs 5k",
+        "speedup vs 2k",
+    ]);
+    for row in figure12(4096) {
+        t.row(vec![
+            row.arch.to_string(),
+            fmt_time(row.unfused_s),
+            fmt_time(row.two_kernel_s),
+            fmt_time(row.fused_s),
+            format!("{:.2}x", row.speedup_vs_unfused),
+            format!("{:.2}x", row.speedup_vs_two_kernel),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,17 @@
+//! Figure 13: Layernorm vs the PyTorch implementation family.
+use graphene_bench::figures::figure13_on;
+use graphene_bench::report::{fmt_time, Table};
+use graphene_ir::Arch;
+
+fn main() {
+    for arch in [Arch::Sm70, Arch::Sm86] {
+        println!(
+            "Figure 13: Layernorm (hidden=1024) vs PyTorch reference implementations ({arch})\n"
+        );
+        let mut t = Table::new(&["rows", "implementation", "time"]);
+        for row in figure13_on(arch, 1024, &[1024, 4096, 16384, 65536]) {
+            t.row(vec![row.rows.to_string(), row.label.clone(), fmt_time(row.time_s)]);
+        }
+        println!("{}", t.render());
+    }
+}

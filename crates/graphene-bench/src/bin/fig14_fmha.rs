@@ -1,0 +1,14 @@
+//! Figure 14: fused multi-head attention at the MLPerf BERT shape.
+use graphene_bench::figures::figure14;
+use graphene_bench::report::fmt_time;
+
+fn main() {
+    println!("Figure 14: FMHA (16 heads, batch 32, d=64, seqlen 384) on Ampere\n");
+    let f = figure14();
+    println!("  unfused (2x cuBLAS + softmax kernel): {}", fmt_time(f.unfused_s));
+    println!("  MLPerf-style fused kernel:            {}", fmt_time(f.mlperf_s));
+    println!("  Graphene fused kernel:                {}", fmt_time(f.graphene_s));
+    println!();
+    println!("  speedup vs unfused baseline: {:.2}x", f.speedup_vs_unfused);
+    println!("  speedup vs MLPerf kernels:   {:.2}x", f.speedup_vs_mlperf);
+}

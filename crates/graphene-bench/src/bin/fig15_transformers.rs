@@ -1,0 +1,18 @@
+//! Figure 15: end-to-end Transformer inference with injected FMHA.
+use graphene_bench::figures::figure15;
+use graphene_bench::report::{fmt_pct, Table};
+
+fn main() {
+    println!("Figure 15: injecting Graphene FMHA kernels into Transformer networks (Ampere)\n");
+    let mut t = Table::new(&["network", "PyTorch", "w/ Graphene FMHA", "speedup", "FMHA fraction"]);
+    for row in figure15() {
+        t.row(vec![
+            row.name.to_string(),
+            format!("{:.2} ms", row.baseline_ms),
+            format!("{:.2} ms", row.graphene_ms),
+            format!("{:.2}x", row.speedup),
+            fmt_pct(row.fmha_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,20 @@
+//! Table 2: the atomic specifications and their PTX instructions.
+use graphene_bench::report::Table;
+use graphene_ir::atomic::registry;
+use graphene_ir::Arch;
+
+fn main() {
+    for arch in [Arch::Sm70, Arch::Sm86] {
+        println!("Table 2 — atomic specifications for {arch}:\n");
+        let mut t = Table::new(&["spec", "threads", "name", "instruction"]);
+        for a in registry(arch) {
+            t.row(vec![
+                a.kind.name(),
+                a.exec_local.to_string(),
+                a.name.to_string(),
+                a.ptx.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

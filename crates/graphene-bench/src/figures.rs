@@ -1,0 +1,346 @@
+//! Per-figure experiment harnesses.
+//!
+//! One function per table/figure of the paper's evaluation (§6). Each
+//! builds the Graphene schedule(s), statically analyses them on the
+//! simulated machine, times the library baselines on the *same* machine
+//! model, and returns the rows the paper's plot reports. The binaries in
+//! `src/bin/` print them; `EXPERIMENTS.md` records paper-vs-measured.
+
+use graphene_ir::Arch;
+use graphene_kernels::fmha::FmhaConfig;
+use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
+use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
+use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
+use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
+use graphene_kernels::reference::{
+    cublas_gemm, cublaslt_gemm_accumulate, cublaslt_gemm_epilogue, cudnn_pointwise, mlperf_fmha,
+    pytorch_layernorm, unfused_fmha, LayernormImpl,
+};
+use graphene_kernels::transformer::{figure15_rows, NetworkSpeedup};
+use graphene_sim::{analyze, machine_for, time_kernel, time_sequence, KernelProfile};
+
+/// The paper's GEMM evaluation size per architecture (footnote 1).
+pub fn paper_gemm_size(arch: Arch) -> (i64, i64, i64) {
+    match arch {
+        Arch::Sm70 => (5120, 5120, 2048),
+        Arch::Sm86 => (5376, 5376, 2048),
+    }
+}
+
+/// Analyses a Graphene kernel and times it on its architecture's machine.
+pub fn profile_kernel(kernel: &graphene_ir::Kernel, arch: Arch) -> KernelProfile {
+    let counters = analyze(kernel, arch).expect("kernel analyzes");
+    time_kernel(&counters, machine_for(arch), kernel.grid_size())
+}
+
+/// One architecture's row of Figure 9.
+#[derive(Debug, Clone)]
+pub struct GemmRow {
+    /// Architecture.
+    pub arch: Arch,
+    /// Graphene kernel profile.
+    pub graphene: KernelProfile,
+    /// cuBLAS model profile.
+    pub cublas: KernelProfile,
+    /// Graphene speedup over cuBLAS (1.0 = parity).
+    pub speedup: f64,
+}
+
+/// Figure 9: Graphene GEMM vs cuBLAS on Volta and Ampere, with
+/// achieved compute/memory throughput percentages.
+pub fn figure09() -> Vec<GemmRow> {
+    [Arch::Sm70, Arch::Sm86]
+        .into_iter()
+        .map(|arch| {
+            let (m, n, k) = paper_gemm_size(arch);
+            let kernel = build_gemm(arch, &GemmConfig::cublas_like(m, n, k), Epilogue::None);
+            let graphene = profile_kernel(&kernel, arch);
+            let cublas = cublas_gemm(m, n, k).profile(machine_for(arch));
+            GemmRow { arch, graphene, cublas, speedup: cublas.time_s / graphene.time_s }
+        })
+        .collect()
+}
+
+/// One (architecture, epilogue) row of Figure 10.
+#[derive(Debug, Clone)]
+pub struct EpilogueRow {
+    /// Architecture.
+    pub arch: Arch,
+    /// Epilogue variant.
+    pub epilogue: Epilogue,
+    /// Graphene profile.
+    pub graphene: KernelProfile,
+    /// cuBLASLt model profile.
+    pub cublaslt: KernelProfile,
+    /// Speedup (1.0 = parity).
+    pub speedup: f64,
+}
+
+/// Figure 10: fused GEMM + pointwise epilogues vs cuBLASLt.
+pub fn figure10() -> Vec<EpilogueRow> {
+    let mut rows = Vec::new();
+    for arch in [Arch::Sm70, Arch::Sm86] {
+        let (m, n, k) = paper_gemm_size(arch);
+        for epilogue in [Epilogue::Bias, Epilogue::Relu, Epilogue::BiasRelu] {
+            let kernel = build_gemm(arch, &GemmConfig::cublas_like(m, n, k), epilogue);
+            let graphene = profile_kernel(&kernel, arch);
+            let lt = cublaslt_gemm_epilogue(
+                m,
+                n,
+                k,
+                epilogue.has_bias(),
+                epilogue.activation().is_some(),
+            )
+            .profile(machine_for(arch));
+            rows.push(EpilogueRow {
+                arch,
+                epilogue,
+                graphene,
+                cublaslt: lt,
+                speedup: lt.time_s / graphene.time_s,
+            });
+        }
+    }
+    rows
+}
+
+/// One (architecture, layer-count) row of Figure 11.
+#[derive(Debug, Clone)]
+pub struct MlpRow {
+    /// Architecture.
+    pub arch: Arch,
+    /// Fused layer count.
+    pub layers: i64,
+    /// Fused Graphene kernel time, seconds.
+    pub fused_s: f64,
+    /// Cumulative cuBLASLt time, seconds.
+    pub cublaslt_s: f64,
+    /// Fusion speedup.
+    pub speedup: f64,
+}
+
+/// Figure 11: multi-layer MLP fusion vs per-layer cuBLASLt calls.
+pub fn figure11(m: i64, layer_counts: &[i64]) -> Vec<MlpRow> {
+    let mut rows = Vec::new();
+    for arch in [Arch::Sm70, Arch::Sm86] {
+        let machine = machine_for(arch);
+        for &layers in layer_counts {
+            let cfg = MlpConfig::paper(m, layers);
+            let kernel = build_fused_mlp(arch, &cfg);
+            let fused = profile_kernel(&kernel, arch);
+            let one_layer = cublaslt_gemm_epilogue(m, 128, 128, true, true).profile(machine);
+            let unfused: f64 = time_sequence(&vec![one_layer; layers as usize]);
+            rows.push(MlpRow {
+                arch,
+                layers,
+                fused_s: fused.time_s,
+                cublaslt_s: unfused,
+                speedup: unfused / fused.time_s,
+            });
+        }
+    }
+    rows
+}
+
+/// One architecture's rows of Figure 12.
+#[derive(Debug, Clone)]
+pub struct LstmRow {
+    /// Architecture.
+    pub arch: Arch,
+    /// 5-kernel cuBLAS + cuDNN baseline, seconds.
+    pub unfused_s: f64,
+    /// 2-kernel cuBLASLt lowering, seconds.
+    pub two_kernel_s: f64,
+    /// Fully fused Graphene kernel, seconds.
+    pub fused_s: f64,
+    /// Speedup of fused over the 5-kernel baseline.
+    pub speedup_vs_unfused: f64,
+    /// Speedup of fused over the 2-kernel lowering.
+    pub speedup_vs_two_kernel: f64,
+}
+
+/// Figure 12: the fused LSTM cell vs library lowerings.
+pub fn figure12(m: i64) -> Vec<LstmRow> {
+    let h = 128;
+    [Arch::Sm70, Arch::Sm86]
+        .into_iter()
+        .map(|arch| {
+            let machine = machine_for(arch);
+            // (1) One kernel per dataflow node: 2 GEMMs + add + bias + relu.
+            let unfused = time_sequence(&[
+                cublas_gemm(m, h, h).profile(machine),
+                cublas_gemm(m, h, h).profile(machine),
+                cudnn_pointwise(m, h, 2, "add").profile(machine),
+                cudnn_pointwise(m, h, 2, "bias").profile(machine),
+                cudnn_pointwise(m, h, 1, "relu").profile(machine),
+            ]);
+            // (2) cuBLASLt: GEMM, then GEMM accumulating + bias + relu.
+            let two_kernel = time_sequence(&[
+                cublas_gemm(m, h, h).profile(machine),
+                cublaslt_gemm_accumulate(m, h, h, true, true).profile(machine),
+            ]);
+            // (3) Graphene: everything in one kernel.
+            let kernel = build_fused_lstm(arch, &LstmConfig::paper(m));
+            let fused = profile_kernel(&kernel, arch).time_s;
+            LstmRow {
+                arch,
+                unfused_s: unfused,
+                two_kernel_s: two_kernel,
+                fused_s: fused,
+                speedup_vs_unfused: unfused / fused,
+                speedup_vs_two_kernel: two_kernel / fused,
+            }
+        })
+        .collect()
+}
+
+/// One (rows, implementation) entry of Figure 13.
+#[derive(Debug, Clone)]
+pub struct LayernormRow {
+    /// Problem rows (batch × sequence).
+    pub rows: i64,
+    /// Implementation label.
+    pub label: String,
+    /// Time, seconds.
+    pub time_s: f64,
+}
+
+/// Figure 13: Layernorm vs the PyTorch implementation family (Ampere).
+pub fn figure13(hidden: i64, row_counts: &[i64]) -> Vec<LayernormRow> {
+    figure13_on(Arch::Sm86, hidden, row_counts)
+}
+
+/// [`figure13`] on an explicit architecture (the schedule itself is
+/// architecture-independent; only the machine model changes).
+pub fn figure13_on(arch: Arch, hidden: i64, row_counts: &[i64]) -> Vec<LayernormRow> {
+    let machine = machine_for(arch);
+    let mut out = Vec::new();
+    for &rows in row_counts {
+        for imp in
+            [LayernormImpl::Eager, LayernormImpl::Jit, LayernormImpl::Fused, LayernormImpl::Apex]
+        {
+            let t = time_sequence(
+                &pytorch_layernorm(rows, hidden, imp)
+                    .iter()
+                    .map(|k| k.profile(machine))
+                    .collect::<Vec<_>>(),
+            );
+            out.push(LayernormRow { rows, label: imp.label().to_string(), time_s: t });
+        }
+        let kernel = build_layernorm(arch, &LayernormConfig::new(rows, hidden));
+        let t = profile_kernel(&kernel, arch).time_s;
+        out.push(LayernormRow { rows, label: "Graphene".to_string(), time_s: t });
+    }
+    out
+}
+
+/// The Figure 14 comparison.
+#[derive(Debug, Clone)]
+pub struct FmhaRows {
+    /// Unfused baseline (2 cuBLAS GEMMs + softmax kernel), seconds.
+    pub unfused_s: f64,
+    /// MLPerf-style fused kernel model, seconds.
+    pub mlperf_s: f64,
+    /// Graphene fused kernel, seconds.
+    pub graphene_s: f64,
+    /// Graphene speedup over the unfused baseline.
+    pub speedup_vs_unfused: f64,
+    /// Graphene speedup over the MLPerf-style kernel.
+    pub speedup_vs_mlperf: f64,
+}
+
+/// Figure 14: FMHA at the MLPerf BERT shape (Ampere).
+pub fn figure14() -> FmhaRows {
+    let arch = Arch::Sm86;
+    let machine = machine_for(arch);
+    let cfg = FmhaConfig::mlperf_bert();
+    let unfused = time_sequence(
+        &unfused_fmha(cfg.heads, cfg.seq, cfg.d)
+            .iter()
+            .map(|k| k.profile(machine))
+            .collect::<Vec<_>>(),
+    );
+    let mlperf = mlperf_fmha(cfg.heads, cfg.seq, cfg.d).profile(machine).time_s;
+    let graphene = graphene_kernels::transformer::fused_fmha_profile(&cfg, machine).time_s;
+    FmhaRows {
+        unfused_s: unfused,
+        mlperf_s: mlperf,
+        graphene_s: graphene,
+        speedup_vs_unfused: unfused / graphene,
+        speedup_vs_mlperf: mlperf / graphene,
+    }
+}
+
+/// Figure 15: end-to-end Transformer inference speedups.
+pub fn figure15() -> Vec<NetworkSpeedup> {
+    figure15_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure09_parity_with_cublas() {
+        for row in figure09() {
+            assert!(
+                row.speedup > 0.9 && row.speedup < 1.15,
+                "{}: speedup {}",
+                row.arch,
+                row.speedup
+            );
+            // Compute-bound with high utilisation (paper: Tensor Cores at
+            // maximum capacity, memory well below peak).
+            assert!(row.graphene.compute_util > 0.75, "{}", row.graphene.compute_util);
+            assert!(row.graphene.dram_util < 0.6, "{}", row.graphene.dram_util);
+        }
+    }
+
+    #[test]
+    fn figure11_fusion_wins_and_grows() {
+        let rows = figure11(4096, &[1, 4, 12, 20]);
+        for arch in [Arch::Sm70, Arch::Sm86] {
+            let arch_rows: Vec<&MlpRow> = rows.iter().filter(|r| r.arch == arch).collect();
+            // Speedup grows with layer count.
+            for pair in arch_rows.windows(2) {
+                assert!(
+                    pair[1].speedup >= pair[0].speedup * 0.95,
+                    "{arch}: L{} {} -> L{} {}",
+                    pair[0].layers,
+                    pair[0].speedup,
+                    pair[1].layers,
+                    pair[1].speedup
+                );
+            }
+            let max = arch_rows.last().unwrap().speedup;
+            assert!(max > 1.5, "{arch}: max fusion speedup {max}");
+        }
+    }
+
+    #[test]
+    fn figure12_fusion_beats_both_lowerings() {
+        for row in figure12(4096) {
+            assert!(row.speedup_vs_unfused > 1.3, "{}: {}", row.arch, row.speedup_vs_unfused);
+            assert!(row.speedup_vs_two_kernel > 1.0, "{}: {}", row.arch, row.speedup_vs_two_kernel);
+            assert!(row.two_kernel_s < row.unfused_s);
+        }
+    }
+
+    #[test]
+    fn figure13_graphene_matches_best() {
+        let rows = figure13(1024, &[16384]);
+        let get = |label: &str| rows.iter().find(|r| r.label == label).unwrap().time_s;
+        let graphene = get("Graphene");
+        let apex = get("NVIDIA Apex");
+        let eager = get("PyTorch Eager");
+        assert!(graphene <= apex * 1.1, "graphene {graphene} vs apex {apex}");
+        assert!(eager > graphene * 1.5, "eager {eager} vs graphene {graphene}");
+    }
+
+    #[test]
+    fn figure14_fused_wins() {
+        let f = figure14();
+        assert!(f.speedup_vs_unfused > 1.5, "{}", f.speedup_vs_unfused);
+        assert!(f.speedup_vs_mlperf > 1.0 && f.speedup_vs_mlperf < 1.5, "{}", f.speedup_vs_mlperf);
+    }
+}

@@ -1,0 +1,415 @@
+//! # graphene-cli
+//!
+//! The `graphene` command-line tool: build any of the paper's kernels,
+//! then print its Graphene IR, its generated CUDA C++, or its simulated
+//! profile on the Volta-like / Ampere-like machine models.
+//!
+//! ```text
+//! graphene gemm --arch sm86 --m 5376 --n 5376 --k 2048 --emit profile
+//! graphene gemm --arch sm70 --m 1024 --n 1024 --k 512 --epilogue bias+relu --emit cuda
+//! graphene mlp --m 4096 --layers 8 --emit profile
+//! graphene fmha --emit cuda
+//! graphene layernorm --rows 16384 --hidden 1024 --emit ir
+//! graphene table2 --arch sm86
+//! ```
+
+#![warn(missing_docs)]
+
+use graphene_ir::{Arch, Kernel};
+use graphene_kernels::fmha::FmhaConfig;
+use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
+use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
+use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
+use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
+use graphene_kernels::softmax::{build_softmax, SoftmaxConfig};
+use graphene_sim::{analyze, machine_for, time_kernel};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// What the tool prints for a built kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emit {
+    /// The Graphene IR listing.
+    Ir,
+    /// The generated CUDA C++.
+    Cuda,
+    /// The simulated profile (counters + roofline timing).
+    Profile,
+}
+
+/// Parsed command line.
+#[derive(Debug)]
+pub struct Cli {
+    /// Sub-command name.
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Errors on missing sub-command or malformed options.
+    pub fn parse(args: &[String]) -> Result<Cli, CliError> {
+        let Some(command) = args.first() else {
+            return Err(CliError(usage()));
+        };
+        let mut options = HashMap::new();
+        let mut i = 1;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --option, got `{}`", args[i])))?;
+            let value =
+                args.get(i + 1).ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+            options.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Cli { command: command.clone(), options })
+    }
+
+    fn arch(&self) -> Result<Arch, CliError> {
+        match self.options.get("arch").map(String::as_str) {
+            None | Some("sm86") | Some("ampere") => Ok(Arch::Sm86),
+            Some("sm70") | Some("volta") => Ok(Arch::Sm70),
+            Some(other) => Err(CliError(format!("unknown arch `{other}` (sm70|sm86)"))),
+        }
+    }
+
+    fn emit(&self) -> Result<Emit, CliError> {
+        match self.options.get("emit").map(String::as_str) {
+            None | Some("profile") => Ok(Emit::Profile),
+            Some("cuda") => Ok(Emit::Cuda),
+            Some("ir") => Ok(Emit::Ir),
+            Some(other) => Err(CliError(format!("unknown emit `{other}` (ir|cuda|profile)"))),
+        }
+    }
+
+    fn int(&self, key: &str, default: i64) -> Result<i64, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| CliError(format!("--{key} expects an integer, got `{v}`")))
+            }
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "usage: graphene <command> [--options]\n\
+     commands:\n\
+       gemm       --arch sm70|sm86 --m --n --k [--epilogue none|bias|relu|bias+relu|bias+gelu] [--emit ir|cuda|profile]\n\
+       mlp        --arch ... --m --hidden --layers [--emit ...]\n\
+       lstm       --arch ... --m --hidden [--emit ...]\n\
+       layernorm  --rows --hidden [--emit ...]\n\
+       softmax    --rows --cols [--emit ...]\n\
+       fmha       --heads --seq --d [--emit ...]   (Ampere only)\n\
+       tune       --arch ... --m --n --k [--top N]  (GEMM tile search)\n\
+       table2     --arch sm70|sm86\n"
+        .to_string()
+}
+
+/// Runs the CLI, returning the output text.
+///
+/// # Errors
+///
+/// Returns a user-facing error message for bad arguments or
+/// un-lowerable kernels.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let cli = Cli::parse(args)?;
+    match cli.command.as_str() {
+        "gemm" => {
+            let arch = cli.arch()?;
+            let (m, n, k) = (cli.int("m", 1024)?, cli.int("n", 1024)?, cli.int("k", 1024)?);
+            let epilogue = match cli.options.get("epilogue").map(String::as_str) {
+                None | Some("none") => Epilogue::None,
+                Some("bias") => Epilogue::Bias,
+                Some("relu") => Epilogue::Relu,
+                Some("bias+relu") => Epilogue::BiasRelu,
+                Some("bias+gelu") => Epilogue::BiasGelu,
+                Some(other) => return Err(CliError(format!("unknown epilogue `{other}`"))),
+            };
+            let cfg = GemmConfig::cublas_like(m, n, k);
+            if m % cfg.bm != 0 || n % cfg.bn != 0 || k % cfg.bk != 0 {
+                return Err(CliError(format!(
+                    "gemm sizes must tile by {}x{}x{}",
+                    cfg.bm, cfg.bn, cfg.bk
+                )));
+            }
+            render(cli.emit()?, arch, &build_gemm(arch, &cfg, epilogue))
+        }
+        "mlp" => {
+            let arch = cli.arch()?;
+            let cfg = MlpConfig::paper(cli.int("m", 4096)?, cli.int("layers", 4)?);
+            let cfg = MlpConfig { hidden: cli.int("hidden", 128)?, ..cfg };
+            render(cli.emit()?, arch, &build_fused_mlp(arch, &cfg))
+        }
+        "lstm" => {
+            let arch = cli.arch()?;
+            let cfg = LstmConfig::paper(cli.int("m", 4096)?);
+            let cfg = LstmConfig { hidden: cli.int("hidden", 128)?, ..cfg };
+            render(cli.emit()?, arch, &build_fused_lstm(arch, &cfg))
+        }
+        "layernorm" => {
+            let arch = cli.arch()?;
+            let (rows, hidden) = (cli.int("rows", 4096)?, cli.int("hidden", 1024)?);
+            if hidden % 256 != 0 {
+                return Err(CliError(format!(
+                    "layernorm --hidden must be a multiple of 256, got {hidden}"
+                )));
+            }
+            if rows % 4 != 0 {
+                return Err(CliError(format!(
+                    "layernorm --rows must be a multiple of 4, got {rows}"
+                )));
+            }
+            let cfg = LayernormConfig::new(rows, hidden);
+            render(cli.emit()?, arch, &build_layernorm(arch, &cfg))
+        }
+        "softmax" => {
+            let arch = cli.arch()?;
+            let (rows, cols) = (cli.int("rows", 4096)?, cli.int("cols", 1024)?);
+            if cols % 256 != 0 {
+                return Err(CliError(format!(
+                    "softmax --cols must be a multiple of 256, got {cols}"
+                )));
+            }
+            if rows % 4 != 0 {
+                return Err(CliError(format!(
+                    "softmax --rows must be a multiple of 4, got {rows}"
+                )));
+            }
+            let cfg = SoftmaxConfig::new(rows, cols);
+            render(cli.emit()?, arch, &build_softmax(arch, &cfg))
+        }
+        "fmha" => {
+            if cli.arch()? != Arch::Sm86 {
+                return Err(CliError(
+                    "the fused FMHA schedule targets Ampere (use --arch sm86)".into(),
+                ));
+            }
+            let base = FmhaConfig::mlperf_bert();
+            let cfg = FmhaConfig {
+                heads: cli.int("heads", base.heads)?,
+                seq: cli.int("seq", base.seq)?,
+                d: cli.int("d", base.d)?,
+                ..base
+            };
+            if cfg.seq % cfg.bq != 0 || cfg.d % 16 != 0 || cfg.seq % 16 != 0 {
+                return Err(CliError(format!(
+                    "fmha requires seq % {} == 0 and d % 16 == 0 (got seq {}, d {})",
+                    cfg.bq, cfg.seq, cfg.d
+                )));
+            }
+            render(
+                cli.emit()?,
+                Arch::Sm86,
+                &graphene_kernels::fmha::build_fused_fmha(Arch::Sm86, &cfg),
+            )
+        }
+        "tune" => {
+            let arch = cli.arch()?;
+            let (m, n, k) = (cli.int("m", 4096)?, cli.int("n", 4096)?, cli.int("k", 1024)?);
+            let top = cli.int("top", 5)?;
+            if top < 1 {
+                return Err(CliError(format!("--top must be at least 1, got {top}")));
+            }
+            let top = top as usize;
+            let results = graphene_kernels::tune::tune_gemm(m, n, k, arch);
+            let mut out = String::new();
+            let _ =
+                writeln!(out, "tuned {}x{}x{} on {arch} ({} candidates):", m, n, k, results.len());
+            for c in results.iter().take(top) {
+                let _ = writeln!(
+                    out,
+                    "  {:9.1} us  tile {}x{}x{} warps {}x{}",
+                    c.profile.time_s * 1e6,
+                    c.cfg.bm,
+                    c.cfg.bn,
+                    c.cfg.bk,
+                    c.cfg.bm / c.cfg.wm,
+                    c.cfg.bn / c.cfg.wn
+                );
+            }
+            Ok(out)
+        }
+        "table2" => {
+            let arch = cli.arch()?;
+            let mut out = String::new();
+            let _ = writeln!(out, "atomic specifications for {arch}:");
+            for a in graphene_ir::atomic::registry(arch) {
+                let _ = writeln!(
+                    out,
+                    "  {:18} {:22} exec {:18} -> {}",
+                    a.kind.name(),
+                    a.name,
+                    a.exec_local.to_string(),
+                    a.ptx
+                );
+            }
+            Ok(out)
+        }
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError(format!("unknown command `{other}`\n\n{}", usage()))),
+    }
+}
+
+fn render(emit: Emit, arch: Arch, kernel: &Kernel) -> Result<String, CliError> {
+    graphene_ir::validate::validate(kernel, arch)
+        .map_err(|ds| CliError(format!("kernel does not validate: {}", ds[0])))?;
+    match emit {
+        Emit::Ir => Ok(kernel.to_string()),
+        Emit::Cuda => graphene_codegen::generate(kernel, arch).map_err(|e| CliError(e.to_string())),
+        Emit::Profile => {
+            let c = analyze(kernel, arch).map_err(|e| CliError(e.to_string()))?;
+            let machine = machine_for(arch);
+            let p = time_kernel(&c, machine, kernel.grid_size());
+            let mut out = String::new();
+            let _ = writeln!(out, "kernel   : {}", kernel.name);
+            let _ = writeln!(out, "machine  : {} ({arch})", machine.name);
+            let _ = writeln!(
+                out,
+                "launch   : {} blocks x {} threads, {} B smem/block",
+                kernel.grid_size(),
+                kernel.block_size(),
+                kernel.shared_bytes()
+            );
+            let _ = writeln!(out, "time     : {:.3} us", p.time_s * 1e6);
+            let _ = writeln!(
+                out,
+                "compute  : {:.1}% of peak ({} TC flops, {} FMA flops)",
+                p.compute_util * 100.0,
+                c.flops_tc,
+                c.flops_fma
+            );
+            let _ = writeln!(
+                out,
+                "dram     : {:.1}% of peak ({} B unique, {} B via L2)",
+                p.dram_util * 100.0,
+                c.dram_bytes(),
+                c.l2_bytes()
+            );
+            let _ = writeln!(
+                out,
+                "smem     : {} B read, {} B written, conflict factor {:.2}",
+                c.smem_read_bytes,
+                c.smem_write_bytes,
+                c.conflict_factor()
+            );
+            let _ = writeln!(
+                out,
+                "roofs    : tensor {:.1} us | fma {:.1} us | dram {:.1} us | l2 {:.1} us | smem {:.1} us",
+                p.tensor_time_s * 1e6,
+                p.fma_time_s * 1e6,
+                p.dram_time_s * 1e6,
+                p.l2_time_s * 1e6,
+                p.smem_time_s * 1e6
+            );
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn gemm_profile() {
+        let out = run_str("gemm --arch sm86 --m 1024 --n 1024 --k 512").unwrap();
+        assert!(out.contains("machine  : RTX A6000"));
+        assert!(out.contains("compute  :"));
+    }
+
+    #[test]
+    fn gemm_cuda_emission() {
+        let out = run_str("gemm --arch sm86 --m 256 --n 256 --k 32 --emit cuda").unwrap();
+        assert!(out.contains("__global__ void graphene_gemm_sm86_gemm"));
+        assert!(out.contains("ldmatrix"));
+    }
+
+    #[test]
+    fn gemm_ir_emission() {
+        let out = run_str("gemm --arch sm70 --m 256 --n 256 --k 32 --emit ir").unwrap();
+        assert!(out.contains("MatMul <<<"));
+        assert!(out.contains(".fp16.GL"));
+    }
+
+    #[test]
+    fn epilogue_parsing() {
+        let out = run_str("gemm --m 256 --n 256 --k 32 --epilogue bias+relu --emit cuda").unwrap();
+        assert!(out.contains("bias"));
+        assert!(run_str("gemm --epilogue nope").is_err());
+    }
+
+    #[test]
+    fn other_kernels() {
+        assert!(run_str("layernorm --rows 64 --hidden 512").unwrap().contains("time"));
+        assert!(run_str("softmax --rows 64 --cols 512").unwrap().contains("time"));
+        assert!(run_str("mlp --m 512 --layers 3").unwrap().contains("time"));
+        assert!(run_str("lstm --m 512").unwrap().contains("time"));
+        assert!(run_str("table2 --arch sm70").unwrap().contains("mma.m8n8k4"));
+    }
+
+    #[test]
+    fn bad_inputs_reported() {
+        assert!(run_str("gemm --m 100 --n 100 --k 100").is_err());
+        assert!(run_str("frobnicate").unwrap_err().0.contains("unknown command"));
+        assert!(run_str("gemm --m").is_err());
+        assert!(Cli::parse(&[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod tune_tests {
+    #[test]
+    fn tune_command() {
+        let args: Vec<String> =
+            "tune --m 1024 --n 1024 --k 512 --top 3".split_whitespace().map(String::from).collect();
+        let out = super::run(&args).unwrap();
+        assert!(out.contains("tuned 1024x1024x512"));
+        assert!(out.lines().count() >= 4);
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    fn run_str(s: &str) -> Result<String, super::CliError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        super::run(&args)
+    }
+
+    #[test]
+    fn invalid_shapes_error_instead_of_panicking() {
+        assert!(run_str("layernorm --hidden 100").unwrap_err().0.contains("multiple of 256"));
+        assert!(run_str("layernorm --rows 3").unwrap_err().0.contains("multiple of 4"));
+        assert!(run_str("softmax --cols 100").unwrap_err().0.contains("multiple of 256"));
+        assert!(run_str("fmha --seq 100").unwrap_err().0.contains("seq"));
+    }
+
+    #[test]
+    fn fmha_rejects_volta_explicitly() {
+        let err = run_str("fmha --arch sm70").unwrap_err();
+        assert!(err.0.contains("Ampere"), "{}", err.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Prints the generated CUDA C++ for the paper's Figure 8 GEMM.
+use graphene_codegen::generate;
+use graphene_ir::builder::KernelBuilder;
+use graphene_ir::spec::SpecKind;
+use graphene_ir::{Arch, ScalarType};
+use graphene_sym::IntExpr;
+
+fn main() {
+    let mut kb = KernelBuilder::new("graphene_kernel", &[8, 8], &[16, 16]);
+    let a = kb.param("A", &[1024, 1024], ScalarType::F16);
+    let b = kb.param("B", &[1024, 1024], ScalarType::F16);
+    let c = kb.param("C", &[1024, 1024], ScalarType::F16);
+    let grid = kb.grid();
+    let block = kb.block();
+    let bids = kb.module()[grid].group_coords();
+    let tids = kb.module()[block].group_coords();
+    let a_blk = kb.tile_c(a, &[Some(128), None]).unwrap();
+    let b_blk = kb.tile_c(b, &[None, Some(128)]).unwrap();
+    let c_blk = kb.tile_c(c, &[Some(128), Some(128)]).unwrap();
+    let a_v = kb.index(a_blk, &[bids[0].clone(), IntExpr::zero()]);
+    let b_v = kb.index(b_blk, &[IntExpr::zero(), bids[1].clone()]);
+    let c_v = kb.index(c_blk, &[bids[0].clone(), bids[1].clone()]);
+    let a_t = kb.tile_c(a_v, &[Some(8), None]).unwrap();
+    let b_t = kb.tile_c(b_v, &[None, Some(8)]).unwrap();
+    let c_t = kb.tile_c(c_v, &[Some(8), Some(8)]).unwrap();
+    let a_tv = kb.index(a_t, &[tids[0].clone(), IntExpr::zero()]);
+    let b_tv = kb.index(b_t, &[IntExpr::zero(), tids[1].clone()]);
+    let c_tv = kb.index(c_t, &[tids[0].clone(), tids[1].clone()]);
+    kb.for_loop("k", 1024, true, |kb, k| {
+        kb.for_loop("m", 8, true, |kb, m| {
+            kb.for_loop("n", 8, true, |kb, n| {
+                let a_s = kb.index(a_tv, &[m.clone(), k.clone()]);
+                let b_s = kb.index(b_tv, &[k.clone(), n.clone()]);
+                let c_s = kb.index(c_tv, &[m.clone(), n.clone()]);
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::MatMul, vec![ts], vec![a_s, b_s], vec![c_s]);
+            });
+        });
+    });
+    let kernel = kb.build();
+    println!("=== Graphene IR ===\n{kernel}");
+    println!("=== Generated CUDA C++ ===\n{}", generate(&kernel, Arch::Sm86).unwrap());
+}

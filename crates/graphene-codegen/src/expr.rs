@@ -1,0 +1,161 @@
+//! Rendering index expressions as C, with hoisting of common
+//! subexpressions into named temporaries.
+//!
+//! The paper's generated kernels (Figure 1c, Figure 8 bottom) name the
+//! recurring thread-index computations (`bid_m`, `tid_n`, ...) before the
+//! loop nest. We reproduce that: maximal subexpressions over hardware
+//! indices that appear in more than one place are hoisted to `const int`
+//! temporaries.
+
+use graphene_sym::{BinOp, IntExpr};
+use std::collections::HashMap;
+
+/// Renders expressions, substituting hoisted temporaries.
+#[derive(Debug, Default)]
+pub struct ExprRenderer {
+    names: HashMap<IntExpr, String>,
+}
+
+impl ExprRenderer {
+    /// A renderer with no hoisted names.
+    pub fn new() -> Self {
+        ExprRenderer::default()
+    }
+
+    /// Registers a hoisted temporary for `expr`.
+    pub fn bind(&mut self, expr: IntExpr, name: impl Into<String>) {
+        self.names.insert(expr, name.into());
+    }
+
+    /// Renders an expression as C source.
+    pub fn render(&self, e: &IntExpr) -> String {
+        self.render_prec(e, 0)
+    }
+
+    fn render_prec(&self, e: &IntExpr, parent: u8) -> String {
+        if let Some(name) = self.names.get(e) {
+            return name.clone();
+        }
+        match e {
+            IntExpr::Const(v) => v.to_string(),
+            IntExpr::Var(info) => info.name.clone(),
+            IntExpr::Bin(op, a, b) => {
+                let (prec, rhs_bump) = match op {
+                    BinOp::Add | BinOp::Sub => (1, matches!(op, BinOp::Sub)),
+                    // `*` must also parenthesise a same-precedence right
+                    // child: integer x * (y / z) != (x * y) / z.
+                    BinOp::Mul | BinOp::Div | BinOp::Mod => (2, true),
+                    BinOp::Min | BinOp::Max => {
+                        let f = if matches!(op, BinOp::Min) { "min" } else { "max" };
+                        return format!(
+                            "{f}({}, {})",
+                            self.render_prec(a, 0),
+                            self.render_prec(b, 0)
+                        );
+                    }
+                };
+                let tok = op.c_token().expect("min/max handled above");
+                let lhs = self.render_prec(a, prec);
+                let rhs = self.render_prec(b, prec + u8::from(rhs_bump));
+                let s = format!("{lhs} {tok} {rhs}");
+                if prec < parent {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            }
+        }
+    }
+}
+
+/// Collects hoistable subexpressions from `exprs`: maximal `Bin` nodes
+/// that involve only hardware-index variables (`threadIdx.x`,
+/// `blockIdx.x`) and constants, returned in deterministic order.
+pub fn hoistable_subexprs(exprs: &[&IntExpr]) -> Vec<IntExpr> {
+    fn only_hw_vars(e: &IntExpr) -> bool {
+        e.free_vars().iter().all(|v| v == "threadIdx.x" || v == "blockIdx.x")
+    }
+    fn collect(e: &IntExpr, out: &mut Vec<IntExpr>) {
+        // Hoist `/`- and `%`-rooted computations over hardware ids —
+        // exactly the `bid_m = blockIdx.x / 8`-style temporaries of the
+        // paper's generated kernels.
+        if let IntExpr::Bin(op, a, b) = e {
+            if matches!(op, BinOp::Div | BinOp::Mod) && only_hw_vars(e) && !e.free_vars().is_empty()
+            {
+                if !out.contains(e) {
+                    out.push(e.clone());
+                }
+            } else {
+                collect(a, out);
+                collect(b, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for e in exprs {
+        collect(e, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_minimal_parens() {
+        let r = ExprRenderer::new();
+        let x = IntExpr::var("x");
+        let y = IntExpr::var("y");
+        assert_eq!(r.render(&(x.clone() * 4 + y.clone())), "x * 4 + y");
+        assert_eq!(r.render(&((x.clone() + y.clone()) * 4)), "(x + y) * 4");
+        assert_eq!(r.render(&((x.clone() / 8) % 2)), "x / 8 % 2");
+    }
+
+    #[test]
+    fn substitutes_bound_names() {
+        let mut r = ExprRenderer::new();
+        let tid = IntExpr::var_bounded("threadIdx.x", 256);
+        let sub = tid.clone() / 16;
+        r.bind(sub.clone(), "tid_m");
+        let e = sub.clone() * 8 + IntExpr::var("n");
+        assert_eq!(r.render(&e), "tid_m * 8 + n");
+    }
+
+    #[test]
+    fn hoists_hw_only_subexpressions() {
+        let tid = IntExpr::var_bounded("threadIdx.x", 256);
+        let m = IntExpr::var("m");
+        let e1 = (tid.clone() / 16) * 8 + m.clone();
+        let e2 = (tid.clone() % 16) * 2;
+        let hoisted = hoistable_subexprs(&[&e1, &e2]);
+        assert_eq!(hoisted.len(), 2);
+        assert!(hoisted.contains(&(tid.clone() / 16)));
+        assert!(hoisted.contains(&(tid.clone() % 16)));
+    }
+
+    #[test]
+    fn does_not_hoist_loop_var_expressions() {
+        let m = IntExpr::var("m");
+        let e = (m.clone() * 1024) + 3;
+        assert!(hoistable_subexprs(&[&e]).is_empty());
+    }
+
+    #[test]
+    fn dedupes_repeated_subexpressions() {
+        let tid = IntExpr::var_bounded("threadIdx.x", 256);
+        let s = tid.clone() / 16;
+        let e1 = s.clone() * 2;
+        let e2 = s.clone() * 4;
+        let hoisted = hoistable_subexprs(&[&e1, &e2]);
+        assert_eq!(hoisted.len(), 1);
+    }
+
+    #[test]
+    fn min_max_render_as_calls() {
+        let r = ExprRenderer::new();
+        let x = IntExpr::var("x");
+        let e = x.clone().min(IntExpr::constant(5));
+        assert_eq!(r.render(&e), "min(x, 5)");
+    }
+}

@@ -1,0 +1,84 @@
+//! Indented source-code writer.
+
+use std::fmt::Write as _;
+
+/// Accumulates generated CUDA C++ with automatic indentation.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    buf: String,
+    indent: usize,
+}
+
+impl CodeWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        CodeWriter::default()
+    }
+
+    /// Writes one line at the current indentation.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        if s.is_empty() {
+            self.buf.push('\n');
+            return;
+        }
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+        let _ = writeln!(self.buf, "{s}");
+    }
+
+    /// Writes a line and increases indentation (e.g. `... {`).
+    pub fn open(&mut self, s: impl AsRef<str>) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    /// Decreases indentation and writes a line (e.g. `}`).
+    pub fn close(&mut self, s: impl AsRef<str>) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(s);
+    }
+
+    /// Current indentation depth.
+    pub fn depth(&self) -> usize {
+        self.indent
+    }
+
+    /// Finishes and returns the accumulated source.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_blocks() {
+        let mut w = CodeWriter::new();
+        w.line("int main() {");
+        w.open("{");
+        w.line("x = 1;");
+        w.close("}");
+        let out = w.finish();
+        assert_eq!(out, "int main() {\n{\n  x = 1;\n}\n");
+    }
+
+    #[test]
+    fn empty_lines_have_no_indent() {
+        let mut w = CodeWriter::new();
+        w.open("{");
+        w.line("");
+        w.close("}");
+        assert_eq!(w.finish(), "{\n\n}\n");
+    }
+
+    #[test]
+    fn close_never_underflows() {
+        let mut w = CodeWriter::new();
+        w.close("}");
+        assert_eq!(w.depth(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-instruction-family emission tests: each atomic-spec semantics
+//! class must lower to the expected CUDA C++ / inline PTX shape.
+
+use graphene_codegen::generate;
+use graphene_ir::builder::KernelBuilder;
+use graphene_ir::spec::SpecKind;
+use graphene_ir::tensor::TensorType;
+use graphene_ir::{Arch, BinaryOp, ReduceOp, ScalarType, UnaryOp};
+use graphene_layout::Layout;
+use graphene_sym::IntExpr;
+
+fn reg(n: i64, st: ScalarType) -> TensorType {
+    TensorType::scalar(Layout::contiguous(n), st)
+}
+
+/// Builds a tiny kernel around `f` and generates its CUDA.
+fn gen(f: impl FnOnce(&mut KernelBuilder)) -> String {
+    let mut kb = KernelBuilder::new("k", &[1], &[32]);
+    f(&mut kb);
+    let kernel = kb.build();
+    generate(&kernel, Arch::Sm86).expect("codegen")
+}
+
+#[test]
+fn vectorized_global_load_uses_uint4() {
+    let cuda = gen(|kb| {
+        let g = kb.param("g", &[256], ScalarType::F16);
+        let (grid, block) = (kb.grid(), kb.block());
+        let tid = kb.module()[block].group_coords()[0].clone();
+        let r = kb.alloc_reg("r", reg(8, ScalarType::F16));
+        let gv = kb.tile_c(g, &[Some(8)]).unwrap();
+        let ge = kb.index(gv, &[tid]);
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![grid, ts], vec![ge], vec![r]);
+    });
+    assert!(cuda.contains("*reinterpret_cast<uint4 *>"), "{cuda}");
+    assert!(cuda.contains("// ld.global.v4.u32"), "{cuda}");
+}
+
+#[test]
+fn converting_move_emits_casts() {
+    let cuda = gen(|kb| {
+        let g = kb.param("g", &[256], ScalarType::F16);
+        let y = kb.param("y", &[256], ScalarType::F16);
+        let (grid, block) = (kb.grid(), kb.block());
+        let tid = kb.module()[block].group_coords()[0].clone();
+        let r = kb.alloc_reg("r", reg(8, ScalarType::F32));
+        let gv = kb.tile_c(g, &[Some(8)]).unwrap();
+        let ge = kb.index(gv, std::slice::from_ref(&tid));
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![grid, ts], vec![ge], vec![r]);
+        let yv = kb.tile_c(y, &[Some(8)]).unwrap();
+        let ye = kb.index(yv, &[tid]);
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![grid, ts], vec![r], vec![ye]);
+    });
+    assert!(cuda.contains("= (float)g["), "f16 -> f32 loads cast: {cuda}");
+    assert!(cuda.contains("= (half)r["), "f32 -> f16 stores cast: {cuda}");
+}
+
+#[test]
+fn shfl_emits_intrinsic() {
+    let cuda = gen(|kb| {
+        let (grid, block) = (kb.grid(), kb.block());
+        let warp = kb.thread_tile(block, &Layout::contiguous(32)).unwrap();
+        let a = kb.alloc_reg("a", reg(1, ScalarType::F32));
+        let b = kb.alloc_reg("b", reg(1, ScalarType::F32));
+        kb.spec(SpecKind::Shfl { mask: 4 }, vec![grid, warp], vec![a], vec![b]);
+    });
+    assert!(cuda.contains("__shfl_xor_sync(0xffffffff, a[0], 4)"), "{cuda}");
+}
+
+#[test]
+fn init_small_unrolls_large_loops() {
+    let cuda = gen(|kb| {
+        let (grid, block) = (kb.grid(), kb.block());
+        let small = kb.alloc_reg("s", reg(2, ScalarType::F32));
+        let big = kb.alloc_reg("b", reg(64, ScalarType::F32));
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Init { value: 1.0 }, vec![grid, ts], vec![], vec![small]);
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Init { value: 0.0 }, vec![grid, ts], vec![], vec![big]);
+    });
+    assert!(cuda.contains("s[0] = 1.0f;"), "{cuda}");
+    assert!(cuda.contains("s[1] = 1.0f;"), "{cuda}");
+    assert!(cuda.contains("for (int _i = 0; _i < 64; _i += 1)"), "{cuda}");
+}
+
+#[test]
+fn reduction_unrolls_with_op() {
+    let cuda = gen(|kb| {
+        let (grid, block) = (kb.grid(), kb.block());
+        let v = kb.alloc_reg("v", reg(4, ScalarType::F32));
+        let acc = kb.alloc_reg("acc", reg(1, ScalarType::F32));
+        let ts = kb.thread_scalar(block);
+        kb.spec(
+            SpecKind::Reduction { op: ReduceOp::Max, axes: vec![0] },
+            vec![grid, ts],
+            vec![v],
+            vec![acc],
+        );
+    });
+    assert!(cuda.contains("acc[0] = v[0];"), "{cuda}");
+    assert!(cuda.contains("acc[0] = max(acc[0], v[3]);"), "{cuda}");
+}
+
+#[test]
+fn binary_ops_emit_operators_and_intrinsics() {
+    for (op, needle) in [
+        (BinaryOp::Add, " + "),
+        (BinaryOp::Sub, " - "),
+        (BinaryOp::Mul, " * "),
+        (BinaryOp::Div, " / "),
+        (BinaryOp::Max, "max("),
+        (BinaryOp::Min, "min("),
+    ] {
+        let cuda = gen(|kb| {
+            let (grid, block) = (kb.grid(), kb.block());
+            let a = kb.alloc_reg("a", reg(1, ScalarType::F32));
+            let b = kb.alloc_reg("b", reg(1, ScalarType::F32));
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::BinaryPointwise(op), vec![grid, ts], vec![a, b], vec![b]);
+        });
+        assert!(cuda.contains(needle), "{op:?}: {cuda}");
+    }
+}
+
+#[test]
+fn unary_ops_emit_cuda_math() {
+    for (op, needle) in [
+        (UnaryOp::Exp, "expf("),
+        (UnaryOp::Relu, "max(a[0], 0.0f)"),
+        (UnaryOp::Rsqrt, "rsqrtf("),
+        (UnaryOp::Tanh, "tanhf("),
+        (UnaryOp::Sigmoid, "1.0f / (1.0f + expf("),
+    ] {
+        let cuda = gen(|kb| {
+            let (grid, block) = (kb.grid(), kb.block());
+            let a = kb.alloc_reg("a", reg(1, ScalarType::F32));
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::UnaryPointwise(op), vec![grid, ts], vec![a], vec![a]);
+        });
+        assert!(cuda.contains(needle), "{op:?}: {cuda}");
+    }
+}
+
+#[test]
+fn ampere_mma_asm_block() {
+    let cuda = gen(|kb| {
+        let (grid, block) = (kb.grid(), kb.block());
+        let warp = kb.thread_tile(block, &Layout::contiguous(32)).unwrap();
+        let a = kb.alloc_reg("a", graphene_kernels_frag_a());
+        let b = kb.alloc_reg("b", graphene_kernels_frag_b());
+        let c = kb.alloc_reg("c", graphene_kernels_frag_c());
+        kb.spec(SpecKind::MatMul, vec![grid, warp], vec![a, b], vec![c]);
+    });
+    assert!(cuda.contains("mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32"), "{cuda}");
+    assert!(cuda.contains("\"+f\"(c[0])"), "{cuda}");
+    assert!(cuda.contains("\"r\"(a[0])"), "{cuda}");
+}
+
+#[test]
+fn predicated_block_renders_guard() {
+    let cuda = gen(|kb| {
+        let (grid, block) = (kb.grid(), kb.block());
+        let tid = kb.module()[block].group_coords()[0].clone();
+        let r = kb.alloc_reg("r", reg(1, ScalarType::F32));
+        kb.if_lt(tid, IntExpr::constant(7), |kb| {
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::Init { value: 0.0 }, vec![grid, ts], vec![], vec![r]);
+        });
+    });
+    assert!(cuda.contains("if (threadIdx.x < 7) {"), "{cuda}");
+}
+
+// Local copies of the fragment types (graphene-codegen cannot depend on
+// graphene-kernels without a cycle).
+fn graphene_kernels_frag_a() -> TensorType {
+    use graphene_ir::tensor::Elem;
+    use graphene_layout::it;
+    TensorType {
+        layout: Layout::new(it![2, 2], it![2, 4]),
+        elem: Elem::Tile(Box::new(TensorType {
+            layout: Layout::new(it![1, 2], it![0, 1]),
+            elem: Elem::Scalar(ScalarType::F16),
+            swizzle: Default::default(),
+        })),
+        swizzle: Default::default(),
+    }
+}
+
+fn graphene_kernels_frag_b() -> TensorType {
+    use graphene_ir::tensor::Elem;
+    use graphene_layout::it;
+    TensorType {
+        layout: Layout::new(it![2, 1], it![2, 0]),
+        elem: Elem::Tile(Box::new(TensorType {
+            layout: Layout::new(it![2, 1], it![1, 0]),
+            elem: Elem::Scalar(ScalarType::F16),
+            swizzle: Default::default(),
+        })),
+        swizzle: Default::default(),
+    }
+}
+
+fn graphene_kernels_frag_c() -> TensorType {
+    use graphene_ir::tensor::Elem;
+    use graphene_layout::it;
+    TensorType {
+        layout: Layout::new(it![2, 1], it![2, 0]),
+        elem: Elem::Tile(Box::new(TensorType {
+            layout: Layout::new(it![1, 2], it![0, 1]),
+            elem: Elem::Scalar(ScalarType::F32),
+            swizzle: Default::default(),
+        })),
+        swizzle: Default::default(),
+    }
+}
+
+#[test]
+fn strided_views_emit_real_offsets() {
+    // A Reduction over a strided [4:2] register view must read the
+    // view's actual elements (0, 2, 4, 6), not base+0..4.
+    let cuda = gen(|kb| {
+        let (grid, block) = (kb.grid(), kb.block());
+        let v = kb.alloc_reg("v", reg(8, ScalarType::F32));
+        let evens = kb.view_as(
+            v,
+            TensorType::scalar(Layout::strided(4, 2), ScalarType::F32),
+            IntExpr::zero(),
+        );
+        let acc = kb.alloc_reg("acc", reg(1, ScalarType::F32));
+        let ts = kb.thread_scalar(block);
+        kb.spec(
+            SpecKind::Reduction { op: ReduceOp::Sum, axes: vec![0] },
+            vec![grid, ts],
+            vec![evens],
+            vec![acc],
+        );
+    });
+    assert!(cuda.contains("acc[0] = acc[0] + v[2];"), "{cuda}");
+    assert!(cuda.contains("acc[0] = acc[0] + v[6];"), "{cuda}");
+    assert!(!cuda.contains("v[1]"), "must not touch odd registers:\n{cuda}");
+}

@@ -1,0 +1,421 @@
+//! An ergonomic Rust API for constructing Graphene IR.
+//!
+//! The paper generates Graphene IR "using a simple Python API" (§5.4,
+//! Figure 8 top). [`KernelBuilder`] is the Rust equivalent: it manages the
+//! declaration arena, generates fresh value names (`%6`, `%7`, ... as in
+//! the paper's listings), and provides scoped closures for loops,
+//! predicated blocks, and decomposed specs.
+//!
+//! ```
+//! use graphene_ir::builder::KernelBuilder;
+//! use graphene_ir::dtype::ScalarType;
+//! use graphene_ir::spec::SpecKind;
+//!
+//! // The naive GEMM of the paper's Figure 8:
+//! let mut kb = KernelBuilder::new("graphene_kernel", &[8, 8], &[16, 16]);
+//! let a = kb.param("1", &[1024, 1024], ScalarType::F16);
+//! let b = kb.param("2", &[1024, 1024], ScalarType::F16);
+//! let c = kb.param("3", &[1024, 1024], ScalarType::F16);
+//! let kernel = kb.build();
+//! assert_eq!(kernel.grid_size(), 64);
+//! assert_eq!(kernel.block_size(), 256);
+//! # let _ = (a, b, c);
+//! ```
+
+use crate::body::{Body, Predicate, Stmt, SyncScope};
+use crate::dtype::ScalarType;
+use crate::memory::MemSpace;
+use crate::module::{Kernel, Module};
+use crate::spec::{Spec, SpecKind};
+use crate::tensor::{TensorId, TensorType};
+use crate::threads::{ThreadId, ThreadLevel, ThreadTensor};
+use graphene_layout::{Layout, LayoutError};
+use graphene_sym::IntExpr;
+
+/// Builder for one Graphene kernel.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    module: Module,
+    name: String,
+    params: Vec<TensorId>,
+    grid: ThreadId,
+    block: ThreadId,
+    scopes: Vec<Vec<Stmt>>,
+    counter: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel with the given grid (`block`-level) and block
+    /// (`thread`-level) dimensions.
+    pub fn new(name: impl Into<String>, grid_dims: &[i64], block_dims: &[i64]) -> Self {
+        let mut module = Module::new();
+        let grid = module.declare_threads(ThreadTensor::new("grid", ThreadLevel::Block, grid_dims));
+        let block =
+            module.declare_threads(ThreadTensor::new("threads", ThreadLevel::Thread, block_dims));
+        KernelBuilder {
+            module,
+            name: name.into(),
+            params: Vec::new(),
+            grid,
+            block,
+            scopes: vec![Vec::new()],
+            counter: 0,
+        }
+    }
+
+    /// The kernel's name.
+    pub fn kernel_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grid thread tensor (`block` level).
+    pub fn grid(&self) -> ThreadId {
+        self.grid
+    }
+
+    /// The block thread tensor (`thread` level).
+    pub fn block(&self) -> ThreadId {
+        self.block
+    }
+
+    /// Read access to the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("{}", self.counter)
+    }
+
+    fn emit(&mut self, stmt: Stmt) {
+        self.scopes.last_mut().expect("builder scope stack is never empty").push(stmt);
+    }
+
+    // --- declarations -----------------------------------------------------
+
+    /// Declares a row-major global-memory kernel parameter.
+    pub fn param(&mut self, name: impl Into<String>, dims: &[i64], st: ScalarType) -> TensorId {
+        self.param_with_type(name, TensorType::row_major(dims, st))
+    }
+
+    /// Declares a kernel parameter with an explicit type (layout).
+    pub fn param_with_type(&mut self, name: impl Into<String>, ty: TensorType) -> TensorId {
+        let id = self.module.declare_tensor(name, ty, MemSpace::Global);
+        self.params.push(id);
+        id
+    }
+
+    /// Allocates a shared-memory tensor (`Allocate` spec, Table 1) and
+    /// emits the allocation statement.
+    pub fn alloc_shared(&mut self, name: impl Into<String>, ty: TensorType) -> TensorId {
+        let id = self.module.declare_tensor(name, ty, MemSpace::Shared);
+        self.emit(Stmt::Alloc { tensor: id });
+        id
+    }
+
+    /// Allocates a per-thread register tensor.
+    pub fn alloc_reg(&mut self, name: impl Into<String>, ty: TensorType) -> TensorId {
+        let id = self.module.declare_tensor(name, ty, MemSpace::Register);
+        self.emit(Stmt::Alloc { tensor: id });
+        id
+    }
+
+    // --- tensor views -----------------------------------------------------
+
+    /// `%r = %src.tile(tilers)` with full tiler layouts (`None` = `_`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-algebra errors (indivisible tiles etc.).
+    pub fn tile(
+        &mut self,
+        src: TensorId,
+        tilers: &[Option<Layout>],
+    ) -> Result<TensorId, LayoutError> {
+        let ty = self.module[src].ty.tile(tilers)?;
+        let name = self.fresh();
+        let id = self.module.declare_view(name, ty, src, IntExpr::zero());
+        self.emit(Stmt::Tile { result: id, src, tilers: tilers.to_vec() });
+        Ok(id)
+    }
+
+    /// `%r = %src.tile([a, b, ...])` with contiguous tile sizes; `None`
+    /// keeps the whole dimension (`_`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-algebra errors.
+    pub fn tile_c(
+        &mut self,
+        src: TensorId,
+        sizes: &[Option<i64>],
+    ) -> Result<TensorId, LayoutError> {
+        let tilers: Vec<Option<Layout>> = sizes.iter().map(|s| s.map(Layout::contiguous)).collect();
+        self.tile(src, &tilers)
+    }
+
+    /// `%r = %src[coords...]` — selects a tile (if `src` is tiled) or a
+    /// scalar element (if not).
+    pub fn index(&mut self, src: TensorId, coords: &[IntExpr]) -> TensorId {
+        let src_decl = &self.module[src];
+        let offset = src_decl.ty.offset_of(coords);
+        let result_ty = match src_decl.ty.tile_elem() {
+            Some(tile) => tile.clone(),
+            None => TensorType::scalar(Layout::contiguous(1), src_decl.ty.scalar_type())
+                .with_swizzle(src_decl.ty.swizzle),
+        };
+        let name = self.fresh();
+        let id = self.module.declare_view(name, result_ty, src, offset);
+        self.emit(Stmt::Index { result: id, src, coords: coords.to_vec() });
+        id
+    }
+
+    /// Declares a *reinterpreting* view of `src`: same storage, explicit
+    /// type and extra scalar offset. Used when the same registers are
+    /// addressed through different fragment shapes (e.g. an `ldmatrix`
+    /// destination later read as an `mma` operand) — the register-level
+    /// equivalent of the paper's layout-agnostic logical coordinates
+    /// (§3.2).
+    pub fn view_as(&mut self, src: TensorId, ty: TensorType, offset: IntExpr) -> TensorId {
+        let name = self.fresh();
+        self.module.declare_view(name, ty, src, offset)
+    }
+
+    // --- thread views -----------------------------------------------------
+
+    /// `#r = #src.tile([tiler])` — logical thread groups (paper §4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-algebra errors.
+    pub fn thread_tile(&mut self, src: ThreadId, tiler: &Layout) -> Result<ThreadId, LayoutError> {
+        let name = format!("t{}", self.fresh());
+        let tt = self.module[src].tile(name, tiler)?;
+        let id = self.module.declare_threads(tt);
+        self.emit(Stmt::ThreadTile { result: id, src, tiler: tiler.clone() });
+        Ok(id)
+    }
+
+    /// `#r = #src.reshape(0, dims)` — rearrange logical groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-algebra errors.
+    pub fn thread_reshape(&mut self, src: ThreadId, dims: &[i64]) -> Result<ThreadId, LayoutError> {
+        let name = format!("t{}", self.fresh());
+        let tt = self.module[src].reshape_groups(name, dims)?;
+        let id = self.module.declare_threads(tt);
+        self.emit(Stmt::ThreadReshape { result: id, src, dims: dims.to_vec() });
+        Ok(id)
+    }
+
+    /// `#r = #src.scalar()` — per-thread singleton execution config.
+    pub fn thread_scalar(&mut self, src: ThreadId) -> ThreadId {
+        let name = format!("t{}", self.fresh());
+        let tt = self.module[src].scalar(name);
+        self.module.declare_threads(tt)
+    }
+
+    // --- control flow -----------------------------------------------------
+
+    /// Emits `for (var = 0; var < extent; ++var)` and runs `f` with the
+    /// loop variable inside the loop's scope.
+    pub fn for_loop(
+        &mut self,
+        var: &str,
+        extent: i64,
+        unroll: bool,
+        f: impl FnOnce(&mut Self, IntExpr),
+    ) {
+        let v = IntExpr::var_bounded(var, extent);
+        self.scopes.push(Vec::new());
+        f(self, v);
+        let body = self.scopes.pop().expect("loop scope");
+        self.emit(Stmt::For { var: var.to_string(), extent, unroll, body });
+    }
+
+    /// Emits a predicated block `if (lhs < rhs) { ... }` (partial tiles,
+    /// paper §3.4).
+    pub fn if_lt(&mut self, lhs: IntExpr, rhs: IntExpr, f: impl FnOnce(&mut Self)) {
+        self.scopes.push(Vec::new());
+        f(self);
+        let then = self.scopes.pop().expect("if scope");
+        self.emit(Stmt::If { cond: Predicate { lhs, rhs }, then });
+    }
+
+    // --- specs ------------------------------------------------------------
+
+    /// Emits an undecomposed spec (to be matched against atomic specs).
+    pub fn spec(
+        &mut self,
+        kind: SpecKind,
+        exec: Vec<ThreadId>,
+        ins: Vec<TensorId>,
+        outs: Vec<TensorId>,
+    ) {
+        self.emit(Stmt::Spec(Spec::atomic(kind, exec, ins, outs)));
+    }
+
+    /// Emits a spec whose decomposition is built by `f`.
+    pub fn spec_decomposed(
+        &mut self,
+        kind: SpecKind,
+        exec: Vec<ThreadId>,
+        ins: Vec<TensorId>,
+        outs: Vec<TensorId>,
+        f: impl FnOnce(&mut Self),
+    ) {
+        self.scopes.push(Vec::new());
+        f(self);
+        let stmts = self.scopes.pop().expect("spec scope");
+        self.emit(Stmt::Spec(Spec::decomposed(kind, exec, ins, outs, Body::from_stmts(stmts))));
+    }
+
+    /// Emits `__syncthreads()`.
+    pub fn sync(&mut self) {
+        self.emit(Stmt::Sync(SyncScope::Block));
+    }
+
+    /// Emits a comment.
+    pub fn comment(&mut self, text: impl Into<String>) {
+        self.emit(Stmt::Comment(text.into()));
+    }
+
+    /// Finalises the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with unbalanced scopes (an open loop or spec).
+    pub fn build(mut self) -> Kernel {
+        assert_eq!(self.scopes.len(), 1, "unbalanced builder scopes");
+        let stmts = self.scopes.pop().unwrap();
+        Kernel {
+            name: self.name,
+            module: self.module,
+            params: self.params,
+            grid: self.grid,
+            block: self.block,
+            body: Body::from_stmts(stmts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BinaryOp;
+
+    #[test]
+    fn figure8_structure() {
+        // Reconstruct the shape of the paper's Figure 8 kernel.
+        let mut kb = KernelBuilder::new("graphene_kernel", &[8, 8], &[16, 16]);
+        let a = kb.param("1", &[1024, 1024], ScalarType::F16);
+        let b = kb.param("2", &[1024, 1024], ScalarType::F16);
+        let c = kb.param("3", &[1024, 1024], ScalarType::F16);
+
+        let grid = kb.grid();
+        let block = kb.block();
+        let bids = kb.module()[grid].group_coords();
+        let tids = kb.module()[block].group_coords();
+
+        kb.for_loop("k", 1024, true, |kb, k| {
+            kb.for_loop("m", 8, true, |kb, m| {
+                kb.for_loop("n", 8, true, |kb, n| {
+                    let a_blk = kb.tile_c(a, &[Some(128), None]).unwrap();
+                    let b_blk = kb.tile_c(b, &[None, Some(128)]).unwrap();
+                    let c_blk = kb.tile_c(c, &[Some(128), Some(128)]).unwrap();
+                    let a_v = kb.index(a_blk, &[bids[0].clone(), IntExpr::zero()]);
+                    let b_v = kb.index(b_blk, &[IntExpr::zero(), bids[1].clone()]);
+                    let c_v = kb.index(c_blk, &[bids[0].clone(), bids[1].clone()]);
+
+                    let a_t = kb.tile_c(a_v, &[Some(8), None]).unwrap();
+                    let b_t = kb.tile_c(b_v, &[None, Some(8)]).unwrap();
+                    let c_t = kb.tile_c(c_v, &[Some(8), Some(8)]).unwrap();
+                    let a_tv = kb.index(a_t, &[tids[0].clone(), IntExpr::zero()]);
+                    let b_tv = kb.index(b_t, &[IntExpr::zero(), tids[1].clone()]);
+                    let c_tv = kb.index(c_t, &[tids[0].clone(), tids[1].clone()]);
+
+                    let a_s = kb.index(a_tv, &[m.clone(), k.clone()]);
+                    let b_s = kb.index(b_tv, &[k.clone(), n.clone()]);
+                    let c_s = kb.index(c_tv, &[m.clone(), n.clone()]);
+
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(SpecKind::MatMul, vec![ts], vec![a_s, b_s], vec![c_s]);
+                });
+            });
+        });
+
+        let kernel = kb.build();
+        assert_eq!(kernel.grid_size(), 64);
+        assert_eq!(kernel.block_size(), 256);
+        // Triple loop nest with one innermost MatMul spec.
+        assert_eq!(kernel.body.count_stmts(|s| matches!(s, Stmt::For { .. })), 3);
+        assert_eq!(kernel.body.count_stmts(|s| matches!(s, Stmt::Spec(_))), 1);
+        // The scalar C element's offset matches Figure 8's generated
+        // index: bid_m*131072 + bid_n*128 + tid_m*8192 + tid_n*8 + m*1024 + n.
+        let c_scalar =
+            kernel.module.tensors().map(|(_, d)| d).filter(|d| d.base.is_some()).last().unwrap();
+        let env: std::collections::HashMap<String, i64> = [
+            ("blockIdx.x".to_string(), 9),   // bid_m=1, bid_n=1
+            ("threadIdx.x".to_string(), 17), // tid_m=1, tid_n=1
+            ("m".to_string(), 2),
+            ("n".to_string(), 3),
+            ("k".to_string(), 5),
+        ]
+        .into();
+        let got = c_scalar.offset.eval(&env).unwrap();
+        let want = 131072 + 128 + 8192 + 8 + 2 * 1024 + 3;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scoped_statements_nest() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let block = kb.block();
+        kb.for_loop("i", 4, false, |kb, i| {
+            kb.if_lt(i, IntExpr::constant(3), |kb| {
+                kb.comment("guarded");
+                let _ = kb.thread_scalar(block);
+            });
+        });
+        let kernel = kb.build();
+        assert_eq!(kernel.body.stmts.len(), 1);
+        assert_eq!(kernel.body.count_stmts(|s| matches!(s, Stmt::If { .. })), 1);
+        assert_eq!(kernel.body.count_stmts(|s| matches!(s, Stmt::Comment(_))), 1);
+    }
+
+    #[test]
+    fn decomposed_spec_captures_body() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let block = kb.block();
+        let x = kb.param("x", &[32], ScalarType::F32);
+        let y = kb.param("y", &[32], ScalarType::F32);
+        kb.spec_decomposed(
+            SpecKind::BinaryPointwise(BinaryOp::Add),
+            vec![block],
+            vec![x, y],
+            vec![y],
+            |kb| kb.comment("impl"),
+        );
+        let kernel = kb.build();
+        let mut found = false;
+        kernel.body.visit(&mut |s| {
+            if let Stmt::Spec(spec) = s {
+                assert!(spec.body.is_some());
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn alloc_tracks_memory() {
+        let mut kb = KernelBuilder::new("k", &[1], &[128]);
+        kb.alloc_shared("smem", TensorType::row_major(&[128, 32], ScalarType::F16));
+        kb.alloc_reg("acc", TensorType::row_major(&[2, 4], ScalarType::F32));
+        let kernel = kb.build();
+        assert_eq!(kernel.shared_bytes(), 128 * 32 * 2);
+        assert_eq!(kernel.registers_per_thread(), 8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Scalar element types.
+//!
+//! The paper's `ScalarType = fp16 | fp32 | i32 | ...` production
+//! (§3.1, Figure 2).
+
+use std::fmt;
+
+/// A scalar element type of a Graphene tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// IEEE 754 half precision (`fp16` in the paper's notation).
+    F16,
+    /// bfloat16.
+    BF16,
+    /// IEEE 754 single precision (`fp32`).
+    F32,
+    /// IEEE 754 double precision (`fp64`).
+    F64,
+    /// 8-bit signed integer.
+    I8,
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit unsigned integer.
+    U32,
+    /// Boolean / predicate.
+    Bool,
+}
+
+impl ScalarType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            ScalarType::I8 | ScalarType::Bool => 1,
+            ScalarType::F16 | ScalarType::BF16 => 2,
+            ScalarType::F32 | ScalarType::I32 | ScalarType::U32 => 4,
+            ScalarType::F64 => 8,
+        }
+    }
+
+    /// The Graphene notation used in the paper's listings.
+    pub fn graphene_name(self) -> &'static str {
+        match self {
+            ScalarType::F16 => "fp16",
+            ScalarType::BF16 => "bf16",
+            ScalarType::F32 => "fp32",
+            ScalarType::F64 => "fp64",
+            ScalarType::I8 => "i8",
+            ScalarType::I32 => "i32",
+            ScalarType::U32 => "u32",
+            ScalarType::Bool => "bool",
+        }
+    }
+
+    /// The CUDA C++ type name used during code generation.
+    pub fn cuda_name(self) -> &'static str {
+        match self {
+            ScalarType::F16 => "half",
+            ScalarType::BF16 => "__nv_bfloat16",
+            ScalarType::F32 => "float",
+            ScalarType::F64 => "double",
+            ScalarType::I8 => "int8_t",
+            ScalarType::I32 => "int",
+            ScalarType::U32 => "uint32_t",
+            ScalarType::Bool => "bool",
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F16 | ScalarType::BF16 | ScalarType::F32 | ScalarType::F64)
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.graphene_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ScalarType::F16.bytes(), 2);
+        assert_eq!(ScalarType::F32.bytes(), 4);
+        assert_eq!(ScalarType::F64.bytes(), 8);
+        assert_eq!(ScalarType::I8.bytes(), 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ScalarType::F16.to_string(), "fp16");
+        assert_eq!(ScalarType::F16.cuda_name(), "half");
+        assert_eq!(ScalarType::F32.cuda_name(), "float");
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(ScalarType::F16.is_float());
+        assert!(ScalarType::BF16.is_float());
+        assert!(!ScalarType::I32.is_float());
+        assert!(!ScalarType::Bool.is_float());
+    }
+}

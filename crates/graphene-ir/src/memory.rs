@@ -1,0 +1,77 @@
+//! GPU memory spaces.
+//!
+//! The paper's `Memory = GL | SH | RF` production (§3.1, Figure 2):
+//! global memory (off-chip), shared memory (on-chip, per thread-block)
+//! and registers (thread-local).
+
+use std::fmt;
+
+/// Where a data tensor lives in the GPU memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSpace {
+    /// Off-chip global memory (`GL`).
+    Global,
+    /// On-chip shared memory, visible to all threads of a block (`SH`).
+    Shared,
+    /// Thread-local registers (`RF`).
+    Register,
+}
+
+impl MemSpace {
+    /// The two-letter label used in the paper's listings.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemSpace::Global => "GL",
+            MemSpace::Shared => "SH",
+            MemSpace::Register => "RF",
+        }
+    }
+
+    /// Returns `true` when a single thread can address this space without
+    /// cooperation (registers are private; global and shared are
+    /// addressable by many threads).
+    pub fn is_thread_private(self) -> bool {
+        matches!(self, MemSpace::Register)
+    }
+
+    /// Distance from the processing elements: 0 = registers, 1 = shared,
+    /// 2 = global. Data movements between adjacent levels are the common
+    /// case in optimized kernels.
+    pub fn level(self) -> u8 {
+        match self {
+            MemSpace::Register => 0,
+            MemSpace::Shared => 1,
+            MemSpace::Global => 2,
+        }
+    }
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MemSpace::Global.to_string(), "GL");
+        assert_eq!(MemSpace::Shared.to_string(), "SH");
+        assert_eq!(MemSpace::Register.to_string(), "RF");
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(MemSpace::Register.level() < MemSpace::Shared.level());
+        assert!(MemSpace::Shared.level() < MemSpace::Global.level());
+    }
+
+    #[test]
+    fn privacy() {
+        assert!(MemSpace::Register.is_thread_private());
+        assert!(!MemSpace::Shared.is_thread_private());
+    }
+}

@@ -1,0 +1,235 @@
+//! IR modules and kernels.
+//!
+//! A [`Module`] is the arena owning all tensor and thread-tensor
+//! declarations of one kernel; a [`Kernel`] is the outermost spec
+//! (paper §5.4: "the outermost spec represents the CUDA C++ kernel")
+//! together with its launch configuration and parameters.
+
+use crate::body::Body;
+use crate::memory::MemSpace;
+use crate::tensor::{TensorDecl, TensorId, TensorType};
+use crate::threads::{ThreadId, ThreadTensor};
+use graphene_sym::IntExpr;
+use std::fmt;
+
+/// Arena of declarations for one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    tensors: Vec<TensorDecl>,
+    threads: Vec<ThreadTensor>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Declares a root tensor (kernel parameter or allocation).
+    pub fn declare_tensor(
+        &mut self,
+        name: impl Into<String>,
+        ty: TensorType,
+        mem: MemSpace,
+    ) -> TensorId {
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorDecl {
+            name: name.into(),
+            ty,
+            mem,
+            base: None,
+            offset: IntExpr::zero(),
+        });
+        id
+    }
+
+    /// Declares a derived view (tile or indexed selection) of `base`.
+    pub fn declare_view(
+        &mut self,
+        name: impl Into<String>,
+        ty: TensorType,
+        base: TensorId,
+        offset: IntExpr,
+    ) -> TensorId {
+        let base_decl = &self[base];
+        let mem = base_decl.mem;
+        // Chain to the *root* so offsets are always root-relative.
+        let (root, total_offset) = match base_decl.base {
+            Some(root) => (root, base_decl.offset.clone() + offset),
+            None => (base, offset),
+        };
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorDecl {
+            name: name.into(),
+            ty,
+            mem,
+            base: Some(root),
+            offset: graphene_sym::simplify(&total_offset),
+        });
+        id
+    }
+
+    /// Declares a thread tensor.
+    pub fn declare_threads(&mut self, tt: ThreadTensor) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(tt);
+        id
+    }
+
+    /// The root tensor a view ultimately refers to (itself for roots).
+    pub fn root_of(&self, id: TensorId) -> TensorId {
+        self[id].base.unwrap_or(id)
+    }
+
+    /// Iterates over all tensor declarations with their ids.
+    pub fn tensors(&self) -> impl Iterator<Item = (TensorId, &TensorDecl)> {
+        self.tensors.iter().enumerate().map(|(i, d)| (TensorId(i as u32), d))
+    }
+
+    /// Iterates over all thread tensors with their ids.
+    pub fn threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadTensor)> {
+        self.threads.iter().enumerate().map(|(i, t)| (ThreadId(i as u32), t))
+    }
+
+    /// Number of tensor declarations.
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+}
+
+impl std::ops::Index<TensorId> for Module {
+    type Output = TensorDecl;
+    fn index(&self, id: TensorId) -> &TensorDecl {
+        &self.tensors[id.0 as usize]
+    }
+}
+
+impl std::ops::Index<ThreadId> for Module {
+    type Output = ThreadTensor;
+    fn index(&self, id: ThreadId) -> &ThreadTensor {
+        &self.threads[id.0 as usize]
+    }
+}
+
+/// A complete Graphene kernel: the outermost spec.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (becomes the `__global__` function name).
+    pub name: String,
+    /// Declaration arena.
+    pub module: Module,
+    /// Global-memory parameters, in signature order.
+    pub params: Vec<TensorId>,
+    /// The grid: a `block`-level thread tensor.
+    pub grid: ThreadId,
+    /// The threads of one block: a `thread`-level thread tensor.
+    pub block: ThreadId,
+    /// The kernel-level decomposition.
+    pub body: Body,
+}
+
+impl Kernel {
+    /// Number of thread-blocks launched.
+    pub fn grid_size(&self) -> i64 {
+        self.module[self.grid].count()
+    }
+
+    /// Number of threads per block.
+    pub fn block_size(&self) -> i64 {
+        self.module[self.block].count()
+    }
+
+    /// Total shared memory bytes allocated by `Alloc` statements of
+    /// shared-memory tensors.
+    pub fn shared_bytes(&self) -> u64 {
+        let mut total = 0;
+        self.body.visit(&mut |s| {
+            if let crate::body::Stmt::Alloc { tensor } = s {
+                let d = &self.module[*tensor];
+                if d.mem == MemSpace::Shared {
+                    total += d.ty.bytes();
+                }
+            }
+        });
+        total
+    }
+
+    /// Registers (scalar elements) allocated per thread by `Alloc`
+    /// statements of register tensors.
+    pub fn registers_per_thread(&self) -> i64 {
+        let mut total = 0;
+        self.body.visit(&mut |s| {
+            if let crate::body::Stmt::Alloc { tensor } = s {
+                let d = &self.module[*tensor];
+                if d.mem == MemSpace::Register {
+                    total += d.ty.num_scalars();
+                }
+            }
+        });
+        total
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// kernel {}", self.name)?;
+        for &p in &self.params {
+            writeln!(f, "{}", self.module[p].render())?;
+        }
+        writeln!(f, "{}", self.module[self.grid].render())?;
+        writeln!(f, "{}", self.module[self.block].render())?;
+        write!(f, "{}", crate::printer::render_body(&self.module, &self.body, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::ScalarType;
+    use crate::threads::ThreadLevel;
+
+    #[test]
+    fn declare_and_index() {
+        let mut m = Module::new();
+        let a = m.declare_tensor(
+            "A",
+            TensorType::row_major(&[4, 4], ScalarType::F32),
+            MemSpace::Global,
+        );
+        assert_eq!(m[a].name, "A");
+        assert_eq!(m.root_of(a), a);
+        assert_eq!(m.num_tensors(), 1);
+    }
+
+    #[test]
+    fn view_offsets_chain_to_root() {
+        let mut m = Module::new();
+        let a = m.declare_tensor(
+            "A",
+            TensorType::row_major(&[16, 16], ScalarType::F32),
+            MemSpace::Global,
+        );
+        let v1 = m.declare_view(
+            "v1",
+            TensorType::row_major(&[8, 8], ScalarType::F32),
+            a,
+            IntExpr::constant(64),
+        );
+        let v2 = m.declare_view(
+            "v2",
+            TensorType::row_major(&[4, 4], ScalarType::F32),
+            v1,
+            IntExpr::constant(8),
+        );
+        assert_eq!(m.root_of(v2), a);
+        assert_eq!(m[v2].offset.as_const(), Some(72));
+        assert_eq!(m[v2].mem, MemSpace::Global);
+    }
+
+    #[test]
+    fn thread_declarations() {
+        let mut m = Module::new();
+        let t = m.declare_threads(ThreadTensor::new("5", ThreadLevel::Thread, &[16, 16]));
+        assert_eq!(m[t].count(), 256);
+    }
+}

@@ -1,0 +1,165 @@
+//! Rendering Graphene IR in the paper's listing notation.
+//!
+//! Used by `Display` impls, examples, and golden tests. The output
+//! mirrors the style of the paper's Figure 1d and Figure 8: tensor
+//! declarations with shape/stride annotations, specs with `<<<...>>>`
+//! execution configurations, and indented decomposition bodies.
+
+use crate::body::{Body, Stmt};
+use crate::module::Module;
+use crate::spec::Spec;
+use graphene_layout::Layout;
+
+fn indent(level: usize) -> String {
+    "  ".repeat(level)
+}
+
+fn tiler_str(tilers: &[Option<Layout>]) -> String {
+    let parts: Vec<String> = tilers
+        .iter()
+        .map(|t| match t {
+            Some(l) => l.to_string(),
+            None => "_".to_string(),
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// Renders one spec header, e.g. `Move <<<#3, #4>>> (%1) -> (%2)`.
+pub fn render_spec_header(module: &Module, spec: &Spec) -> String {
+    let exec: Vec<String> = spec.exec.iter().map(|&t| format!("#{}", module[t].name)).collect();
+    let ins: Vec<String> = spec.ins.iter().map(|&t| format!("%{}", module[t].name)).collect();
+    let outs: Vec<String> = spec.outs.iter().map(|&t| format!("%{}", module[t].name)).collect();
+    format!("{} <<<{}>>> ({}) -> ({})", spec.kind, exec.join(", "), ins.join(", "), outs.join(", "))
+}
+
+/// Renders a body at the given indentation level.
+pub fn render_body(module: &Module, body: &Body, level: usize) -> String {
+    let mut out = String::new();
+    for stmt in &body.stmts {
+        out.push_str(&render_stmt(module, stmt, level));
+    }
+    out
+}
+
+fn render_stmt(module: &Module, stmt: &Stmt, level: usize) -> String {
+    let pad = indent(level);
+    match stmt {
+        Stmt::Tile { result, src, tilers } => {
+            format!(
+                "{pad}{} = %{}.tile({})\n",
+                module[*result].render(),
+                module[*src].name,
+                tiler_str(tilers)
+            )
+        }
+        Stmt::Index { result, src, coords } => {
+            let cs: Vec<String> = coords.iter().map(|c| c.to_string()).collect();
+            format!(
+                "{pad}{} = %{}[{}]\n",
+                module[*result].render(),
+                module[*src].name,
+                cs.join(", ")
+            )
+        }
+        Stmt::ThreadTile { result, src, tiler } => {
+            format!(
+                "{pad}{} = #{}.tile([{}])\n",
+                module[*result].render(),
+                module[*src].name,
+                tiler
+            )
+        }
+        Stmt::ThreadReshape { result, src, dims } => {
+            format!(
+                "{pad}{} = #{}.reshape(0, {:?})\n",
+                module[*result].render(),
+                module[*src].name,
+                dims
+            )
+        }
+        Stmt::Alloc { tensor } => {
+            format!("{pad}Allocate {}\n", module[*tensor].render())
+        }
+        Stmt::For { var, extent, unroll, body } => {
+            let mut s = format!(
+                "{pad}for ({var} = 0; {var} < {extent}; {var} += 1){}{{\n",
+                if *unroll { " /*unroll*/ " } else { " " }
+            );
+            for st in body {
+                s.push_str(&render_stmt(module, st, level + 1));
+            }
+            s.push_str(&format!("{pad}}}\n"));
+            s
+        }
+        Stmt::If { cond, then } => {
+            let mut s = format!("{pad}if ({} < {}) {{\n", cond.lhs, cond.rhs);
+            for st in then {
+                s.push_str(&render_stmt(module, st, level + 1));
+            }
+            s.push_str(&format!("{pad}}}\n"));
+            s
+        }
+        Stmt::Spec(spec) => {
+            let mut s = format!("{pad}{}", render_spec_header(module, spec));
+            match &spec.body {
+                Some(body) => {
+                    s.push_str(" {\n");
+                    for st in &body.stmts {
+                        s.push_str(&render_stmt(module, st, level + 1));
+                    }
+                    s.push_str(&format!("{pad}}}\n"));
+                }
+                None => s.push('\n'),
+            }
+            s
+        }
+        Stmt::Sync(scope) => match scope {
+            crate::body::SyncScope::Block => format!("{pad}__syncthreads()\n"),
+            crate::body::SyncScope::Warp => format!("{pad}__syncwarp()\n"),
+        },
+        Stmt::Comment(c) => format!("{pad}// {c}\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::ScalarType;
+    use crate::memory::MemSpace;
+    use crate::spec::SpecKind;
+    use crate::tensor::TensorType;
+    use crate::threads::{ThreadLevel, ThreadTensor};
+
+    #[test]
+    fn renders_spec_header() {
+        let mut m = Module::new();
+        let a = m.declare_tensor(
+            "1",
+            TensorType::row_major(&[16, 16], ScalarType::F16),
+            MemSpace::Shared,
+        );
+        let b = m.declare_tensor(
+            "2",
+            TensorType::row_major(&[2, 4], ScalarType::F16),
+            MemSpace::Register,
+        );
+        let w = m.declare_threads(ThreadTensor::new("4", ThreadLevel::Thread, &[32]));
+        let spec = Spec::atomic(SpecKind::Move, vec![w], vec![a], vec![b]);
+        assert_eq!(render_spec_header(&m, &spec), "Move <<<#4>>> (%1) -> (%2)");
+    }
+
+    #[test]
+    fn renders_loop_nest() {
+        let m = Module::new();
+        let body = Body::from_stmts(vec![Stmt::For {
+            var: "k".into(),
+            extent: 4,
+            unroll: true,
+            body: vec![Stmt::Comment("inner".into())],
+        }]);
+        let s = render_body(&m, &body, 0);
+        assert!(s.contains("for (k = 0; k < 4; k += 1)"));
+        assert!(s.contains("  // inner"));
+    }
+}

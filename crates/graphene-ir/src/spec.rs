@@ -1,0 +1,171 @@
+//! Specifications: Graphene's abstraction for collective computations.
+//!
+//! A *spec* (paper §5, Figure 7) encapsulates a self-contained block of
+//! computation or data movement: it names its input and output tensors
+//! and an *execution configuration* — the thread tensors available to
+//! execute it, written `Spec <<<#ts, ...>>> (ins) -> (outs)`. A spec may
+//! carry a *decomposition* describing its implementation with control
+//! flow and nested specs; a spec without decomposition must match one of
+//! the architecture's *atomic specs* (Table 2), which lower directly to
+//! GPU instructions.
+
+use crate::body::Body;
+use crate::ops::{BinaryOp, ReduceOp, UnaryOp};
+use crate::tensor::TensorId;
+use crate::threads::ThreadId;
+use std::fmt;
+
+/// The built-in spec kinds of Table 1, plus the generic spec used for
+/// fused kernels (§5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecKind {
+    /// Data movement between memory levels.
+    Move,
+    /// Matrix-multiply-accumulate: `C += A × B`.
+    MatMul,
+    /// Elementwise unary computation.
+    UnaryPointwise(UnaryOp),
+    /// Elementwise binary computation.
+    BinaryPointwise(BinaryOp),
+    /// Reduce a tensor along one or more axes.
+    Reduction {
+        /// The combining operation.
+        op: ReduceOp,
+        /// Axes of the input tensor being reduced away.
+        axes: Vec<usize>,
+    },
+    /// Exchange tensor values within thread groups (maps to
+    /// `shfl.sync`). The field is the butterfly XOR mask.
+    Shfl {
+        /// XOR lane mask for the butterfly exchange.
+        mask: u32,
+    },
+    /// Uniformly assign a scalar value to a tensor.
+    Init {
+        /// The value assigned to every element.
+        value: f64,
+    },
+    /// A generic fused computation, defined entirely by its
+    /// decomposition.
+    Generic(String),
+}
+
+impl SpecKind {
+    /// Short display name as used in listings.
+    pub fn name(&self) -> String {
+        match self {
+            SpecKind::Move => "Move".into(),
+            SpecKind::MatMul => "MatMul".into(),
+            SpecKind::UnaryPointwise(op) => format!("UnaryPW<{op}>"),
+            SpecKind::BinaryPointwise(op) => format!("BinaryPW<{op}>"),
+            SpecKind::Reduction { op, .. } => format!("Reduction<{op}>"),
+            SpecKind::Shfl { .. } => "Shfl".into(),
+            SpecKind::Init { .. } => "Init".into(),
+            SpecKind::Generic(name) => format!("Spec[{name}]"),
+        }
+    }
+
+    /// True when two kinds describe the same operation family (used by
+    /// atomic-spec matching; reduction axes and init values are
+    /// parameters, not part of the family).
+    pub fn same_family(&self, other: &SpecKind) -> bool {
+        match (self, other) {
+            (SpecKind::Move, SpecKind::Move)
+            | (SpecKind::MatMul, SpecKind::MatMul)
+            | (SpecKind::Init { .. }, SpecKind::Init { .. })
+            | (SpecKind::Shfl { .. }, SpecKind::Shfl { .. }) => true,
+            (SpecKind::UnaryPointwise(a), SpecKind::UnaryPointwise(b)) => a == b,
+            (SpecKind::BinaryPointwise(a), SpecKind::BinaryPointwise(b)) => a == b,
+            (SpecKind::Reduction { op: a, .. }, SpecKind::Reduction { op: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SpecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A specification instance in the IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// What this spec computes.
+    pub kind: SpecKind,
+    /// Execution configuration: the thread tensors executing this spec,
+    /// outermost first (e.g. `<<<#blocks, #threads>>>`).
+    pub exec: Vec<ThreadId>,
+    /// Input tensors.
+    pub ins: Vec<TensorId>,
+    /// Output tensors.
+    pub outs: Vec<TensorId>,
+    /// Optional decomposition (paper Figure 7's `{ Decomposition }`).
+    /// `None` means the spec must match an atomic spec at code
+    /// generation time.
+    pub body: Option<Body>,
+}
+
+impl Spec {
+    /// Creates an undecomposed spec.
+    pub fn atomic(
+        kind: SpecKind,
+        exec: Vec<ThreadId>,
+        ins: Vec<TensorId>,
+        outs: Vec<TensorId>,
+    ) -> Self {
+        Spec { kind, exec, ins, outs, body: None }
+    }
+
+    /// Creates a spec with a decomposition.
+    pub fn decomposed(
+        kind: SpecKind,
+        exec: Vec<ThreadId>,
+        ins: Vec<TensorId>,
+        outs: Vec<TensorId>,
+        body: Body,
+    ) -> Self {
+        Spec { kind, exec, ins, outs, body: Some(body) }
+    }
+
+    /// True if the spec carries no decomposition.
+    pub fn is_undecomposed(&self) -> bool {
+        self.body.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SpecKind::Move.name(), "Move");
+        assert_eq!(SpecKind::MatMul.name(), "MatMul");
+        assert_eq!(SpecKind::UnaryPointwise(UnaryOp::Relu).name(), "UnaryPW<relu>");
+        assert_eq!(SpecKind::BinaryPointwise(BinaryOp::Add).name(), "BinaryPW<+>");
+        assert_eq!(
+            SpecKind::Reduction { op: ReduceOp::Sum, axes: vec![1] }.name(),
+            "Reduction<sum>"
+        );
+        assert_eq!(SpecKind::Generic("FMHA".into()).name(), "Spec[FMHA]");
+    }
+
+    #[test]
+    fn family_matching() {
+        let r1 = SpecKind::Reduction { op: ReduceOp::Sum, axes: vec![0] };
+        let r2 = SpecKind::Reduction { op: ReduceOp::Sum, axes: vec![1] };
+        let r3 = SpecKind::Reduction { op: ReduceOp::Max, axes: vec![1] };
+        assert!(r1.same_family(&r2));
+        assert!(!r1.same_family(&r3));
+        assert!(SpecKind::Init { value: 0.0 }.same_family(&SpecKind::Init { value: 1.0 }));
+        assert!(!SpecKind::Move.same_family(&SpecKind::MatMul));
+    }
+
+    #[test]
+    fn atomic_construction() {
+        let s =
+            Spec::atomic(SpecKind::Move, vec![ThreadId(0)], vec![TensorId(1)], vec![TensorId(2)]);
+        assert!(s.is_undecomposed());
+    }
+}

@@ -1,0 +1,421 @@
+//! Data tensors: types, tiles, and views.
+//!
+//! A Graphene data tensor (paper §3.1, Figure 2) is
+//! `Name : Shape . ElementType . Memory`. The element type is recursive:
+//! a nested shape represents a *tile* (§3.3), so a hierarchically tiled
+//! tensor is `outer-shape . inner-shape . scalar . memory` where the outer
+//! shape arranges the tiles and the inner shape the elements within a
+//! tile. Strides at every level count elements of the innermost scalar
+//! type ("as a convention, the strides of all shapes specify the distance
+//! between the elements of innermost scalar type", §3.3).
+
+use crate::dtype::ScalarType;
+use crate::memory::MemSpace;
+use graphene_layout::{logical_divide, IntTuple, Layout, LayoutError, Swizzle};
+use graphene_sym::IntExpr;
+use std::fmt;
+
+/// The element type of a tensor: either a scalar or a nested tile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Elem {
+    /// A scalar element.
+    Scalar(ScalarType),
+    /// A tile: the elements of the outer shape are smaller nested tensors.
+    Tile(Box<TensorType>),
+}
+
+impl Elem {
+    /// The innermost scalar type.
+    pub fn scalar(&self) -> ScalarType {
+        match self {
+            Elem::Scalar(s) => *s,
+            Elem::Tile(t) => t.elem.scalar(),
+        }
+    }
+
+    /// Number of scalar elements represented by one element of this type.
+    pub fn scalar_count(&self) -> i64 {
+        match self {
+            Elem::Scalar(_) => 1,
+            Elem::Tile(t) => t.num_scalars(),
+        }
+    }
+}
+
+/// The type of a data tensor: a layout plus a (possibly nested) element
+/// type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorType {
+    /// Arrangement of the elements (tiles or scalars).
+    pub layout: Layout,
+    /// What each element is.
+    pub elem: Elem,
+    /// Optional XOR swizzle applied to physical scalar offsets (used for
+    /// bank-conflict-free shared-memory layouts).
+    pub swizzle: Swizzle,
+}
+
+impl TensorType {
+    /// A tensor of scalars with the given layout.
+    pub fn scalar(layout: Layout, st: ScalarType) -> Self {
+        TensorType { layout, elem: Elem::Scalar(st), swizzle: Swizzle::identity() }
+    }
+
+    /// A row-major tensor of scalars.
+    pub fn row_major(dims: &[i64], st: ScalarType) -> Self {
+        TensorType::scalar(Layout::row_major(dims), st)
+    }
+
+    /// A column-major tensor of scalars.
+    pub fn column_major(dims: &[i64], st: ScalarType) -> Self {
+        TensorType::scalar(Layout::column_major(dims), st)
+    }
+
+    /// Attaches a swizzle to this type (returns a modified copy).
+    pub fn with_swizzle(mut self, swizzle: Swizzle) -> Self {
+        self.swizzle = swizzle;
+        self
+    }
+
+    /// The innermost scalar type.
+    pub fn scalar_type(&self) -> ScalarType {
+        self.elem.scalar()
+    }
+
+    /// Total number of scalars in the tensor (all levels).
+    pub fn num_scalars(&self) -> i64 {
+        self.layout.size() * self.elem.scalar_count()
+    }
+
+    /// Total bytes of all scalars.
+    pub fn bytes(&self) -> u64 {
+        self.num_scalars() as u64 * self.scalar_type().bytes()
+    }
+
+    /// Returns the nested tile type, if this tensor is tiled.
+    pub fn tile_elem(&self) -> Option<&TensorType> {
+        match &self.elem {
+            Elem::Tile(t) => Some(t),
+            Elem::Scalar(_) => None,
+        }
+    }
+
+    /// Tiles this tensor (paper §3.3, Figure 4).
+    ///
+    /// `tilers[i]` is the 1-D *tile-size tensor* for dimension `i`:
+    /// - `Some([n:1])` groups `n` logically adjacent elements,
+    /// - `Some([n:s])` groups `n` elements `s` apart (non-contiguous
+    ///   tiles, Figure 4c),
+    /// - `Some([(a,b):(x,y)])` hierarchical tile sizes (Figure 4d),
+    /// - `None` (written `_` in the paper) keeps the whole dimension in
+    ///   the tile.
+    ///
+    /// The result's outer shape arranges the tiles; its element type is
+    /// the tile. Strides of the result derive from this tensor's strides
+    /// automatically.
+    ///
+    /// ```
+    /// use graphene_ir::dtype::ScalarType;
+    /// use graphene_ir::tensor::TensorType;
+    ///
+    /// // Figure 4b: tile a row-major 4x8 into 2x4 tiles.
+    /// let a = TensorType::row_major(&[4, 8], ScalarType::F32);
+    /// let b = a.tile_contiguous(&[Some(2), Some(4)])?;
+    /// assert_eq!(b.layout.size(), 4);               // 2x2 tiles
+    /// assert_eq!(b.tile_elem().unwrap().layout.size(), 8); // 2x4 elements
+    /// # Ok::<(), graphene_layout::LayoutError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a tiler does not divide its dimension or if
+    /// more tilers than dimensions are given.
+    pub fn tile(&self, tilers: &[Option<Layout>]) -> Result<TensorType, LayoutError> {
+        if tilers.len() > self.layout.rank() {
+            return Err(LayoutError::RankMismatch {
+                layout_rank: self.layout.rank(),
+                tiler_rank: tilers.len(),
+            });
+        }
+        let mut tile_modes = Vec::with_capacity(self.layout.rank());
+        let mut rest_modes = Vec::with_capacity(self.layout.rank());
+        for i in 0..self.layout.rank() {
+            let mode = self.layout.mode(i);
+            match tilers.get(i).and_then(|t| t.as_ref()) {
+                Some(tiler) => {
+                    let divided = logical_divide(&mode, tiler)?;
+                    tile_modes.push(divided.mode(0));
+                    rest_modes.push(divided.mode(1));
+                }
+                None => {
+                    rest_modes.push(Layout::new(IntTuple::Int(1), IntTuple::Int(0)));
+                    tile_modes.push(mode);
+                }
+            }
+        }
+        let inner = TensorType {
+            layout: Layout::from_modes(&tile_modes),
+            elem: self.elem.clone(),
+            swizzle: self.swizzle,
+        };
+        Ok(TensorType {
+            layout: Layout::from_modes(&rest_modes),
+            elem: Elem::Tile(Box::new(inner)),
+            swizzle: self.swizzle,
+        })
+    }
+
+    /// Convenience: tile with plain contiguous tile sizes (`[n:1]` per
+    /// dimension); `None` entries keep whole dimensions.
+    pub fn tile_contiguous(&self, sizes: &[Option<i64>]) -> Result<TensorType, LayoutError> {
+        let tilers: Vec<Option<Layout>> = sizes.iter().map(|s| s.map(Layout::contiguous)).collect();
+        self.tile(&tilers)
+    }
+
+    /// Enumerates the view's scalar offsets (relative to the view's base
+    /// offset) in *value order*: outer tile modes colexicographic,
+    /// elements within a tile fastest. This single definition is shared
+    /// by the simulator's address resolution and the code generator's
+    /// per-element emission, so the two can never disagree on element
+    /// order.
+    pub fn scalar_offsets(&self) -> Vec<i64> {
+        match self.tile_elem() {
+            None => self.layout.indices(),
+            Some(inner) => {
+                let inner_offs = inner.scalar_offsets();
+                let mut out = Vec::with_capacity((self.layout.size() as usize) * inner_offs.len());
+                for o in self.layout.indices() {
+                    for &i in &inner_offs {
+                        out.push(o + i);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Computes the scalar-element offset of the element selected by
+    /// symbolic per-mode coordinates (used when indexing a tiled tensor,
+    /// e.g. `%9 = %6[@bid_m, 0]`).
+    ///
+    /// Each coordinate addresses one top-level mode; hierarchical modes
+    /// are addressed with a *linear* coordinate that is decomposed
+    /// colexicographically, mirroring [`Layout::crd2idx`] symbolically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of coordinates differs from the rank.
+    pub fn offset_of(&self, coords: &[IntExpr]) -> IntExpr {
+        assert_eq!(
+            coords.len(),
+            self.layout.rank(),
+            "expected {} coordinates for {}, got {}",
+            self.layout.rank(),
+            self.layout,
+            coords.len()
+        );
+        let mut total = IntExpr::zero();
+        for (i, coord) in coords.iter().enumerate() {
+            let mode = self.layout.mode(i);
+            total = total + sym_crd2idx(coord, mode.shape(), mode.stride());
+        }
+        total
+    }
+}
+
+/// Symbolic version of the coordinate→index dot product: a linear
+/// coordinate over a (possibly hierarchical) mode is decomposed
+/// colexicographically with `/` and `%`.
+pub(crate) fn sym_crd2idx(coord: &IntExpr, shape: &IntTuple, stride: &IntTuple) -> IntExpr {
+    match (shape, stride) {
+        (IntTuple::Int(s), IntTuple::Int(d)) => {
+            let _ = s;
+            coord.clone() * *d
+        }
+        (IntTuple::Tuple(ss), IntTuple::Tuple(ds)) => {
+            let mut acc = IntExpr::zero();
+            let mut div = 1i64;
+            for (i, (s, d)) in ss.iter().zip(ds).enumerate() {
+                let sz = s.size();
+                let sub = if i + 1 == ss.len() {
+                    coord.clone() / div
+                } else {
+                    (coord.clone() / div) % sz
+                };
+                acc = acc + sym_crd2idx(&sub, s, d);
+                div *= sz;
+            }
+            acc
+        }
+        _ => unreachable!("layout invariant: congruent shape/stride"),
+    }
+}
+
+impl fmt::Display for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.layout)?;
+        match &self.elem {
+            Elem::Scalar(s) => write!(f, ".{s}"),
+            Elem::Tile(t) => write!(f, ".{t}"),
+        }
+    }
+}
+
+/// A declared tensor value in an IR module: `%name : type . memory`.
+///
+/// Tensors form view chains: a tensor created by tiling or indexing
+/// another refers to its `base` and carries a symbolic scalar-element
+/// `offset` from the base's origin.
+#[derive(Debug, Clone)]
+pub struct TensorDecl {
+    /// Value name without the `%` sigil (e.g. `A`, `6`).
+    pub name: String,
+    /// The tensor's type.
+    pub ty: TensorType,
+    /// Memory space.
+    pub mem: MemSpace,
+    /// Root tensor this view derives from (`None` for roots: kernel
+    /// parameters and allocations).
+    pub base: Option<TensorId>,
+    /// Symbolic offset (in scalar elements) from the root tensor's start.
+    pub offset: IntExpr,
+}
+
+impl TensorDecl {
+    /// Displays as the paper writes declarations: `%A:[(16,16):(16,1)].fp16.SH`.
+    pub fn render(&self) -> String {
+        format!("%{}:{}.{}", self.name, self.ty, self.mem)
+    }
+}
+
+/// Identifier of a tensor declaration within an IR module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorId(pub u32);
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_layout::it;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // A:[16,16].fp16.SH from Figure 1d is row-major [(16,16):(16,1)].
+        let ty = TensorType::row_major(&[16, 16], ScalarType::F16);
+        assert_eq!(ty.to_string(), "[(16,16):(16,1)].fp16");
+        let decl = TensorDecl {
+            name: "A".into(),
+            ty,
+            mem: MemSpace::Shared,
+            base: None,
+            offset: IntExpr::zero(),
+        };
+        assert_eq!(decl.render(), "%A:[(16,16):(16,1)].fp16.SH");
+    }
+
+    #[test]
+    fn tile_figure4b() {
+        // B:[2,2].[2,4] with strides as the paper reports.
+        let a = TensorType::row_major(&[4, 8], ScalarType::F32);
+        let b = a.tile_contiguous(&[Some(2), Some(4)]).unwrap();
+        // Outer: 2×2 tiles; strides (16, 4) in scalars: moving one tile
+        // down skips 2 rows (16 elems), one tile right skips 4 elems.
+        assert_eq!(b.layout.size(), 4);
+        let outer_strides = b.layout.stride().leaves();
+        assert_eq!(outer_strides, vec![16, 4]);
+        // Inner: 2×4 elements, row-major strides (8, 1).
+        let inner = b.tile_elem().unwrap();
+        assert_eq!(inner.layout.shape().leaves(), vec![2, 4]);
+        assert_eq!(inner.layout.stride().leaves(), vec![8, 1]);
+        assert_eq!(b.num_scalars(), 32);
+    }
+
+    #[test]
+    fn tile_noncontiguous_figure4c() {
+        // Tile size ([2:2], [4:1]): every other row.
+        let a = TensorType::row_major(&[4, 8], ScalarType::F32);
+        let c = a.tile(&[Some(Layout::strided(2, 2)), Some(Layout::contiguous(4))]).unwrap();
+        let inner = c.tile_elem().unwrap();
+        // Tile rows are 2 apart: row stride = 16 scalars.
+        assert_eq!(inner.layout.stride().leaves(), vec![16, 1]);
+        // Tile arrangement: next row-tile starts at the next row (stride 8).
+        assert_eq!(c.layout.stride().leaves(), vec![8, 4]);
+    }
+
+    #[test]
+    fn tile_hierarchical_figure4d() {
+        // Tile size ([2:2], [(2,2):(1,4)]).
+        let a = TensorType::row_major(&[4, 8], ScalarType::F32);
+        let tiler_cols = Layout::new(it![2, 2], it![1, 4]);
+        let d = a.tile(&[Some(Layout::strided(2, 2)), Some(tiler_cols)]).unwrap();
+        let inner = d.tile_elem().unwrap();
+        assert_eq!(inner.layout.size(), 8);
+        // Tile contains rows {0,2} and cols {0,1,4,5}.
+        let mut offs: Vec<i64> = inner.layout.indices();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![0, 1, 4, 5, 16, 17, 20, 21]);
+    }
+
+    #[test]
+    fn tile_with_wildcard_dimension() {
+        // Figure 8 line 12: %6:[8,1].[128,1024] = %1.tile([128, _])
+        let a = TensorType::row_major(&[1024, 1024], ScalarType::F16);
+        let t = a.tile_contiguous(&[Some(128), None]).unwrap();
+        assert_eq!(t.layout.shape().leaves(), vec![8, 1]);
+        let inner = t.tile_elem().unwrap();
+        assert_eq!(inner.layout.shape().leaves(), vec![128, 1024]);
+        assert_eq!(inner.layout.stride().leaves(), vec![1024, 1]);
+    }
+
+    #[test]
+    fn offset_of_symbolic() {
+        let a = TensorType::row_major(&[1024, 1024], ScalarType::F16);
+        let t = a.tile_contiguous(&[Some(128), Some(128)]).unwrap();
+        let bid_m = IntExpr::var_bounded("bid_m", 8);
+        let bid_n = IntExpr::var_bounded("bid_n", 8);
+        let off = t.offset_of(&[bid_m, bid_n]);
+        // Moving one tile down skips 128 rows = 131072 scalars; one tile
+        // right skips 128 scalars — matches Figure 8's generated indexing.
+        let s = graphene_sym::simplify(&off).to_string();
+        assert!(
+            s == "bid_m * 131072 + bid_n * 128" || s == "bid_n * 128 + bid_m * 131072",
+            "unexpected offset: {s}"
+        );
+    }
+
+    #[test]
+    fn offset_of_hierarchical_mode_uses_div_mod() {
+        // Mode (2,4):(1,8): coordinate j decomposes as (j%2)*1 + (j/2)*8.
+        let ty = TensorType {
+            layout: Layout::new(it![4, [2, 4]], it![2, [1, 8]]),
+            elem: Elem::Scalar(ScalarType::F32),
+            swizzle: Swizzle::identity(),
+        };
+        let j = IntExpr::var_bounded("j", 8);
+        let off = ty.offset_of(&[IntExpr::zero(), j.clone()]);
+        // Evaluate at j = 3: (3%2)*1 + (3/2)*8 = 1 + 8 = 9.
+        let env: std::collections::HashMap<String, i64> = [("j".to_string(), 3)].into();
+        assert_eq!(off.eval(&env).unwrap(), 9);
+    }
+
+    #[test]
+    fn tile_rank_error() {
+        let a = TensorType::row_major(&[4, 8], ScalarType::F32);
+        assert!(a.tile_contiguous(&[Some(2), Some(2), Some(2)]).is_err());
+    }
+
+    #[test]
+    fn bytes_and_scalars() {
+        let a = TensorType::row_major(&[4, 8], ScalarType::F16);
+        assert_eq!(a.num_scalars(), 32);
+        assert_eq!(a.bytes(), 64);
+        let t = a.tile_contiguous(&[Some(2), Some(4)]).unwrap();
+        assert_eq!(t.num_scalars(), 32);
+        assert_eq!(t.bytes(), 64);
+    }
+}

@@ -1,0 +1,376 @@
+//! Logical thread groups: the GPU compute hierarchy as tensors.
+//!
+//! The paper's §4 represents threads exactly like data: a warp is a
+//! one-dimensional tensor of 32 threads which can be tiled and reshaped
+//! into *logical thread groups* (e.g. 2×2 groups of 8 for `ldmatrix`,
+//! Figure 5, or Volta's non-contiguous quad-pairs `[(4,2):(1,16)]`,
+//! Figure 6). The scalar type of a thread tensor is `thread` or `block`,
+//! echoing CUDA's two built-in hierarchies.
+//!
+//! A thread tensor holds two layouts over *linear hardware ids*
+//! (`threadIdx.x` / `blockIdx.x`):
+//!
+//! - `group`: arrangement of logical groups → id of the group's base,
+//! - `local`: threads within one group → id offset within the group.
+//!
+//! Index expressions (the `thr_grp_m = (threadIdx.x / 16) % 2` scalar
+//! computations of Figure 5) are derived automatically per leaf mode as
+//! `(id / stride) % size`.
+
+use graphene_layout::{composition, logical_divide, IntTuple, Layout, LayoutError};
+use graphene_sym::{simplify, IntExpr};
+use std::fmt;
+
+/// Which CUDA hierarchy a thread tensor ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadLevel {
+    /// Threads within a thread-block (`threadIdx.x`).
+    Thread,
+    /// Thread-blocks within the grid (`blockIdx.x`).
+    Block,
+}
+
+impl ThreadLevel {
+    /// The scalar-type name in Graphene notation.
+    pub fn graphene_name(self) -> &'static str {
+        match self {
+            ThreadLevel::Thread => "thread",
+            ThreadLevel::Block => "block",
+        }
+    }
+
+    /// The CUDA builtin variable holding the linear hardware id.
+    pub fn cuda_var(self) -> &'static str {
+        match self {
+            ThreadLevel::Thread => "threadIdx.x",
+            ThreadLevel::Block => "blockIdx.x",
+        }
+    }
+}
+
+impl fmt::Display for ThreadLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.graphene_name())
+    }
+}
+
+/// Identifier of a thread tensor within an IR module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "th{}", self.0)
+    }
+}
+
+/// A (possibly tiled/reshaped) tensor of threads or blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTensor {
+    /// Name without the `#` sigil.
+    pub name: String,
+    /// `thread` or `block`.
+    pub level: ThreadLevel,
+    /// Logical groups → base hardware id. Trivial (`[1:0]`) for untiled
+    /// tensors.
+    pub group: Layout,
+    /// Threads within one group → hardware id offset.
+    pub local: Layout,
+}
+
+impl ThreadTensor {
+    /// A fresh, untiled thread tensor over `dims` with the paper's
+    /// row-major linearisation (rightmost dimension varies fastest, as in
+    /// Figure 8's generated `bid_m = (blockIdx.x / 8) % 8`).
+    pub fn new(name: impl Into<String>, level: ThreadLevel, dims: &[i64]) -> Self {
+        ThreadTensor {
+            name: name.into(),
+            level,
+            group: Layout::new(IntTuple::Int(1), IntTuple::Int(0)),
+            local: Layout::row_major(dims),
+        }
+    }
+
+    /// Total number of hardware threads (or blocks) covered.
+    pub fn count(&self) -> i64 {
+        self.group.size() * self.local.size()
+    }
+
+    /// Number of logical groups.
+    pub fn num_groups(&self) -> i64 {
+        self.group.size()
+    }
+
+    /// Number of threads within one group.
+    pub fn group_size(&self) -> i64 {
+        self.local.size()
+    }
+
+    /// Tiles the threads of this tensor by a 1-D tiler layout — the thread
+    /// analogue of data tiling (paper Figure 5b, Figure 6).
+    ///
+    /// The tiler selects which local threads form one group (contiguous
+    /// `[8:1]`, or non-contiguous like the quad-pair tiler
+    /// `[(4,2):(1,16)]`); the remaining structure becomes the new group
+    /// arrangement.
+    ///
+    /// ```
+    /// use graphene_ir::threads::{ThreadLevel, ThreadTensor};
+    /// use graphene_layout::Layout;
+    ///
+    /// // Figure 5b: a warp tiled into four groups of eight.
+    /// let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+    /// let tiled = warp.tile("t", &Layout::contiguous(8))?;
+    /// assert_eq!(tiled.num_groups(), 4);
+    /// assert_eq!(tiled.group_size(), 8);
+    /// # Ok::<(), graphene_layout::LayoutError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tiler does not divide the local thread layout.
+    pub fn tile(&self, name: impl Into<String>, tiler: &Layout) -> Result<Self, LayoutError> {
+        let divided = logical_divide(&self.local, tiler)?;
+        let tile = divided.mode(0);
+        let rest = divided.mode(1);
+        // New groups = old groups × rest (rest varies fastest).
+        let group = if self.group.size() == 1 {
+            rest
+        } else {
+            Layout::from_modes(&[rest, self.group.clone()])
+        };
+        Ok(ThreadTensor { name: name.into(), level: self.level, group, local: tile })
+    }
+
+    /// Reshapes the *group* arrangement (depth 0) to new dimensions using
+    /// the paper's row-major convention (Figure 5c: 4 groups → 2×2).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the new shape's size differs from the group count or the
+    /// composition is inadmissible.
+    pub fn reshape_groups(
+        &self,
+        name: impl Into<String>,
+        dims: &[i64],
+    ) -> Result<Self, LayoutError> {
+        let connector = Layout::row_major(dims);
+        if connector.size() != self.group.size() {
+            return Err(LayoutError::Incompatible(format!(
+                "cannot reshape {} groups into {:?}",
+                self.group.size(),
+                dims
+            )));
+        }
+        let group = composition(&self.group, &connector)?;
+        Ok(ThreadTensor { name: name.into(), level: self.level, group, local: self.local.clone() })
+    }
+
+    /// `#t.scalar()` — the per-thread singleton view (paper Figure 8,
+    /// lines 32-33: `#22:[].thread = #5.scalar()`): every thread becomes
+    /// its own group of size 1, so specs executed with it are per-thread.
+    pub fn scalar(&self, name: impl Into<String>) -> Self {
+        let group = if self.group.size() == 1 {
+            self.local.clone()
+        } else {
+            Layout::from_modes(&[self.local.clone(), self.group.clone()])
+        };
+        ThreadTensor {
+            name: name.into(),
+            level: self.level,
+            group,
+            local: Layout::new(IntTuple::Int(1), IntTuple::Int(0)),
+        }
+    }
+
+    /// The symbolic hardware-id variable (`threadIdx.x` / `blockIdx.x`)
+    /// bounded by this tensor's total count.
+    pub fn hw_var(&self) -> IntExpr {
+        IntExpr::var_bounded(self.level.cuda_var(), self.count())
+    }
+
+    /// Per-top-level-mode *group* coordinates as simplified index
+    /// expressions over the hardware id (Figure 5's `thr_grp_m/n`,
+    /// Figure 8's `bid_m/bid_n` and `tid_m/tid_n`).
+    ///
+    /// For an untiled tensor this returns the coordinates within `local`
+    /// (its only structure); for a tiled tensor, the coordinates of the
+    /// thread's group.
+    pub fn group_coords(&self) -> Vec<IntExpr> {
+        let layout = if self.group.size() == 1 { &self.local } else { &self.group };
+        let id = self.hw_var();
+        (0..layout.rank())
+            .map(|i| {
+                let mode = layout.mode(i);
+                simplify(&mode_coord(&id, &mode))
+            })
+            .collect()
+    }
+
+    /// The thread's linear coordinate *within its group*, as a simplified
+    /// expression (Figure 5's `grp_local_idx = threadIdx.x % 8`).
+    pub fn local_coord(&self) -> IntExpr {
+        let id = self.hw_var();
+        simplify(&mode_coord(&id, &self.local))
+    }
+
+    /// Renders the tensor in the paper's notation, e.g.
+    /// `#warp:[(2,2):(16,8)].[8:1].thread`.
+    pub fn render(&self) -> String {
+        if self.group.size() == 1 {
+            format!("#{}:{}.{}", self.name, self.local, self.level)
+        } else {
+            format!("#{}:{}.{}.{}", self.name, self.group, self.local, self.level)
+        }
+    }
+}
+
+/// Recovers the linear coordinate within a mode from a hardware id:
+/// for each leaf `(size, stride)` the digit is `(id / stride) % size`,
+/// digits combine colexicographically.
+///
+/// Sound when the mode's leaves address disjoint "digit spans" of the id,
+/// which holds for all tilings produced by [`logical_divide`] of compact
+/// thread layouts (validated in tests).
+fn mode_coord(id: &IntExpr, mode: &Layout) -> IntExpr {
+    let shapes = mode.shape().leaves();
+    let strides = mode.stride().leaves();
+    let mut acc = IntExpr::zero();
+    let mut mult = 1i64;
+    for (&s, &d) in shapes.iter().zip(&strides) {
+        if s == 1 {
+            continue;
+        }
+        let digit = if d == 0 { IntExpr::zero() } else { (id.clone() / d) % s };
+        acc = acc + digit * mult;
+        mult *= s;
+    }
+    acc
+}
+
+impl fmt::Display for ThreadTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_layout::it;
+    use std::collections::HashMap;
+
+    fn eval(e: &IntExpr, var: &str, v: i64) -> i64 {
+        let env: HashMap<String, i64> = [(var.to_string(), v)].into();
+        e.eval(&env).unwrap()
+    }
+
+    #[test]
+    fn fresh_warp() {
+        let w = ThreadTensor::new("1", ThreadLevel::Thread, &[32]);
+        assert_eq!(w.count(), 32);
+        assert_eq!(w.num_groups(), 1);
+        assert_eq!(w.render(), "#1:[32:1].thread");
+    }
+
+    #[test]
+    fn ldmatrix_thread_arrangement_figure5() {
+        // Figure 5: warp [32] -> tile([8]) -> 4 groups of 8
+        //           -> reshape depth-0 to (2,2).
+        let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+        let tiled = warp.tile("t", &Layout::contiguous(8)).unwrap();
+        assert_eq!(tiled.num_groups(), 4);
+        assert_eq!(tiled.group_size(), 8);
+        let grouped = tiled.reshape_groups("g", &[2, 2]).unwrap();
+        assert_eq!(grouped.num_groups(), 4);
+
+        // Paper's scalar index expressions (Figure 5c / Figure 1c):
+        //   thr_grp_m = (threadIdx.x / 16) % 2
+        //   thr_grp_n = (threadIdx.x / 8) % 2
+        //   grp_local_idx = threadIdx.x % 8
+        let coords = grouped.group_coords();
+        assert_eq!(coords.len(), 2);
+        // (threadIdx.x / 16) % 2 simplifies to threadIdx.x / 16 because
+        // threadIdx.x < 32 implies the quotient is already < 2.
+        assert_eq!(coords[0].to_string(), "threadIdx.x / 16");
+        assert_eq!(coords[1].to_string(), "threadIdx.x / 8 % 2");
+        assert_eq!(grouped.local_coord().to_string(), "threadIdx.x % 8");
+    }
+
+    #[test]
+    fn quad_pairs_figure6() {
+        // Volta quad-pairs: tile the warp with [(4,2):(1,16)].
+        let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+        let qp = warp.tile("qp", &Layout::new(it![4, 2], it![1, 16])).unwrap();
+        assert_eq!(qp.num_groups(), 4);
+        assert_eq!(qp.group_size(), 8);
+        // Quad-pair 0 = threads 0-3 and 16-19: thread 17 is in group 0 at
+        // local position 5 (second quad, lane 1).
+        let g = qp.group_coords();
+        assert_eq!(g.len(), 1);
+        for t in 0..32 {
+            let group = eval(&g[0], "threadIdx.x", t);
+            let expected = (t % 16) / 4;
+            assert_eq!(group, expected, "thread {t}");
+        }
+        let local = qp.local_coord();
+        assert_eq!(eval(&local, "threadIdx.x", 17), 5);
+        assert_eq!(eval(&local, "threadIdx.x", 3), 3);
+        assert_eq!(eval(&local, "threadIdx.x", 16), 4);
+    }
+
+    #[test]
+    fn group_coords_partition_the_warp() {
+        // Every thread belongs to exactly one (group, local) pair and the
+        // map (group, local) -> thread id is a bijection.
+        let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+        for tiler in
+            [Layout::contiguous(8), Layout::strided(8, 4), Layout::new(it![4, 2], it![1, 16])]
+        {
+            let tt = warp.tile("t", &tiler).unwrap();
+            let g = &tt.group_coords()[0];
+            let l = tt.local_coord();
+            let mut seen = std::collections::HashSet::new();
+            for t in 0..32 {
+                let pair = (eval(g, "threadIdx.x", t), eval(&l, "threadIdx.x", t));
+                assert!(pair.0 < tt.num_groups() && pair.1 < tt.group_size());
+                assert!(seen.insert(pair), "duplicate (group, local) for tiler {tiler}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_tensor_figure8() {
+        // Figure 8: #4:[8,8].block with
+        //   bid_m = (blockIdx.x / 8) % 8 ; bid_n = blockIdx.x % 8
+        let blocks = ThreadTensor::new("4", ThreadLevel::Block, &[8, 8]);
+        let coords = blocks.group_coords();
+        // (blockIdx.x / 8) % 8 simplifies: blockIdx.x < 64.
+        assert_eq!(coords[0].to_string(), "blockIdx.x / 8");
+        assert_eq!(coords[1].to_string(), "blockIdx.x % 8");
+        assert_eq!(blocks.count(), 64);
+    }
+
+    #[test]
+    fn thread_tensor_16x16_figure8() {
+        let threads = ThreadTensor::new("5", ThreadLevel::Thread, &[16, 16]);
+        let coords = threads.group_coords();
+        // threadIdx.x < 256 so the / 16 quotient needs no % 16.
+        assert_eq!(coords[0].to_string(), "threadIdx.x / 16");
+        assert_eq!(coords[1].to_string(), "threadIdx.x % 16");
+    }
+
+    #[test]
+    fn reshape_size_mismatch_errors() {
+        let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+        let tiled = warp.tile("t", &Layout::contiguous(8)).unwrap();
+        assert!(tiled.reshape_groups("g", &[3, 2]).is_err());
+    }
+
+    #[test]
+    fn display_tiled() {
+        let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+        let tiled = warp.tile("t", &Layout::contiguous(8)).unwrap();
+        assert_eq!(tiled.render(), "#t:[4:8].[8:1].thread");
+    }
+}

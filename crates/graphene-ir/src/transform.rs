@@ -1,0 +1,272 @@
+//! IR transformation passes.
+//!
+//! Graphene "provides the foundation for novel ML compiler research
+//! including systematically deriving optimized tensor computations"
+//! (paper §8). These passes operate on decomposed kernels after
+//! construction: cleanup passes a schedule author shouldn't have to
+//! think about, and statistics used by reports and tests.
+
+use crate::body::{Body, Stmt};
+use crate::module::Kernel;
+use crate::spec::SpecKind;
+use crate::tensor::TensorId;
+use std::collections::HashSet;
+
+/// Statement statistics of a kernel body (recursively collected).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Undecomposed (atomic-matched) specs.
+    pub atomic_specs: usize,
+    /// Decomposed specs.
+    pub decomposed_specs: usize,
+    /// `Move` specs.
+    pub moves: usize,
+    /// `MatMul` specs.
+    pub matmuls: usize,
+    /// Pointwise specs (unary + binary).
+    pub pointwise: usize,
+    /// Reductions and shuffles.
+    pub reductions_shuffles: usize,
+    /// Loops.
+    pub loops: usize,
+    /// Predicated blocks.
+    pub guards: usize,
+    /// Barriers.
+    pub syncs: usize,
+    /// Allocations.
+    pub allocs: usize,
+}
+
+/// Collects [`Stats`] for a kernel.
+pub fn stats(kernel: &Kernel) -> Stats {
+    let mut s = Stats::default();
+    kernel.body.visit(&mut |stmt| match stmt {
+        Stmt::Spec(spec) => {
+            if spec.is_undecomposed() {
+                s.atomic_specs += 1;
+            } else {
+                s.decomposed_specs += 1;
+            }
+            match spec.kind {
+                SpecKind::Move => s.moves += 1,
+                SpecKind::MatMul => s.matmuls += 1,
+                SpecKind::UnaryPointwise(_) | SpecKind::BinaryPointwise(_) => s.pointwise += 1,
+                SpecKind::Reduction { .. } | SpecKind::Shfl { .. } => s.reductions_shuffles += 1,
+                _ => {}
+            }
+        }
+        Stmt::For { .. } => s.loops += 1,
+        Stmt::If { .. } => s.guards += 1,
+        Stmt::Sync(_) => s.syncs += 1,
+        Stmt::Alloc { .. } => s.allocs += 1,
+        _ => {}
+    });
+    s
+}
+
+/// Removes consecutive duplicate barriers (`__syncthreads();
+/// __syncthreads();` → one). Returns the number removed.
+///
+/// A barrier is redundant when it immediately follows another barrier
+/// with no intervening statement that touches memory (comments and
+/// compile-time view statements don't).
+pub fn remove_redundant_syncs(kernel: &mut Kernel) -> usize {
+    fn is_transparent(stmt: &Stmt) -> bool {
+        matches!(
+            stmt,
+            Stmt::Comment(_)
+                | Stmt::Tile { .. }
+                | Stmt::Index { .. }
+                | Stmt::ThreadTile { .. }
+                | Stmt::ThreadReshape { .. }
+        )
+    }
+    fn clean(stmts: &mut Vec<Stmt>) -> usize {
+        let mut removed = 0;
+        // Recurse first.
+        for s in stmts.iter_mut() {
+            match s {
+                Stmt::For { body, .. } | Stmt::If { then: body, .. } => {
+                    removed += clean(body);
+                }
+                Stmt::Spec(spec) => {
+                    if let Some(b) = spec.body.as_mut() {
+                        removed += clean(&mut b.stmts);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Then drop syncs that follow a sync with only transparent
+        // statements in between.
+        let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+        let mut since_sync_only_transparent = false;
+        for s in std::mem::take(stmts) {
+            match &s {
+                Stmt::Sync(_) if since_sync_only_transparent => {
+                    removed += 1;
+                    continue; // drop duplicate
+                }
+                Stmt::Sync(_) => {
+                    since_sync_only_transparent = true;
+                }
+                other if is_transparent(other) => {}
+                _ => since_sync_only_transparent = false,
+            }
+            out.push(s);
+        }
+        *stmts = out;
+        removed
+    }
+    clean(&mut kernel.body.stmts)
+}
+
+/// Removes `Alloc` statements for tensors that no spec ever reads or
+/// writes (directly or through a view). Returns the ids removed.
+pub fn dead_alloc_elimination(kernel: &mut Kernel) -> Vec<TensorId> {
+    // Collect roots used by any spec operand.
+    let mut used: HashSet<TensorId> = HashSet::new();
+    kernel.body.visit(&mut |stmt| {
+        if let Stmt::Spec(spec) = stmt {
+            for &id in spec.ins.iter().chain(&spec.outs) {
+                used.insert(kernel.module.root_of(id));
+            }
+        }
+    });
+
+    let mut removed = Vec::new();
+    fn prune(stmts: &mut Vec<Stmt>, used: &HashSet<TensorId>, removed: &mut Vec<TensorId>) {
+        for s in stmts.iter_mut() {
+            match s {
+                Stmt::For { body, .. } | Stmt::If { then: body, .. } => prune(body, used, removed),
+                Stmt::Spec(spec) => {
+                    if let Some(b) = spec.body.as_mut() {
+                        prune(&mut b.stmts, used, removed);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stmts.retain(|s| match s {
+            Stmt::Alloc { tensor } if !used.contains(tensor) => {
+                removed.push(*tensor);
+                false
+            }
+            _ => true,
+        });
+    }
+    prune(&mut kernel.body.stmts, &used, &mut removed);
+    removed
+}
+
+/// Runs the standard cleanup pipeline; returns a human-readable summary.
+pub fn cleanup(kernel: &mut Kernel) -> String {
+    let syncs = remove_redundant_syncs(kernel);
+    let allocs = dead_alloc_elimination(kernel);
+    format!("removed {syncs} redundant barriers, {} dead allocations", allocs.len())
+}
+
+/// Re-exports [`Body`] manipulation used by the passes (kept private to
+/// the module otherwise).
+pub fn body_len(body: &Body) -> usize {
+    body.stmts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::dtype::ScalarType;
+    use crate::tensor::TensorType;
+    use graphene_layout::Layout;
+
+    fn reg() -> TensorType {
+        TensorType::scalar(Layout::contiguous(1), ScalarType::F32)
+    }
+
+    #[test]
+    fn duplicate_syncs_removed() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let block = kb.block();
+        let a = kb.alloc_reg("a", reg());
+        kb.sync();
+        kb.sync();
+        kb.comment("views are transparent");
+        kb.sync();
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Init { value: 0.0 }, vec![ts], vec![], vec![a]);
+        kb.sync();
+        let mut kernel = kb.build();
+        let before = stats(&kernel).syncs;
+        assert_eq!(before, 4);
+        let removed = remove_redundant_syncs(&mut kernel);
+        assert_eq!(removed, 2);
+        assert_eq!(stats(&kernel).syncs, 2);
+    }
+
+    #[test]
+    fn syncs_inside_loops_cleaned() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        kb.for_loop("i", 4, false, |kb, _| {
+            kb.sync();
+            kb.sync();
+        });
+        let mut kernel = kb.build();
+        assert_eq!(remove_redundant_syncs(&mut kernel), 1);
+    }
+
+    #[test]
+    fn dead_allocs_removed_live_ones_kept() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let block = kb.block();
+        let live = kb.alloc_reg("live", reg());
+        let _dead = kb.alloc_reg("dead", reg());
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Init { value: 0.0 }, vec![ts], vec![], vec![live]);
+        let mut kernel = kb.build();
+        assert_eq!(stats(&kernel).allocs, 2);
+        let removed = dead_alloc_elimination(&mut kernel);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(kernel.module[removed[0]].name, "dead");
+        assert_eq!(stats(&kernel).allocs, 1);
+    }
+
+    #[test]
+    fn view_usage_keeps_root_alive() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let block = kb.block();
+        let root = kb.alloc_reg("root", TensorType::scalar(Layout::contiguous(4), ScalarType::F32));
+        // Use only a view of the root.
+        let view = kb.view_as(root, reg(), graphene_sym::IntExpr::constant(2));
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Init { value: 1.0 }, vec![ts], vec![], vec![view]);
+        let mut kernel = kb.build();
+        assert!(dead_alloc_elimination(&mut kernel).is_empty());
+    }
+
+    #[test]
+    fn stats_classify_spec_kinds() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let block = kb.block();
+        let a = kb.alloc_reg("a", reg());
+        let b = kb.alloc_reg("b", reg());
+        kb.for_loop("i", 2, false, |kb, _| {
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::MatMul, vec![ts], vec![a, b], vec![b]);
+            let ts = kb.thread_scalar(block);
+            kb.spec(
+                SpecKind::BinaryPointwise(crate::ops::BinaryOp::Add),
+                vec![ts],
+                vec![a, b],
+                vec![b],
+            );
+        });
+        let kernel = kb.build();
+        let s = stats(&kernel);
+        assert_eq!(s.matmuls, 1);
+        assert_eq!(s.pointwise, 1);
+        assert_eq!(s.loops, 1);
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.atomic_specs, 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Kernel validation: shape, memory, and lowerability checks.
+//!
+//! Graphene IR "precisely describes the implementation" (§5.5), so most
+//! errors can be caught before code generation: undecomposed specs that
+//! match no atomic spec of the target architecture, execution
+//! configurations exceeding the launch dimensions, pointwise specs with
+//! mismatched element counts, and shared-memory overflows.
+
+use crate::atomic::{match_atomic, registry, Arch};
+use crate::body::Stmt;
+use crate::module::Kernel;
+use crate::printer::render_spec_header;
+use crate::spec::SpecKind;
+use std::fmt;
+
+/// A validation diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Validates a kernel against an architecture.
+///
+/// # Errors
+///
+/// Returns all diagnostics found (empty `Ok(())` means the kernel is
+/// lowerable).
+pub fn validate(kernel: &Kernel, arch: Arch) -> Result<(), Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let reg = registry(arch);
+    let module = &kernel.module;
+    let block_threads = kernel.block_size();
+
+    kernel.body.visit(&mut |stmt| {
+        if let Stmt::Spec(spec) = stmt {
+            // Execution configs must fit in the launch.
+            for &t in &spec.exec {
+                let tt = &module[t];
+                if tt.level == crate::threads::ThreadLevel::Thread && tt.count() > block_threads {
+                    diags.push(Diagnostic {
+                        message: format!(
+                            "spec `{}` requires {} threads but the block has {}",
+                            render_spec_header(module, spec),
+                            tt.count(),
+                            block_threads
+                        ),
+                    });
+                }
+            }
+            // Undecomposed specs must be atomic.
+            if spec.is_undecomposed() && match_atomic(spec, module, &reg).is_none() {
+                diags.push(Diagnostic {
+                    message: format!(
+                        "undecomposed spec `{}` matches no {} atomic spec",
+                        render_spec_header(module, spec),
+                        arch
+                    ),
+                });
+            }
+            // Pointwise element-count agreement.
+            if let SpecKind::BinaryPointwise(_) = spec.kind {
+                if let (Some(&a), Some(&b)) = (spec.ins.first(), spec.ins.get(1)) {
+                    let (na, nb) = (module[a].ty.num_scalars(), module[b].ty.num_scalars());
+                    if na != nb {
+                        diags.push(Diagnostic {
+                            message: format!(
+                                "binary pointwise operands disagree: {na} vs {nb} scalars"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Moves preserve total element counts (per executing group).
+            if matches!(spec.kind, SpecKind::Move) && spec.body.is_none() {
+                if let (Some(&src), Some(&dst)) = (spec.ins.first(), spec.outs.first()) {
+                    let (ns, nd) = (module[src].ty.num_scalars(), module[dst].ty.num_scalars());
+                    // Collective moves redistribute across the group; the
+                    // per-thread counts may differ by the group size.
+                    let group = spec
+                        .exec
+                        .last()
+                        .map(|&t| module[t].group_size())
+                        .unwrap_or(1);
+                    // Collective moves redistribute across the group and
+                    // may over-address (ldmatrix.x2 uses only half the
+                    // warp's addresses): totals must divide evenly.
+                    let (ts, td) = (ns * group, nd * group);
+                    let balanced = ts == td || (ts > td && ts % td == 0) || (td > ts && td % ts == 0);
+                    if !balanced {
+                        diags.push(Diagnostic {
+                            message: format!(
+                                "move element counts irreconcilable: src {ns}, dst {nd}, group {group}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    // Shared memory budget (both target architectures allow ≥ 96 KiB).
+    let smem = kernel.shared_bytes();
+    let limit = 96 * 1024;
+    if smem > limit {
+        diags.push(Diagnostic {
+            message: format!("kernel allocates {smem} B of shared memory (limit {limit} B)"),
+        });
+    }
+
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(diags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::dtype::ScalarType;
+    use crate::tensor::TensorType;
+    use graphene_layout::Layout;
+
+    #[test]
+    fn valid_scalar_move_passes() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let g = kb.param("g", &[32], ScalarType::F32);
+        let block = kb.block();
+        let r = kb.alloc_reg("r", TensorType::scalar(Layout::contiguous(1), ScalarType::F32));
+        let tid = kb.module()[block].group_coords()[0].clone();
+        let g_elem = kb.index(g, &[tid]);
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![ts], vec![g_elem], vec![r]);
+        let kernel = kb.build();
+        assert!(validate(&kernel, Arch::Sm86).is_ok());
+        assert!(validate(&kernel, Arch::Sm70).is_ok());
+    }
+
+    #[test]
+    fn unmatchable_spec_reported() {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        // A global->global move matches no instruction.
+        let g1 = kb.param("g1", &[32], ScalarType::F32);
+        let g2 = kb.param("g2", &[32], ScalarType::F32);
+        let block = kb.block();
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![ts], vec![g1], vec![g2]);
+        let kernel = kb.build();
+        let err = validate(&kernel, Arch::Sm86).unwrap_err();
+        assert!(err.iter().any(|d| d.message.contains("matches no Ampere atomic spec")));
+    }
+
+    #[test]
+    fn oversized_exec_reported() {
+        // A spec executed by a 64-thread tensor inside a 32-thread block.
+        let mut module = crate::module::Module::new();
+        let grid = module.declare_threads(crate::threads::ThreadTensor::new(
+            "grid",
+            crate::threads::ThreadLevel::Block,
+            &[1],
+        ));
+        let block = module.declare_threads(crate::threads::ThreadTensor::new(
+            "threads",
+            crate::threads::ThreadLevel::Thread,
+            &[32],
+        ));
+        let big = module.declare_threads(crate::threads::ThreadTensor::new(
+            "big",
+            crate::threads::ThreadLevel::Thread,
+            &[64],
+        ));
+        let g = module.declare_tensor(
+            "g",
+            TensorType::row_major(&[64], ScalarType::F32),
+            crate::memory::MemSpace::Global,
+        );
+        let r = module.declare_tensor(
+            "r",
+            TensorType::scalar(Layout::contiguous(1), ScalarType::F32),
+            crate::memory::MemSpace::Register,
+        );
+        let spec = crate::spec::Spec::atomic(SpecKind::Move, vec![big], vec![g], vec![r]);
+        let kernel = crate::module::Kernel {
+            name: "k".into(),
+            module,
+            params: vec![g],
+            grid,
+            block,
+            body: crate::body::Body::from_stmts(vec![Stmt::Spec(spec)]),
+        };
+        let err = validate(&kernel, Arch::Sm86).unwrap_err();
+        assert!(err.iter().any(|d| d.message.contains("requires 64 threads")));
+    }
+
+    #[test]
+    fn smem_overflow_reported() {
+        let mut kb = KernelBuilder::new("k", &[1], &[128]);
+        kb.alloc_shared(
+            "huge",
+            TensorType::row_major(&[1024, 128], ScalarType::F32), // 512 KiB
+        );
+        let kernel = kb.build();
+        let err = validate(&kernel, Arch::Sm86).unwrap_err();
+        assert!(err.iter().any(|d| d.message.contains("shared memory")));
+    }
+}

@@ -1,0 +1,84 @@
+//! Golden tests for the IR printer: the rendered listings must follow
+//! the paper's notation (Figures 1d and 8).
+
+use graphene_ir::builder::KernelBuilder;
+use graphene_ir::spec::SpecKind;
+use graphene_ir::tensor::TensorType;
+use graphene_ir::ScalarType;
+use graphene_layout::Layout;
+use graphene_sym::IntExpr;
+
+#[test]
+fn figure1d_style_listing() {
+    let mut kb = KernelBuilder::new("mv", &[1], &[32]);
+    let block = kb.block();
+    let smem = kb.alloc_shared("1", TensorType::row_major(&[16, 16], ScalarType::F16));
+    let regs = kb.alloc_reg("2", TensorType::row_major(&[2, 4], ScalarType::F32));
+    kb.spec_decomposed(SpecKind::Move, vec![block], vec![smem], vec![regs], |kb| {
+        let warp = kb.block();
+        let grp8 = kb.thread_tile(warp, &Layout::contiguous(8)).unwrap();
+        let grps = kb.thread_reshape(grp8, &[2, 2]).unwrap();
+        let g = kb.module()[grps].group_coords();
+        let tiles = kb.tile_c(smem, &[Some(8), Some(8)]).unwrap();
+        let _sel = kb.index(tiles, &[g[0].clone(), g[1].clone()]);
+        kb.comment("inner ldmatrix move would follow");
+    });
+    let kernel = kb.build();
+    let listing = kernel.to_string();
+
+    // Declarations in the paper's notation.
+    assert!(listing.contains("%1:[(16,16):(16,1)].fp16.SH"), "{listing}");
+    assert!(listing.contains("%2:[(2,4):(4,1)].fp32.RF"), "{listing}");
+    assert!(listing.contains("#threads:[32:1].thread"), "{listing}");
+    // The spec header with execution config.
+    assert!(listing.contains("Move <<<#threads>>> (%1) -> (%2) {"), "{listing}");
+    // Thread tiling statements.
+    assert!(listing.contains(".tile([[8:1]])"), "{listing}");
+    assert!(listing.contains(".reshape(0, [2, 2])"), "{listing}");
+    // Data tiling: 8x8 tiles of the 16x16 tensor.
+    assert!(listing.contains(".tile([[8:1], [8:1]])"), "{listing}");
+    // Tile selection by logical thread-group coordinates.
+    assert!(listing.contains("[threadIdx.x / 16, threadIdx.x / 8 % 2]"), "{listing}");
+}
+
+#[test]
+fn figure8_style_listing() {
+    let mut kb = KernelBuilder::new("gemm", &[8, 8], &[16, 16]);
+    let a = kb.param("1", &[1024, 1024], ScalarType::F16);
+    let grid = kb.grid();
+    let block = kb.block();
+    let bids = kb.module()[grid].group_coords();
+    let a_blk = kb.tile_c(a, &[Some(128), None]).unwrap();
+    let a_v = kb.index(a_blk, &[bids[0].clone(), IntExpr::zero()]);
+    kb.for_loop("k", 1024, true, |kb, k| {
+        let _elem = kb.index(a_v, &[k.clone(), k.clone()]);
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Init { value: 0.0 }, vec![grid, ts], vec![], vec![a_v]);
+    });
+    let kernel = kb.build();
+    let listing = kernel.to_string();
+
+    assert!(listing.contains("%1:[(1024,1024):(1024,1)].fp16.GL"), "{listing}");
+    assert!(listing.contains("#grid:[(8,8):(8,1)].block"), "{listing}");
+    // The `_` wildcard tile dimension renders as in the paper.
+    assert!(listing.contains(".tile([[128:1], _])"), "{listing}");
+    // Loops render with the unroll marker.
+    assert!(listing.contains("for (k = 0; k < 1024; k += 1) /*unroll*/ {"), "{listing}");
+    // Init spec header with grid + per-thread exec config.
+    assert!(listing.contains("Init <<<#grid, #t"), "{listing}");
+}
+
+#[test]
+fn thread_tensor_notation_matches_paper() {
+    use graphene_ir::threads::{ThreadLevel, ThreadTensor};
+    // Figure 5: #1:[32].thread -> tile([8]) -> reshape -> 2x2 groups.
+    let warp = ThreadTensor::new("1", ThreadLevel::Thread, &[32]);
+    assert_eq!(warp.render(), "#1:[32:1].thread");
+    let t = warp.tile("2", &Layout::contiguous(8)).unwrap();
+    assert_eq!(t.render(), "#2:[4:8].[8:1].thread");
+    let r = t.reshape_groups("3", &[2, 2]).unwrap();
+    assert_eq!(r.render(), "#3:[(2,2):(16,8)].[8:1].thread");
+    // Figure 6 quad-pairs.
+    let qp = warp.tile("qp", &graphene_ir::atomic::quad_pair_layout()).unwrap();
+    assert_eq!(qp.render(), "#qp:[4:4].[(4,2):(1,16)].thread");
+}

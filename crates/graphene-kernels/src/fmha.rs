@@ -1,0 +1,513 @@
+//! The fused multi-head attention kernel (paper Figure 14).
+//!
+//! FMHA is "two back-to-back GEMMs with a softmax computation in
+//! between". The fused kernel assigns one (head, query-tile) pair per
+//! thread-block and never spills the `S = QKᵀ` scores to global memory:
+//!
+//! 1. `Q` tile and `Kᵀ` are staged to shared memory; a warp-level
+//!    tensor-core GEMM leaves the full score tile **in registers**
+//!    (one fragment row-block per warp — the register-resident strategy
+//!    of NVIDIA's MLPerf BERT kernels the paper compares against);
+//! 2. softmax runs directly on the register fragments: per-thread
+//!    partial row reductions + butterfly shuffles across the four lanes
+//!    sharing each fragment row;
+//! 3. the probabilities are converted in-register into `mma` A-fragments
+//!    and multiplied with the staged `V` tile (which reuses the `Kᵀ`
+//!    shared-memory buffer), producing the output tile.
+//!
+//! The kernel is specialised for the paper's MLPerf BERT inference shape
+//! (16 heads, batch 32, head size 64, sequence length 384) but
+//! parameterised for tests. Ampere only — the paper injects its
+//! "Ampere FMHA kernels" into the end-to-end networks of Figure 15.
+
+use crate::common::{
+    a_frags_type, acc_root_type, b_frags_type, frag_a_type, reg_scalar, reg_vec, stage_tile,
+};
+use crate::mma::{
+    emit_epilogue_store_ampere, emit_warp_mma_ampere, EpilogueOps, MmaGeom, StoreTarget, WarpCtx,
+};
+use graphene_ir::builder::KernelBuilder;
+use graphene_ir::spec::SpecKind;
+use graphene_ir::tensor::{Elem, TensorId, TensorType};
+use graphene_ir::threads::ThreadId;
+use graphene_ir::{Arch, BinaryOp, Kernel, ReduceOp, ScalarType, UnaryOp};
+use graphene_layout::{it, IntTuple, Layout, Swizzle};
+use graphene_sym::IntExpr;
+
+/// FMHA problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmhaConfig {
+    /// Number of (batch × head) attention instances.
+    pub heads: i64,
+    /// Sequence length.
+    pub seq: i64,
+    /// Head dimension.
+    pub d: i64,
+    /// Query rows per thread-block.
+    pub bq: i64,
+    /// Warp tile rows (each warp owns `wm` query rows end-to-end).
+    pub wm: i64,
+}
+
+impl FmhaConfig {
+    /// The paper's MLPerf BERT inference shape: 16 heads, batch 32,
+    /// hidden size 64, sequence length 384 (§6).
+    pub fn mlperf_bert() -> Self {
+        FmhaConfig { heads: 16 * 32, seq: 384, d: 64, bq: 128, wm: 32 }
+    }
+
+    /// Warps (= `bq / wm`) per block.
+    pub fn warps(&self) -> i64 {
+        self.bq / self.wm
+    }
+
+    /// Threads per block.
+    pub fn threads(&self) -> i64 {
+        self.warps() * 32
+    }
+
+    /// Grid blocks: one per (head, query tile).
+    pub fn blocks(&self) -> i64 {
+        self.heads * (self.seq / self.bq)
+    }
+
+    fn geom_s(&self) -> MmaGeom {
+        MmaGeom { bm: self.bq, bn: self.seq, wm: self.wm, wn: self.seq, k_cols: self.d }
+    }
+
+    fn geom_o(&self) -> MmaGeom {
+        MmaGeom { bm: self.bq, bn: self.d, wm: self.wm, wn: self.d, k_cols: self.seq }
+    }
+}
+
+/// Builds the fused FMHA kernel `O = softmax(QKᵀ/√d) × V` per head.
+///
+/// Parameters: `Q, K, V, O : [heads*seq, d]` fp16 row-major
+/// (head-major). Ampere (SM86) only.
+pub fn build_fused_fmha(arch: Arch, cfg: &FmhaConfig) -> Kernel {
+    assert_eq!(arch, Arch::Sm86, "the fused FMHA schedule targets Ampere (paper Figure 15)");
+    assert_eq!(cfg.seq % cfg.bq, 0, "query tiling");
+    assert_eq!(cfg.d % 16, 0, "head dim vs mma K");
+    assert_eq!(cfg.seq % 16, 0, "seq vs mma K");
+    let geom_s = cfg.geom_s();
+    let geom_o = cfg.geom_o();
+    let (mi_cnt, ni_s) = (cfg.wm / 16, cfg.seq / 8);
+    let kk_cnt = cfg.seq / 16; // P fragments along the kv dimension
+
+    let rows = cfg.heads * cfg.seq;
+    let mut kb = KernelBuilder::new("graphene_fused_fmha", &[cfg.blocks()], &[cfg.threads()]);
+    let q = kb.param("Q", &[rows, cfg.d], ScalarType::F16);
+    let k = kb.param("K", &[rows, cfg.d], ScalarType::F16);
+    let v = kb.param("V", &[rows, cfg.d], ScalarType::F16);
+    let o = kb.param("O", &[rows, cfg.d], ScalarType::F16);
+
+    let grid = kb.grid();
+    let block = kb.block();
+    let bid = kb.module()[grid].group_coords()[0].clone();
+    let q_tiles = cfg.seq / cfg.bq;
+    let head = bid.clone() / q_tiles;
+    let q_tile = bid.clone() % q_tiles;
+    let head_row0 = head.clone() * cfg.seq;
+    let q_row0 = head_row0.clone() + q_tile * cfg.bq;
+
+    // Shared memory: the Q tile, and one buffer shared (sequentially) by
+    // Kᵀ and V — the "optimized shared memory layouts" the paper credits
+    // for its win over the MLPerf kernels.
+    let sw = crate::common::smem_swizzle();
+    let qs = kb.alloc_shared(
+        "Qs",
+        TensorType::row_major(&[cfg.bq, cfg.d], ScalarType::F16).with_swizzle(sw),
+    );
+    let kv = kb.alloc_shared(
+        "KV",
+        TensorType::scalar(Layout::contiguous(cfg.seq * cfg.d), ScalarType::F16).with_swizzle(sw),
+    );
+    let kt_view =
+        kb.view_as(kv, TensorType::row_major(&[cfg.d, cfg.seq], ScalarType::F16), IntExpr::zero());
+    let v_view =
+        kb.view_as(kv, TensorType::row_major(&[cfg.seq, cfg.d], ScalarType::F16), IntExpr::zero());
+
+    let warp = kb.thread_tile(block, &Layout::contiguous(32)).expect("warps");
+    let ctx = WarpCtx::new(&kb, block, &geom_s);
+    let lane = ctx.lane.clone();
+
+    kb.comment("stage Q tile and K^T (transposed staging)");
+    stage_tile(
+        &mut kb,
+        arch,
+        &[grid],
+        block,
+        q,
+        qs,
+        q_row0.clone(),
+        IntExpr::zero(),
+        cfg.bq,
+        cfg.d,
+        cfg.threads(),
+    );
+    stage_transposed(
+        &mut kb,
+        grid,
+        block,
+        k,
+        kt_view,
+        head_row0.clone(),
+        cfg.seq,
+        cfg.d,
+        cfg.threads(),
+    );
+    kb.sync();
+
+    kb.comment("S = Q x K^T into register fragments (full score tile resident)");
+    let acc_s = kb.alloc_reg("accS", acc_root_type(mi_cnt, ni_s));
+    let ts = kb.thread_scalar(block);
+    kb.spec(SpecKind::Init { value: 0.0 }, vec![grid, ts], vec![], vec![acc_s]);
+    let a_frags = kb.alloc_reg("afrag", a_frags_type(mi_cnt));
+    let b_frags = kb.alloc_reg("bfrag", b_frags_type(ni_s));
+    emit_warp_mma_ampere(&mut kb, grid, warp, &ctx, qs, kt_view, acc_s, a_frags, b_frags, &geom_s);
+    kb.sync();
+
+    kb.comment("softmax on the register-resident score fragments");
+    let scale = 1.0 / (cfg.d as f64).sqrt();
+    emit_register_softmax(&mut kb, grid, block, warp, acc_s, mi_cnt, ni_s, scale);
+
+    kb.comment("convert P to mma A-fragments in registers");
+    let p_frags = kb.alloc_reg(
+        "pfrag",
+        TensorType {
+            layout: Layout::new(
+                IntTuple::Tuple(vec![IntTuple::Int(mi_cnt), IntTuple::Int(kk_cnt)]),
+                IntTuple::Tuple(vec![IntTuple::Int(kk_cnt * 8), IntTuple::Int(8)]),
+            ),
+            elem: Elem::Tile(Box::new(frag_a_type())),
+            swizzle: Swizzle::identity(),
+        },
+    );
+    for mi in 0..mi_cnt {
+        for kk in 0..kk_cnt {
+            for vv in 0..8i64 {
+                // S value owned by this thread that becomes A-fragment
+                // value vv of P tile (mi, kk).
+                let s_off = mi * (ni_s * 4) + (2 * kk + vv / 4) * 4 + ((vv / 2) % 2) * 2 + vv % 2;
+                let src = kb.view_as(acc_s, reg_scalar(ScalarType::F32), IntExpr::constant(s_off));
+                let dst = kb.view_as(
+                    p_frags,
+                    reg_scalar(ScalarType::F16),
+                    IntExpr::constant((mi * kk_cnt + kk) * 8 + vv),
+                );
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![src], vec![dst]);
+            }
+        }
+    }
+
+    kb.comment("stage V (reusing the K^T buffer) and compute O = P x V");
+    stage_tile(
+        &mut kb,
+        arch,
+        &[grid],
+        block,
+        v,
+        v_view,
+        head_row0.clone(),
+        IntExpr::zero(),
+        cfg.seq,
+        cfg.d,
+        cfg.threads(),
+    );
+    kb.sync();
+
+    let ni_o = cfg.d / 8;
+    let acc_o = kb.alloc_reg("accO", acc_root_type(mi_cnt, ni_o));
+    let ts = kb.thread_scalar(block);
+    kb.spec(SpecKind::Init { value: 0.0 }, vec![grid, ts], vec![], vec![acc_o]);
+    let vb_frags = kb.alloc_reg("vbfrag", b_frags_type(ni_o));
+    let vs_vec8 = kb.tile_c(v_view, &[Some(1), Some(8)]).expect("V rows");
+    for kf in 0..kk_cnt {
+        // ldmatrix.x4.trans: two adjacent 8-column V tiles per load.
+        let mut ni = 0;
+        while ni < ni_o {
+            if ni + 1 < ni_o {
+                let row =
+                    IntExpr::constant(kf * 16) + ((lane.clone() / 8) % 2) * 8 + lane.clone() % 8;
+                let colgrp = IntExpr::constant(ni) + lane.clone() / 16;
+                let src = kb.index(vs_vec8, &[row, colgrp]);
+                let dst = kb.view_as(
+                    vb_frags,
+                    crate::common::frag_b_pair_type(),
+                    IntExpr::constant(ni * 4),
+                );
+                kb.spec(SpecKind::Move, vec![grid, warp], vec![src], vec![dst]);
+                ni += 2;
+            } else {
+                let row = IntExpr::constant(kf * 16) + lane.clone() % 16;
+                let colgrp = IntExpr::constant(ni); // wn == d: single warp column
+                let src = kb.index(vs_vec8, &[row, colgrp]);
+                let dst = kb.index(vb_frags, &[IntExpr::constant(ni)]);
+                kb.spec(SpecKind::Move, vec![grid, warp], vec![src], vec![dst]);
+                ni += 1;
+            }
+        }
+        for mi in 0..mi_cnt {
+            for ni in 0..ni_o {
+                let pf = kb.index(p_frags, &[IntExpr::constant(mi), IntExpr::constant(kf)]);
+                let bf = kb.index(vb_frags, &[IntExpr::constant(ni)]);
+                let cf = kb.index(acc_o, &[IntExpr::constant(mi), IntExpr::constant(ni)]);
+                kb.spec(SpecKind::MatMul, vec![grid, warp], vec![pf, bf], vec![cf]);
+            }
+        }
+    }
+
+    kb.comment("store the output tile");
+    let target = StoreTarget::Global { tensor: o, row0: q_row0, col0: IntExpr::zero() };
+    emit_epilogue_store_ampere(
+        &mut kb,
+        grid,
+        block,
+        &ctx,
+        acc_o,
+        &geom_o,
+        &EpilogueOps::none(),
+        &target,
+    );
+
+    kb.build()
+}
+
+/// Transposed staging: `dst[dd][si] = src[row0 + si][dd]` — vectorised
+/// global reads, scalar shared writes.
+#[allow(clippy::too_many_arguments)]
+fn stage_transposed(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    block: ThreadId,
+    src: TensorId,
+    dst_view: TensorId,
+    row0: IntExpr,
+    rows: i64,
+    cols: i64,
+    threads: i64,
+) {
+    let total = rows * cols;
+    assert_eq!(total % (threads * 8), 0, "transposed staging granularity");
+    let chunks = total / threads / 8;
+    let tid = kb.module()[block].hw_var();
+    let src_vec8 = kb.tile_c(src, &[Some(1), Some(8)]).expect("src vectors");
+    for u in 0..chunks {
+        let e = (tid.clone() * chunks + u) * 8;
+        let si = e.clone() / cols;
+        let dd = e % cols;
+        let s = kb.index(src_vec8, &[row0.clone() + si.clone(), dd.clone() / 8]);
+        let tmp = kb.alloc_reg(format!("tr{u}"), reg_vec(8, ScalarType::F16));
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![grid, ts], vec![s], vec![tmp]);
+        for j in 0..8i64 {
+            let slot = kb.view_as(tmp, reg_scalar(ScalarType::F16), IntExpr::constant(j));
+            let d = kb.index(dst_view, &[dd.clone() + j, si.clone()]);
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::Move, vec![grid, ts], vec![slot], vec![d]);
+        }
+    }
+}
+
+/// Softmax over register-resident score fragments: scale, per-row max,
+/// exp, per-row sum, normalise. Each thread owns 2 values per row in
+/// `ni` fragments; rows are shared with the 3 other lanes of the same
+/// `lane/4` quad, combined with butterfly shuffles.
+#[allow(clippy::too_many_arguments)]
+fn emit_register_softmax(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    block: ThreadId,
+    warp: ThreadId,
+    acc: TensorId,
+    mi_cnt: i64,
+    ni_cnt: i64,
+    scale: f64,
+) {
+    // Scale all fragments by 1/sqrt(d) ([4]-wide per fragment).
+    let scale4 = kb.alloc_reg("scale4", reg_vec(4, ScalarType::F32));
+    let ts = kb.thread_scalar(block);
+    kb.spec(SpecKind::Init { value: scale }, vec![grid, ts], vec![], vec![scale4]);
+    for mi in 0..mi_cnt {
+        for ni in 0..ni_cnt {
+            let frag = kb.view_as(
+                acc,
+                reg_vec(4, ScalarType::F32),
+                IntExpr::constant(mi * ni_cnt * 4 + ni * 4),
+            );
+            let ts = kb.thread_scalar(block);
+            kb.spec(
+                SpecKind::BinaryPointwise(BinaryOp::Mul),
+                vec![grid, ts],
+                vec![frag, scale4],
+                vec![frag],
+            );
+        }
+    }
+
+    // The per-thread view of one row-slot (mi, vp): ni fragments x 2
+    // adjacent values, strides (4, 1).
+    let row_view = |kb: &mut KernelBuilder, mi: i64, vp: i64| {
+        kb.view_as(
+            acc,
+            TensorType {
+                layout: Layout::new(it![2, ni_cnt], it![1, 4]),
+                elem: Elem::Scalar(ScalarType::F32),
+                swizzle: Swizzle::identity(),
+            },
+            IntExpr::constant(mi * ni_cnt * 4 + vp * 2),
+        )
+    };
+
+    for mi in 0..mi_cnt {
+        for vp in 0..2i64 {
+            let row = row_view(kb, mi, vp);
+            // Per-thread partial row max, then across the 4 lanes of the
+            // quad (shfl masks 1 and 2).
+            let mx = kb.alloc_reg(format!("mx_{mi}_{vp}"), reg_scalar(ScalarType::F32));
+            let ts = kb.thread_scalar(block);
+            kb.spec(
+                SpecKind::Reduction { op: ReduceOp::Max, axes: vec![0] },
+                vec![grid, ts],
+                vec![row],
+                vec![mx],
+            );
+            let tmp = kb.alloc_reg(format!("mxs_{mi}_{vp}"), reg_scalar(ScalarType::F32));
+            for mask in [1u32, 2] {
+                kb.spec(SpecKind::Shfl { mask }, vec![grid, warp], vec![mx], vec![tmp]);
+                let ts = kb.thread_scalar(block);
+                kb.spec(
+                    SpecKind::BinaryPointwise(BinaryOp::Max),
+                    vec![grid, ts],
+                    vec![mx, tmp],
+                    vec![mx],
+                );
+            }
+            // exp(x - max) per pair.
+            let mx2 = kb.alloc_reg(format!("mx2_{mi}_{vp}"), reg_vec(2, ScalarType::F32));
+            for i in 0..2 {
+                let slot = kb.view_as(mx2, reg_scalar(ScalarType::F32), IntExpr::constant(i));
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![mx], vec![slot]);
+            }
+            for ni in 0..ni_cnt {
+                let pair = kb.view_as(
+                    acc,
+                    reg_vec(2, ScalarType::F32),
+                    IntExpr::constant(mi * ni_cnt * 4 + ni * 4 + vp * 2),
+                );
+                let ts = kb.thread_scalar(block);
+                kb.spec(
+                    SpecKind::BinaryPointwise(BinaryOp::Sub),
+                    vec![grid, ts],
+                    vec![pair, mx2],
+                    vec![pair],
+                );
+                let ts = kb.thread_scalar(block);
+                kb.spec(
+                    SpecKind::UnaryPointwise(UnaryOp::Exp),
+                    vec![grid, ts],
+                    vec![pair],
+                    vec![pair],
+                );
+            }
+            // Row sum, quad-combined, reciprocal, normalise.
+            let row = row_view(kb, mi, vp);
+            let sm = kb.alloc_reg(format!("sm_{mi}_{vp}"), reg_scalar(ScalarType::F32));
+            let ts = kb.thread_scalar(block);
+            kb.spec(
+                SpecKind::Reduction { op: ReduceOp::Sum, axes: vec![0] },
+                vec![grid, ts],
+                vec![row],
+                vec![sm],
+            );
+            for mask in [1u32, 2] {
+                kb.spec(SpecKind::Shfl { mask }, vec![grid, warp], vec![sm], vec![tmp]);
+                let ts = kb.thread_scalar(block);
+                kb.spec(
+                    SpecKind::BinaryPointwise(BinaryOp::Add),
+                    vec![grid, ts],
+                    vec![sm, tmp],
+                    vec![sm],
+                );
+            }
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::UnaryPointwise(UnaryOp::Recip), vec![grid, ts], vec![sm], vec![sm]);
+            let sm2 = kb.alloc_reg(format!("sm2_{mi}_{vp}"), reg_vec(2, ScalarType::F32));
+            for i in 0..2 {
+                let slot = kb.view_as(sm2, reg_scalar(ScalarType::F32), IntExpr::constant(i));
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![sm], vec![slot]);
+            }
+            for ni in 0..ni_cnt {
+                let pair = kb.view_as(
+                    acc,
+                    reg_vec(2, ScalarType::F32),
+                    IntExpr::constant(mi * ni_cnt * 4 + ni * 4 + vp * 2),
+                );
+                let ts = kb.thread_scalar(block);
+                kb.spec(
+                    SpecKind::BinaryPointwise(BinaryOp::Mul),
+                    vec![grid, ts],
+                    vec![pair, sm2],
+                    vec![pair],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_ir::validate::validate;
+    use graphene_sim::host::{attention_ref, HostTensor};
+    use std::collections::HashMap;
+
+    #[test]
+    fn fused_fmha_matches_reference() {
+        let cfg = FmhaConfig { heads: 2, seq: 64, d: 32, bq: 32, wm: 32 };
+        let kernel = build_fused_fmha(Arch::Sm86, &cfg);
+        validate(&kernel, Arch::Sm86).expect("validates");
+
+        let rows = (cfg.heads * cfg.seq) as usize;
+        let d = cfg.d as usize;
+        let s = cfg.seq as usize;
+        let q = HostTensor::random(&[rows, d], 51);
+        let k = HostTensor::random(&[rows, d], 52);
+        let v = HostTensor::random(&[rows, d], 53);
+        let mut inputs = HashMap::new();
+        inputs.insert(kernel.params[0], q.as_slice().to_vec());
+        inputs.insert(kernel.params[1], k.as_slice().to_vec());
+        inputs.insert(kernel.params[2], v.as_slice().to_vec());
+        let out = graphene_sim::execute(&kernel, Arch::Sm86, &inputs).expect("execute");
+        let o = &out.globals[&kernel.params[3]];
+
+        for h in 0..cfg.heads as usize {
+            let slice = |t: &HostTensor| {
+                HostTensor::from_vec(&[s, d], t.as_slice()[h * s * d..(h + 1) * s * d].to_vec())
+            };
+            let expect = attention_ref(&slice(&q), &slice(&k), &slice(&v));
+            let got = HostTensor::from_vec(&[s, d], o[h * s * d..(h + 1) * s * d].to_vec());
+            got.assert_close(&expect, 2e-3);
+        }
+    }
+
+    #[test]
+    fn mlperf_config_validates() {
+        let cfg = FmhaConfig::mlperf_bert();
+        assert_eq!(cfg.blocks(), 512 * 3);
+        assert_eq!(cfg.threads(), 128);
+        let kernel = build_fused_fmha(Arch::Sm86, &cfg);
+        validate(&kernel, Arch::Sm86).expect("validates");
+        // Q tile + one K^T/V buffer.
+        assert_eq!(kernel.shared_bytes(), (128 * 64 + 384 * 64) as u64 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets Ampere")]
+    fn volta_rejected() {
+        build_fused_fmha(Arch::Sm70, &FmhaConfig::mlperf_bert());
+    }
+}

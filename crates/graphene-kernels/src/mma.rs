@@ -1,0 +1,537 @@
+//! Reusable warp-level MMA building blocks.
+//!
+//! The inner machinery of the optimized GEMM — fragment loads from
+//! shared memory plus tensor-core MMAs, and the epilogue/store of the
+//! fp32 accumulators — factored out so the fused kernels (MLP, LSTM,
+//! FMHA; paper Figures 11/12/14) can run *block-level GEMMs between
+//! shared-memory tensors* inside a single kernel. This is precisely what
+//! makes Graphene's fusions expressible: the same decomposable specs
+//! compose whether their operands live in global or shared memory.
+
+use crate::common::{reg_scalar, reg_vec};
+use graphene_ir::builder::KernelBuilder;
+use graphene_ir::spec::SpecKind;
+use graphene_ir::tensor::{Elem, TensorId, TensorType};
+use graphene_ir::threads::ThreadId;
+use graphene_ir::{BinaryOp, ScalarType, UnaryOp};
+use graphene_layout::{it, Layout, Swizzle};
+use graphene_sym::IntExpr;
+
+/// Geometry of a block-level `bm × bn × k_cols` MMA over shared tiles.
+#[derive(Debug, Clone, Copy)]
+pub struct MmaGeom {
+    /// Block tile rows (As has `bm` rows).
+    pub bm: i64,
+    /// Block tile columns (Bs has `bn` columns).
+    pub bn: i64,
+    /// Warp tile rows.
+    pub wm: i64,
+    /// Warp tile columns.
+    pub wn: i64,
+    /// K extent held in shared memory (As is `[bm, k_cols]`, Bs is
+    /// `[k_cols, bn]`).
+    pub k_cols: i64,
+}
+
+impl MmaGeom {
+    /// Warps per block for this geometry.
+    pub fn warps(&self) -> i64 {
+        (self.bm / self.wm) * (self.bn / self.wn)
+    }
+
+    /// Threads per block.
+    pub fn threads(&self) -> i64 {
+        self.warps() * 32
+    }
+}
+
+/// Per-warp index expressions shared by the emitters.
+pub struct WarpCtx {
+    /// Lane within the warp.
+    pub lane: IntExpr,
+    /// Warp-row id.
+    pub wm_id: IntExpr,
+    /// Warp-column id.
+    pub wn_id: IntExpr,
+}
+
+impl WarpCtx {
+    /// Computes the warp decomposition of the block's threads.
+    pub fn new(kb: &KernelBuilder, block: ThreadId, geom: &MmaGeom) -> Self {
+        let tid = kb.module()[block].hw_var();
+        let lane = tid.clone() % 32;
+        let warp_id = tid / 32;
+        let wn_cnt = geom.bn / geom.wn;
+        WarpCtx { lane, wm_id: warp_id.clone() / wn_cnt, wn_id: warp_id % wn_cnt }
+    }
+}
+
+/// Emits the Ampere fragment-load + `mma.m16n8k16` sequence computing
+/// `acc += As × Bs` over the full `k_cols` of the shared tiles.
+///
+/// `a_frags`/`b_frags` are reusable per-thread fragment registers
+/// (allocated by the caller with [`crate::common::a_frags_type`] /
+/// [`crate::common::b_frags_type`] for `wm/16` and `wn/8` fragments).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_warp_mma_ampere(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    warp: ThreadId,
+    ctx: &WarpCtx,
+    a_s: TensorId,
+    b_s: TensorId,
+    acc: TensorId,
+    a_frags: TensorId,
+    b_frags: TensorId,
+    geom: &MmaGeom,
+) {
+    let (mi_cnt, ni_cnt, kf_cnt) = (geom.wm / 16, geom.wn / 8, geom.k_cols / 16);
+    let as_vec8 = kb.tile_c(a_s, &[Some(1), Some(8)]).expect("As rows");
+    let bs_vec8 = kb.tile_c(b_s, &[Some(1), Some(8)]).expect("Bs rows");
+    let lane = &ctx.lane;
+
+    for kf in 0..kf_cnt {
+        for mi in 0..mi_cnt {
+            // ldmatrix.x4: 2x2 logical groups arranged column-major over
+            // the 16x16 A tile so register pairs line up with the mma
+            // A fragment.
+            let row = ctx.wm_id.clone() * geom.wm
+                + mi * 16
+                + ((lane.clone() / 8) % 2) * 8
+                + lane.clone() % 8;
+            let colgrp = IntExpr::constant(kf * 2) + lane.clone() / 16;
+            let src = kb.index(as_vec8, &[row, colgrp]);
+            let dst = kb.index(a_frags, &[IntExpr::constant(mi)]);
+            kb.spec(SpecKind::Move, vec![grid, warp], vec![src], vec![dst]);
+        }
+        // B fragments: ldmatrix.x4.trans loads two adjacent 8-column
+        // tiles per instruction (all 32 lane addresses useful); an odd
+        // trailing tile falls back to ldmatrix.x2.trans.
+        let mut ni = 0;
+        while ni < ni_cnt {
+            if ni + 1 < ni_cnt {
+                let row =
+                    IntExpr::constant(kf * 16) + ((lane.clone() / 8) % 2) * 8 + lane.clone() % 8;
+                let colgrp = ctx.wn_id.clone() * (geom.wn / 8) + ni + lane.clone() / 16;
+                let src = kb.index(bs_vec8, &[row, colgrp]);
+                let dst = kb.view_as(
+                    b_frags,
+                    crate::common::frag_b_pair_type(),
+                    IntExpr::constant(ni * 4),
+                );
+                kb.spec(SpecKind::Move, vec![grid, warp], vec![src], vec![dst]);
+                ni += 2;
+            } else {
+                let row = IntExpr::constant(kf * 16) + lane.clone() % 16;
+                let colgrp = ctx.wn_id.clone() * (geom.wn / 8) + ni;
+                let src = kb.index(bs_vec8, &[row, colgrp]);
+                let dst = kb.index(b_frags, &[IntExpr::constant(ni)]);
+                kb.spec(SpecKind::Move, vec![grid, warp], vec![src], vec![dst]);
+                ni += 1;
+            }
+        }
+        for mi in 0..mi_cnt {
+            for ni in 0..ni_cnt {
+                let af = kb.index(a_frags, &[IntExpr::constant(mi)]);
+                let bf = kb.index(b_frags, &[IntExpr::constant(ni)]);
+                let cf = kb.index(acc, &[IntExpr::constant(mi), IntExpr::constant(ni)]);
+                kb.spec(SpecKind::MatMul, vec![grid, warp], vec![af, bf], vec![cf]);
+            }
+        }
+    }
+}
+
+/// The ablation variant of [`emit_warp_mma_ampere`]: fragment loads use
+/// per-thread scalar `ld.shared` instructions instead of the collective
+/// `ldmatrix` — the "equivalent but simpler data movements" of the
+/// paper's §2, which reports GEMM slowdowns of up to 17% from this
+/// substitution. Used by the `ldmatrix_ablation` bench.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_warp_mma_ampere_scalar_loads(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    block: ThreadId,
+    warp: ThreadId,
+    ctx: &WarpCtx,
+    a_s: TensorId,
+    b_s: TensorId,
+    acc: TensorId,
+    a_frags: TensorId,
+    b_frags: TensorId,
+    geom: &MmaGeom,
+) {
+    use graphene_ir::atomic::fragments as frag;
+    let (mi_cnt, ni_cnt, kf_cnt) = (geom.wm / 16, geom.wn / 8, geom.k_cols / 16);
+    let lane = &ctx.lane;
+
+    for kf in 0..kf_cnt {
+        for mi in 0..mi_cnt {
+            // Eight scalar loads per thread, one per fragment value, at
+            // the exact positions the mma A fragment prescribes.
+            for v in 0..8usize {
+                // Fragment position for a generic lane: express row/col
+                // as lane expressions mirroring fragments::mma_16816_a.
+                let (r0, c0) = frag::mma_16816_a(0, v);
+                let row = ctx.wm_id.clone() * geom.wm
+                    + mi * 16
+                    + lane.clone() / 4
+                    + IntExpr::constant(r0 as i64);
+                let col = IntExpr::constant(kf * 16)
+                    + (lane.clone() % 4) * 2
+                    + IntExpr::constant(c0 as i64);
+                let src = kb.index(a_s, &[row, col]);
+                let dst = kb.view_as(
+                    a_frags,
+                    reg_scalar(ScalarType::F16),
+                    IntExpr::constant(mi * 8 + v as i64),
+                );
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![src], vec![dst]);
+            }
+        }
+        for ni in 0..ni_cnt {
+            for v in 0..4usize {
+                let (k0, _n0) = frag::mma_16816_b(0, v);
+                let row = IntExpr::constant(kf * 16)
+                    + (lane.clone() % 4) * 2
+                    + IntExpr::constant(k0 as i64);
+                let col = ctx.wn_id.clone() * geom.wn + ni * 8 + lane.clone() / 4;
+                let src = kb.index(b_s, &[row, col]);
+                let dst = kb.view_as(
+                    b_frags,
+                    reg_scalar(ScalarType::F16),
+                    IntExpr::constant(ni * 4 + v as i64),
+                );
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![src], vec![dst]);
+            }
+        }
+        for mi in 0..mi_cnt {
+            for ni in 0..ni_cnt {
+                let af = kb.index(a_frags, &[IntExpr::constant(mi)]);
+                let bf = kb.index(b_frags, &[IntExpr::constant(ni)]);
+                let cf = kb.index(acc, &[IntExpr::constant(mi), IntExpr::constant(ni)]);
+                kb.spec(SpecKind::MatMul, vec![grid, warp], vec![af, bf], vec![cf]);
+            }
+        }
+    }
+}
+
+/// Where the epilogue writes the accumulator.
+#[derive(Debug, Clone)]
+pub enum StoreTarget {
+    /// Into a global fp16 tensor at `(row0 + r, col0 + c)`.
+    Global {
+        /// The destination tensor.
+        tensor: TensorId,
+        /// Row offset of the block tile.
+        row0: IntExpr,
+        /// Column offset of the block tile.
+        col0: IntExpr,
+    },
+    /// Into a `[bm, bn]` fp16 shared tensor (fused kernels keep
+    /// intermediate activations on-chip — the heart of Figures 11/12/14).
+    Shared {
+        /// The destination tensor.
+        tensor: TensorId,
+    },
+}
+
+/// Optional pointwise epilogue applied to the accumulator before the
+/// store.
+#[derive(Debug, Clone)]
+pub struct EpilogueOps {
+    /// Row-broadcast bias (a 1-D fp16 global tensor) with a column
+    /// offset: element `bias[bias_col0 + c]` is added to column `c`.
+    pub bias: Option<(TensorId, IntExpr)>,
+    /// Activation applied after the bias.
+    pub activation: Option<UnaryOp>,
+    /// Scale every element by a constant before bias/activation
+    /// (attention's `1/sqrt(d)`).
+    pub scale: Option<f64>,
+}
+
+impl EpilogueOps {
+    /// No epilogue.
+    pub fn none() -> Self {
+        EpilogueOps { bias: None, activation: None, scale: None }
+    }
+}
+
+/// Emits the Ampere epilogue + store of a `wm/16 × wn/8` accumulator:
+/// per fragment row-half, a `[2]`-wide fp32 pair is (optionally) scaled,
+/// biased and activated, then stored converted to fp16.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_epilogue_store_ampere(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    block: ThreadId,
+    ctx: &WarpCtx,
+    acc: TensorId,
+    geom: &MmaGeom,
+    ops: &EpilogueOps,
+    target: &StoreTarget,
+) {
+    let (mi_cnt, ni_cnt) = (geom.wm / 16, geom.wn / 8);
+    let lane = &ctx.lane;
+    let dst_vec2 = match target {
+        StoreTarget::Global { tensor, .. } | StoreTarget::Shared { tensor } => {
+            kb.tile_c(*tensor, &[Some(1), Some(2)]).expect("dst pairs")
+        }
+    };
+    let bias_vec2 = ops.bias.as_ref().map(|(b, _)| kb.tile_c(*b, &[Some(2)]).expect("bias pairs"));
+
+    for ni in 0..ni_cnt {
+        for vp in 0..2i64 {
+            let col_in_block = ctx.wn_id.clone() * geom.wn + ni * 8 + (lane.clone() % 4) * 2;
+            let bias_reg = ops.bias.as_ref().map(|(_, bias_col0)| {
+                let r = kb.alloc_reg(format!("biasr_{ni}_{vp}"), reg_vec(2, ScalarType::F32));
+                let bsrc =
+                    kb.index(bias_vec2.unwrap(), &[(bias_col0.clone() + col_in_block.clone()) / 2]);
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![bsrc], vec![r]);
+                r
+            });
+            for mi in 0..mi_cnt {
+                let pair = kb.view_as(
+                    acc,
+                    reg_vec(2, ScalarType::F32),
+                    IntExpr::constant(mi * ni_cnt * 4 + ni * 4 + vp * 2),
+                );
+                if let Some(s) = ops.scale {
+                    let sreg =
+                        kb.alloc_reg(format!("scale_{ni}_{vp}_{mi}"), reg_vec(2, ScalarType::F32));
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(SpecKind::Init { value: s }, vec![grid, ts], vec![], vec![sreg]);
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(
+                        SpecKind::BinaryPointwise(BinaryOp::Mul),
+                        vec![grid, ts],
+                        vec![pair, sreg],
+                        vec![pair],
+                    );
+                }
+                if let Some(br) = bias_reg {
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(
+                        SpecKind::BinaryPointwise(BinaryOp::Add),
+                        vec![grid, ts],
+                        vec![pair, br],
+                        vec![pair],
+                    );
+                }
+                if let Some(act) = ops.activation {
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(SpecKind::UnaryPointwise(act), vec![grid, ts], vec![pair], vec![pair]);
+                }
+                let row_in_block =
+                    ctx.wm_id.clone() * geom.wm + mi * 16 + lane.clone() / 4 + vp * 8;
+                let (row, col) = match target {
+                    StoreTarget::Global { row0, col0, .. } => {
+                        (row0.clone() + row_in_block, col0.clone() + col_in_block.clone())
+                    }
+                    StoreTarget::Shared { .. } => (row_in_block, col_in_block.clone()),
+                };
+                let dst = kb.index(dst_vec2, &[row, col / 2]);
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![pair], vec![dst]);
+            }
+        }
+    }
+}
+
+/// Emits the Volta fragment-load + quad-pair `mma.m8n8k4` sequence
+/// computing `acc += Asᵀ × Bs` over `k_cols` (paper Figure 6 quad-pairs).
+///
+/// `a_s` holds the A tile **transposed** (`[k_cols, bm]`) so each
+/// thread's 4-row A fragment is one vectorised shared-memory load —
+/// the standard Volta-era layout trick. Fragments are loaded once per
+/// `(mi, kf)` / `(ni, kf)` and reused across the warp tile; the caller
+/// allocates `a_regs`/`b_regs` with `4 * wm/16` and `4 * wn/16`
+/// fp16 values.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_warp_mma_volta(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    block: ThreadId,
+    qp: ThreadId,
+    ctx: &WarpCtx,
+    a_s: TensorId,
+    b_s: TensorId,
+    acc: TensorId,
+    a_regs: TensorId,
+    b_regs: TensorId,
+    geom: &MmaGeom,
+) {
+    let (mi_cnt, ni_cnt, kf_cnt) = (geom.wm / 16, geom.wn / 16, geom.k_cols / 4);
+    let lane = &ctx.lane;
+    let qp_id = (lane.clone() % 16) / 4;
+    let (qpm, qpn) = (qp_id.clone() % 2, qp_id / 2);
+    let as_vec4 = kb.tile_c(a_s, &[Some(1), Some(4)]).expect("As^T quads");
+    let bs_vec4 = kb.tile_c(b_s, &[Some(1), Some(4)]).expect("Bs quads");
+
+    for kf in 0..kf_cnt {
+        // A fragments: one [4]-wide load per (mi, kf), reused over ni.
+        for mi in 0..mi_cnt {
+            let m_base = ctx.wm_id.clone() * geom.wm + mi * 16 + qpm.clone() * 8;
+            let colk = IntExpr::constant(kf * 4) + lane.clone() % 4;
+            let mcol4 = (m_base.clone() + (lane.clone() / 16) * 4) / 4;
+            let src = kb.index(as_vec4, &[colk, mcol4]);
+            let dst = kb.view_as(a_regs, reg_vec(4, ScalarType::F16), IntExpr::constant(mi * 4));
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::Move, vec![grid, ts], vec![src], vec![dst]);
+        }
+        // B fragments: one [4]-wide load per (ni, kf), reused over mi.
+        for ni in 0..ni_cnt {
+            let n_base = ctx.wn_id.clone() * geom.wn + ni * 16 + qpn.clone() * 8;
+            let brow = IntExpr::constant(kf * 4) + lane.clone() % 4;
+            let bcol4 = (n_base.clone() + (lane.clone() / 16) * 4) / 4;
+            let src = kb.index(bs_vec4, &[brow, bcol4]);
+            let dst = kb.view_as(b_regs, reg_vec(4, ScalarType::F16), IntExpr::constant(ni * 4));
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::Move, vec![grid, ts], vec![src], vec![dst]);
+        }
+        for mi in 0..mi_cnt {
+            for ni in 0..ni_cnt {
+                let a_op = kb.view_as(a_regs, volta_a_ty(), IntExpr::constant(mi * 4));
+                let b_op = kb.view_as(b_regs, volta_b_ty(), IntExpr::constant(ni * 4));
+                let cf = kb.index(acc, &[IntExpr::constant(mi), IntExpr::constant(ni)]);
+                kb.spec(SpecKind::MatMul, vec![grid, qp], vec![a_op, b_op], vec![cf]);
+            }
+        }
+    }
+}
+
+/// The `[4,1].fp16` A-operand view of `mma.m8n8k4` (Table 2).
+pub fn volta_a_ty() -> TensorType {
+    TensorType {
+        layout: Layout::new(it![4, 1], it![1, 0]),
+        elem: Elem::Scalar(ScalarType::F16),
+        swizzle: Swizzle::identity(),
+    }
+}
+
+/// The `[1,4].fp16` B-operand view of `mma.m8n8k4` (Table 2).
+pub fn volta_b_ty() -> TensorType {
+    TensorType {
+        layout: Layout::new(it![1, 4], it![0, 1]),
+        elem: Elem::Scalar(ScalarType::F16),
+        swizzle: Swizzle::identity(),
+    }
+}
+
+/// The per-thread `[2,4].fp32` C fragment of `mma.m8n8k4` (Table 2).
+pub fn volta_frag_c_ty() -> TensorType {
+    TensorType::row_major(&[2, 4], ScalarType::F32)
+}
+
+/// An accumulator root of `mi × ni` Volta C fragments (8 fp32 each).
+pub fn volta_acc_ty(mi: i64, ni: i64) -> TensorType {
+    use graphene_layout::IntTuple;
+    TensorType {
+        layout: Layout::new(
+            IntTuple::Tuple(vec![IntTuple::Int(mi), IntTuple::Int(ni)]),
+            IntTuple::Tuple(vec![IntTuple::Int(ni * 8), IntTuple::Int(8)]),
+        ),
+        elem: Elem::Tile(Box::new(volta_frag_c_ty())),
+        swizzle: Swizzle::identity(),
+    }
+}
+
+/// Emits the Volta epilogue + store (each thread owns 2 rows × 4
+/// contiguous columns per fragment).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_epilogue_store_volta(
+    kb: &mut KernelBuilder,
+    grid: ThreadId,
+    block: ThreadId,
+    ctx: &WarpCtx,
+    acc: TensorId,
+    geom: &MmaGeom,
+    ops: &EpilogueOps,
+    target: &StoreTarget,
+) {
+    let (mi_cnt, ni_cnt) = (geom.wm / 16, geom.wn / 16);
+    let lane = &ctx.lane;
+    let qp_id = (lane.clone() % 16) / 4;
+    let (qpm, qpn) = (qp_id.clone() % 2, qp_id / 2);
+    // Global stores are 4-wide row segments; shared stores write the
+    // tile *transposed* ([bn, bm], scalar stores) so the next fused GEMM
+    // pass can consume it as a Volta A operand.
+    let dst_vec4 = match target {
+        StoreTarget::Global { tensor, .. } => {
+            Some(kb.tile_c(*tensor, &[Some(1), Some(4)]).expect("dst quads"))
+        }
+        StoreTarget::Shared { .. } => None,
+    };
+    let bias_vec4 = ops.bias.as_ref().map(|(b, _)| kb.tile_c(*b, &[Some(4)]).expect("bias quads"));
+
+    for mi in 0..mi_cnt {
+        for ni in 0..ni_cnt {
+            let m_base = ctx.wm_id.clone() * geom.wm + mi * 16 + qpm.clone() * 8;
+            let n_base = ctx.wn_id.clone() * geom.wn + ni * 16 + qpn.clone() * 8;
+            let col_base = n_base.clone() + (lane.clone() / 16) * 4;
+            let bias_reg = ops.bias.as_ref().map(|(_, bias_col0)| {
+                let r = kb.alloc_reg(format!("biasr_{mi}_{ni}"), reg_vec(4, ScalarType::F32));
+                let bsrc =
+                    kb.index(bias_vec4.unwrap(), &[(bias_col0.clone() + col_base.clone()) / 4]);
+                let ts = kb.thread_scalar(block);
+                kb.spec(SpecKind::Move, vec![grid, ts], vec![bsrc], vec![r]);
+                r
+            });
+            for h in 0..2i64 {
+                let quad = kb.view_as(
+                    acc,
+                    reg_vec(4, ScalarType::F32),
+                    IntExpr::constant(mi * ni_cnt * 8 + ni * 8 + h * 4),
+                );
+                if let Some(s) = ops.scale {
+                    let sreg =
+                        kb.alloc_reg(format!("scale_{mi}_{ni}_{h}"), reg_vec(4, ScalarType::F32));
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(SpecKind::Init { value: s }, vec![grid, ts], vec![], vec![sreg]);
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(
+                        SpecKind::BinaryPointwise(BinaryOp::Mul),
+                        vec![grid, ts],
+                        vec![quad, sreg],
+                        vec![quad],
+                    );
+                }
+                if let Some(br) = bias_reg {
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(
+                        SpecKind::BinaryPointwise(BinaryOp::Add),
+                        vec![grid, ts],
+                        vec![quad, br],
+                        vec![quad],
+                    );
+                }
+                if let Some(act) = ops.activation {
+                    let ts = kb.thread_scalar(block);
+                    kb.spec(SpecKind::UnaryPointwise(act), vec![grid, ts], vec![quad], vec![quad]);
+                }
+                let row_in_block = m_base.clone() + (lane.clone() % 4) * 2 + h;
+                match target {
+                    StoreTarget::Global { tensor: _, row0, col0 } => {
+                        let row = row0.clone() + row_in_block;
+                        let col = col0.clone() + col_base.clone();
+                        let dst = kb.index(dst_vec4.unwrap(), &[row, col / 4]);
+                        let ts = kb.thread_scalar(block);
+                        kb.spec(SpecKind::Move, vec![grid, ts], vec![quad], vec![dst]);
+                    }
+                    StoreTarget::Shared { tensor } => {
+                        for j in 0..4i64 {
+                            let slot =
+                                kb.view_as(quad, reg_scalar(ScalarType::F32), IntExpr::constant(j));
+                            let dst =
+                                kb.index(*tensor, &[col_base.clone() + j, row_in_block.clone()]);
+                            let ts = kb.thread_scalar(block);
+                            kb.spec(SpecKind::Move, vec![grid, ts], vec![slot], vec![dst]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Decomposition-equivalence tests: different decompositions of the same
+//! kernel-level spec must compute the same function (the core soundness
+//! property of Graphene's spec refinement, paper §5.1).
+
+use graphene_ir::Arch;
+use graphene_kernels::gemm::{
+    build_gemm, build_gemm_double_buffered, build_gemm_no_ldmatrix, build_gemm_partial_m, Epilogue,
+    GemmConfig,
+};
+use graphene_sim::host::HostTensor;
+use std::collections::HashMap;
+
+fn run(kernel: &graphene_ir::Kernel, a: &HostTensor, b: &HostTensor) -> Vec<f32> {
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], a.as_slice().to_vec());
+    inputs.insert(kernel.params[1], b.as_slice().to_vec());
+    graphene_sim::execute(kernel, Arch::Sm86, &inputs).expect("execute").globals[&kernel.params[2]]
+        .clone()
+}
+
+/// All Ampere GEMM decompositions agree bitwise: they perform the same
+/// floating-point operations in the same K order, only staged/loaded
+/// differently.
+#[test]
+fn all_gemm_decompositions_agree() {
+    let cfg =
+        GemmConfig { m: 64, n: 64, k: 64, bm: 32, bn: 32, bk: 16, wm: 32, wn: 32, swizzle: true };
+    let a = HostTensor::random(&[64, 64], 601);
+    let b = HostTensor::random(&[64, 64], 602);
+
+    let base = run(&build_gemm(Arch::Sm86, &cfg, Epilogue::None), &a, &b);
+    let no_ldm = run(&build_gemm_no_ldmatrix(&cfg, Epilogue::None), &a, &b);
+    let dbuf = run(&build_gemm_double_buffered(&cfg, Epilogue::None), &a, &b);
+    let partial = run(&build_gemm_partial_m(&cfg, Epilogue::None), &a, &b);
+
+    assert_eq!(base, no_ldm, "scalar-load decomposition diverged");
+    assert_eq!(base, dbuf, "double-buffered decomposition diverged");
+    assert_eq!(base, partial, "predicated decomposition diverged");
+}
+
+/// Volta and Ampere decompositions agree with each other up to
+/// accumulation-order rounding (they use different tensor instructions
+/// with different K-step granularity).
+#[test]
+fn volta_and_ampere_agree_numerically() {
+    let cfg_amp =
+        GemmConfig { m: 32, n: 32, k: 32, bm: 32, bn: 32, bk: 16, wm: 32, wn: 32, swizzle: true };
+    let cfg_vol = GemmConfig { bk: 8, ..cfg_amp };
+    let a = HostTensor::random(&[32, 32], 611);
+    let b = HostTensor::random(&[32, 32], 612);
+
+    let amp = run(&build_gemm(Arch::Sm86, &cfg_amp, Epilogue::None), &a, &b);
+    let vol = {
+        let kernel = build_gemm(Arch::Sm70, &cfg_vol, Epilogue::None);
+        let mut inputs = HashMap::new();
+        inputs.insert(kernel.params[0], a.as_slice().to_vec());
+        inputs.insert(kernel.params[1], b.as_slice().to_vec());
+        graphene_sim::execute(&kernel, Arch::Sm70, &inputs).expect("execute").globals
+            [&kernel.params[2]]
+            .clone()
+    };
+    for (x, y) in amp.iter().zip(&vol) {
+        assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+    }
+}
+
+/// Epilogues commute with the decomposition choice.
+#[test]
+fn epilogue_identical_across_decompositions() {
+    let cfg =
+        GemmConfig { m: 32, n: 32, k: 32, bm: 32, bn: 32, bk: 16, wm: 32, wn: 32, swizzle: true };
+    let a = HostTensor::random(&[32, 32], 621);
+    let b = HostTensor::random(&[32, 32], 622);
+    let bias: Vec<f32> = (0..32).map(|j| j as f32 * 0.01 - 0.1).collect();
+
+    let run_bias = |kernel: &graphene_ir::Kernel| {
+        let mut inputs = HashMap::new();
+        inputs.insert(kernel.params[0], a.as_slice().to_vec());
+        inputs.insert(kernel.params[1], b.as_slice().to_vec());
+        inputs.insert(kernel.params[3], bias.clone());
+        graphene_sim::execute(kernel, Arch::Sm86, &inputs).expect("execute").globals
+            [&kernel.params[2]]
+            .clone()
+    };
+    let base = run_bias(&build_gemm(Arch::Sm86, &cfg, Epilogue::BiasRelu));
+    let dbuf = run_bias(&build_gemm_double_buffered(&cfg, Epilogue::BiasRelu));
+    assert_eq!(base, dbuf);
+}

@@ -1,0 +1,745 @@
+//! The layout algebra: coalesce, composition, complement, divide, product.
+//!
+//! These are the operations Graphene's tiling (§3.3) desugars to. They
+//! follow the CuTe shape algebra the paper cites:
+//!
+//! - [`coalesce`] simplifies a layout without changing its function.
+//! - [`composition`] computes `(A ∘ B)(i) = A(B(i))` as a layout.
+//! - [`complement`] computes the layout enumerating everything `A` does
+//!   *not* address within a given extent.
+//! - [`logical_divide`] / [`zipped_divide`] / [`tiled_divide`] split a
+//!   layout into (tile, rest-of-tiles) — this is tensor tiling.
+//! - [`logical_product`] / [`blocked_product`] repeat a tile over a space.
+
+use crate::int_tuple::IntTuple;
+use crate::layout::Layout;
+
+/// Errors produced by layout algebra operations.
+///
+/// The static layout algebra requires certain divisibility conditions
+/// between shapes and strides; violations are reported rather than
+/// panicking so IR-level code can surface good diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A shape did not divide evenly where the algebra requires it.
+    IndivisibleShape {
+        /// What was being divided.
+        dividend: i64,
+        /// The divisor that failed.
+        divisor: i64,
+        /// The operation that raised the error.
+        op: &'static str,
+    },
+    /// A tiler had higher rank than the layout being tiled.
+    RankMismatch {
+        /// Rank of the layout.
+        layout_rank: usize,
+        /// Rank of the tiler.
+        tiler_rank: usize,
+    },
+    /// Composition ran out of elements in the left-hand layout.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::IndivisibleShape { dividend, divisor, op } => {
+                write!(f, "{op}: {dividend} is not divisible by {divisor}")
+            }
+            LayoutError::RankMismatch { layout_rank, tiler_rank } => {
+                write!(f, "tiler rank {tiler_rank} exceeds layout rank {layout_rank}")
+            }
+            LayoutError::Incompatible(msg) => write!(f, "incompatible layouts: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Result alias for layout algebra operations.
+pub type Result<T> = std::result::Result<T, LayoutError>;
+
+/// Simplifies a layout to an equivalent one with the fewest modes.
+///
+/// The resulting layout denotes the *same function* from linear indices to
+/// physical indices (a property-tested invariant). Size-1 modes are
+/// dropped and adjacent modes `(s0:d0, s1:d1)` with `d1 == s0*d0` are
+/// merged into `(s0*s1 : d0)`.
+///
+/// ```
+/// use graphene_layout::{coalesce, Layout, it};
+/// let l = Layout::new(it![2, [1, 6]], it![1, [7, 2]]);
+/// assert_eq!(coalesce(&l).to_string(), "[12:1]");
+/// ```
+pub fn coalesce(layout: &Layout) -> Layout {
+    let shapes = layout.shape().leaves();
+    let strides = layout.stride().leaves();
+    let mut out: Vec<(i64, i64)> = Vec::new();
+    for (&s, &d) in shapes.iter().zip(&strides) {
+        if s == 1 {
+            continue; // size-1 modes contribute nothing
+        }
+        match out.last_mut() {
+            Some((ps, pd)) if d == *ps * *pd => *ps *= s,
+            _ => out.push((s, d)),
+        }
+    }
+    if out.is_empty() {
+        return Layout::contiguous(1);
+    }
+    if out.len() == 1 {
+        return Layout::strided(out[0].0, out[0].1);
+    }
+    Layout::new(
+        IntTuple::Tuple(out.iter().map(|&(s, _)| IntTuple::Int(s)).collect()),
+        IntTuple::Tuple(out.iter().map(|&(_, d)| IntTuple::Int(d)).collect()),
+    )
+}
+
+/// Integer division that errors when not exact.
+fn exact_div(a: i64, b: i64, op: &'static str) -> Result<i64> {
+    if b == 0 || a % b != 0 {
+        return Err(LayoutError::IndivisibleShape { dividend: a, divisor: b, op });
+    }
+    Ok(a / b)
+}
+
+/// Composes a flat left layout with a single `(n, r)` mode of the right
+/// layout: selects `n` elements of `A` advancing by `r` linear positions.
+fn compose_mode(lhs: &[(i64, i64)], n: i64, r: i64) -> Result<Vec<(i64, i64)>> {
+    if n == 1 {
+        // A single element: stride is irrelevant for the function's image,
+        // but keep A(r * 0) = offsetless semantics: shape 1, stride 0.
+        return Ok(vec![(1, 0)]);
+    }
+    let mut out = Vec::new();
+    let mut rest_r = r; // how far we still need to advance into A
+    let mut rest_n = n; // how many elements we still need
+    for (i, &(s, d)) in lhs.iter().enumerate() {
+        let is_last = i + 1 == lhs.len();
+        if rest_r >= s {
+            // This whole mode is skipped by the stride.
+            if is_last {
+                // Advancing beyond A: only valid if stride lands exactly at
+                // a multiple (treat A as extended by its last stride).
+                let step = exact_div(rest_r, s, "composition")? * (s * d);
+                // n elements with stride step*?? — approximate as stride
+                // d * rest_r with shape n (A extended linearly).
+                let _ = step;
+                out.push((rest_n, d * rest_r));
+                rest_n = 1;
+                break;
+            }
+            rest_r = exact_div(rest_r, s, "composition")?;
+            continue;
+        }
+        // rest_r < s: this mode is (partially) used.
+        let avail = exact_div(s, rest_r, "composition")?; // elements available in this mode
+        let take = avail.min(rest_n);
+        out.push((take, d * rest_r));
+        rest_n = exact_div(rest_n, take, "composition")?;
+        rest_r = 1;
+        if rest_n == 1 {
+            break;
+        }
+        // Need to continue into subsequent modes; the remainder of this
+        // mode must have been fully consumed.
+        if take != avail {
+            return Err(LayoutError::Incompatible(format!(
+                "mode of extent {s} only partially consumed ({take} of {avail}) \
+                 with more elements required"
+            )));
+        }
+    }
+    if rest_n > 1 {
+        return Err(LayoutError::Incompatible(format!(
+            "right layout requires {rest_n} more elements than left provides"
+        )));
+    }
+    Ok(out)
+}
+
+/// Layout composition: `composition(A, B)` is the layout `R` with
+/// `R(i) = A(B(i))` for all `i < size(B)`.
+///
+/// The result has the same top-level rank profile as `B` (each mode of `B`
+/// composes independently).
+///
+/// ```
+/// use graphene_layout::{composition, Layout, it};
+/// // Select every other row of a row-major 4×8: B = [2:2] over mode 0.
+/// let a = Layout::row_major(&[4, 8]);
+/// let b = Layout::new(it![2], it![2]);
+/// let r = composition(&a.mode(0), &b).unwrap();
+/// assert_eq!(r.value(0), 0);
+/// assert_eq!(r.value(1), 16);
+/// ```
+pub fn composition(lhs: &Layout, rhs: &Layout) -> Result<Layout> {
+    // Compose each top-level mode of rhs with the whole lhs.
+    fn go(lhs_flat: &[(i64, i64)], shape: &IntTuple, stride: &IntTuple) -> Result<Layout> {
+        match (shape, stride) {
+            (IntTuple::Int(n), IntTuple::Int(r)) => {
+                let modes = compose_mode(lhs_flat, *n, *r)?;
+                let l = if modes.len() == 1 {
+                    Layout::strided(modes[0].0, modes[0].1)
+                } else {
+                    Layout::new(
+                        IntTuple::Tuple(modes.iter().map(|&(s, _)| IntTuple::Int(s)).collect()),
+                        IntTuple::Tuple(modes.iter().map(|&(_, d)| IntTuple::Int(d)).collect()),
+                    )
+                };
+                Ok(coalesce(&l))
+            }
+            (IntTuple::Tuple(ss), IntTuple::Tuple(ds)) => {
+                let parts: Result<Vec<Layout>> =
+                    ss.iter().zip(ds).map(|(s, d)| go(lhs_flat, s, d)).collect();
+                Ok(Layout::from_modes(&parts?))
+            }
+            _ => unreachable!("layout invariant: congruent shape/stride"),
+        }
+    }
+    let flat = lhs.flatten();
+    let pairs: Vec<(i64, i64)> =
+        flat.shape().leaves().into_iter().zip(flat.stride().leaves()).collect();
+    go(&pairs, rhs.shape(), rhs.stride())
+}
+
+/// The complement of `A` within an extent `cosize_hi`: a layout `A*` that
+/// enumerates, in increasing order, exactly the indices in
+/// `[0, cosize_hi)` *not* reachable by `A` repeated — such that
+/// `(A, A*)` tiles the extent completely.
+///
+/// ```
+/// use graphene_layout::{complement, Layout};
+/// // A strided tile [4:2] covers {0,2,4,6} of 0..8; its complement
+/// // enumerates the odd positions.
+/// let c = complement(&Layout::strided(4, 2), 8).unwrap();
+/// assert_eq!(c.to_string(), "[2:1]");
+/// ```
+///
+/// # Errors
+///
+/// Errors if `A`'s strides don't nest cleanly within `cosize_hi` (the
+/// usual CuTe admissibility conditions).
+pub fn complement(layout: &Layout, cosize_hi: i64) -> Result<Layout> {
+    // Filter stride-0 / size-1 modes, sort by stride.
+    let shapes = layout.shape().leaves();
+    let strides = layout.stride().leaves();
+    let mut modes: Vec<(i64, i64)> = shapes
+        .iter()
+        .zip(&strides)
+        .filter(|&(&s, &d)| s > 1 && d > 0)
+        .map(|(&s, &d)| (s, d))
+        .collect();
+    modes.sort_by_key(|&(_, d)| d);
+
+    let mut out_shape = Vec::new();
+    let mut out_stride = Vec::new();
+    let mut current = 1i64; // covered contiguous extent so far
+    for &(s, d) in &modes {
+        let gap = exact_div(d, current, "complement")?;
+        if gap > 1 {
+            out_shape.push(gap);
+            out_stride.push(current);
+        }
+        current = s * d;
+    }
+    let rest = if cosize_hi % current == 0 {
+        cosize_hi / current
+    } else {
+        // Over-approximate (paper §3.4 partial tiles): round up.
+        (cosize_hi + current - 1) / current
+    };
+    if rest > 1 || out_shape.is_empty() {
+        out_shape.push(rest.max(1));
+        out_stride.push(current);
+    }
+    let l = if out_shape.len() == 1 {
+        Layout::strided(out_shape[0], out_stride[0])
+    } else {
+        Layout::new(
+            IntTuple::Tuple(out_shape.into_iter().map(IntTuple::Int).collect()),
+            IntTuple::Tuple(out_stride.into_iter().map(IntTuple::Int).collect()),
+        )
+    };
+    Ok(coalesce(&l))
+}
+
+/// `logical_divide(A, B)` splits `A` by the tiler `B`, producing a rank-2
+/// layout `((tile), (rest))`: mode 0 iterates within one tile (through the
+/// elements `B` selects) and mode 1 iterates across tiles.
+///
+/// ```
+/// use graphene_layout::{logical_divide, Layout};
+/// let d = logical_divide(&Layout::contiguous(16), &Layout::contiguous(4)).unwrap();
+/// assert_eq!(d.mode(0).indices(), vec![0, 1, 2, 3]);     // one tile
+/// assert_eq!(d.mode(1).indices(), vec![0, 4, 8, 12]);    // tile origins
+/// ```
+///
+/// # Errors
+///
+/// Errors when the tiler does not divide the layout.
+pub fn logical_divide(layout: &Layout, tiler: &Layout) -> Result<Layout> {
+    let comp = complement(tiler, layout.size())?;
+    let combined = Layout::from_modes(&[tiler.clone(), comp]);
+    composition(layout, &combined)
+}
+
+/// Applies `logical_divide` independently per mode of a multi-mode tiler,
+/// then gathers the results as `((tile_modes...), (rest_modes...))`.
+///
+/// This is exactly the paper's `tile(...)` operation on tensors (§3.3):
+/// the outer (left) result shape arranges the tiles, the inner shape is
+/// the tile itself. Our convention: result mode 0 = the tile, mode 1 = the
+/// arrangement of tiles.
+///
+/// ```
+/// use graphene_layout::{zipped_divide, Layout};
+/// // Figure 4b: row-major 4x8 tiled by (2, 4).
+/// let a = Layout::row_major(&[4, 8]);
+/// let z = zipped_divide(&a, &[Layout::contiguous(2), Layout::contiguous(4)]).unwrap();
+/// assert_eq!(z.mode(0).size(), 8);  // elements per tile
+/// assert_eq!(z.mode(1).size(), 4);  // 2x2 tiles
+/// ```
+///
+/// # Errors
+///
+/// Errors when a tiler does not divide its mode or ranks mismatch.
+pub fn zipped_divide(layout: &Layout, tilers: &[Layout]) -> Result<Layout> {
+    if tilers.len() > layout.rank() {
+        return Err(LayoutError::RankMismatch {
+            layout_rank: layout.rank(),
+            tiler_rank: tilers.len(),
+        });
+    }
+    let mut tile_modes = Vec::new();
+    let mut rest_modes = Vec::new();
+    for (i, tiler) in tilers.iter().enumerate() {
+        let divided = logical_divide(&layout.mode(i), tiler)?;
+        tile_modes.push(divided.mode(0));
+        rest_modes.push(divided.mode(1));
+    }
+    // Untouched trailing modes go to the rest.
+    for i in tilers.len()..layout.rank() {
+        rest_modes.push(layout.mode(i));
+    }
+    Ok(Layout::from_modes(&[Layout::from_modes(&tile_modes), Layout::from_modes(&rest_modes)]))
+}
+
+/// Like [`zipped_divide`] but presented as `(tile, rest...)` with the rest
+/// modes unpacked at the top level: `((TileM, TileN), RestM, RestN, ...)`.
+pub fn tiled_divide(layout: &Layout, tilers: &[Layout]) -> Result<Layout> {
+    let z = zipped_divide(layout, tilers)?;
+    let mut modes = vec![z.mode(0)];
+    modes.extend(z.mode(1).modes());
+    Ok(Layout::from_modes(&modes))
+}
+
+/// `logical_product(A, B)`: a rank-2 layout whose mode 0 is `A` (the tile)
+/// and whose mode 1 iterates `size(B)` replicas of `A` laid out according
+/// to `B` over `A`'s complement.
+///
+/// ```
+/// use graphene_layout::{logical_product, Layout};
+/// let p = logical_product(&Layout::contiguous(2), &Layout::contiguous(4)).unwrap();
+/// let mut all = p.indices();
+/// all.sort_unstable();
+/// assert_eq!(all, (0..8).collect::<Vec<_>>());
+/// ```
+///
+/// # Errors
+///
+/// Errors when the replication is inadmissible.
+pub fn logical_product(layout: &Layout, tiler: &Layout) -> Result<Layout> {
+    let comp = complement(layout, layout.cosize() * tiler.cosize())?;
+    let rep = composition(&comp, tiler)?;
+    Ok(Layout::from_modes(&[layout.clone(), rep]))
+}
+
+/// `blocked_product(A, B)`: tile `A` repeated per `B`, presented
+/// mode-by-mode (the common "block a matrix by a tile" product).
+///
+/// ```
+/// use graphene_layout::{blocked_product, Layout};
+/// let b = blocked_product(
+///     &Layout::column_major(&[2, 2]),
+///     &Layout::column_major(&[2, 3]),
+/// ).unwrap();
+/// assert_eq!(b.size(), 24); // a 4x6 blocked arrangement
+/// ```
+///
+/// # Errors
+///
+/// Errors when the product is inadmissible.
+pub fn blocked_product(tile: &Layout, arrangement: &Layout) -> Result<Layout> {
+    let lp = logical_product(tile, arrangement)?;
+    let t = lp.mode(0);
+    let r = lp.mode(1);
+    let rank = t.rank().max(r.rank());
+    let mut modes = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let tm = if i < t.rank() { Some(t.mode(i)) } else { None };
+        let rm = if i < r.rank() { Some(r.mode(i)) } else { None };
+        let m = match (tm, rm) {
+            (Some(a), Some(b)) => Layout::from_modes(&[a, b]),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => unreachable!(),
+        };
+        modes.push(coalesce(&m));
+    }
+    Ok(Layout::from_modes(&modes))
+}
+
+/// Relabels the domain of `layout` with a new shape of the same size:
+/// `with_shape(A, S)(c) = A(colex_linear_index_of(c in S))` — the
+/// "reshape" of a tensor view without moving data.
+///
+/// ```
+/// use graphene_layout::{it, with_shape, Layout};
+/// let a = Layout::row_major(&[4, 8]);
+/// let r = with_shape(&a, &it![8, 4]).unwrap();
+/// assert_eq!(r.size(), 32);
+/// assert_eq!(r.value(5), a.value(5)); // same function, new labels
+/// ```
+///
+/// # Errors
+///
+/// Errors if the sizes differ or the composition is inadmissible.
+pub fn with_shape(layout: &Layout, new_shape: &IntTuple) -> Result<Layout> {
+    if new_shape.size() != layout.size() {
+        return Err(LayoutError::Incompatible(format!(
+            "reshape size mismatch: {} vs {}",
+            new_shape.size(),
+            layout.size()
+        )));
+    }
+    // Column-major compact connector over the new shape.
+    let dims = new_shape.leaves();
+    let connector = {
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut acc = 1;
+        for &d in &dims {
+            strides.push(IntTuple::Int(acc));
+            acc *= d;
+        }
+        let strides = IntTuple::unflatten(
+            new_shape,
+            &strides
+                .iter()
+                .map(|t| match t {
+                    IntTuple::Int(v) => *v,
+                    IntTuple::Tuple(_) => unreachable!(),
+                })
+                .collect::<Vec<_>>(),
+        );
+        Layout::new(new_shape.clone(), strides)
+    };
+    composition(layout, &connector)
+}
+
+/// The right inverse of a *compact bijective* layout: a layout `B` with
+/// `A(B(p)) = p` for every physical position `p` — i.e. `B` maps
+/// physical positions back to linear coordinates.
+///
+/// ```
+/// use graphene_layout::{right_inverse, Layout};
+/// let a = Layout::row_major(&[4, 8]);
+/// let inv = right_inverse(&a).unwrap();
+/// assert!((0..32).all(|p| a.value(inv.value(p)) == p));
+/// ```
+///
+/// # Errors
+///
+/// Errors if `A` is not compact (not a bijection onto `0..size`).
+pub fn right_inverse(layout: &Layout) -> Result<Layout> {
+    if !layout.is_compact() {
+        return Err(LayoutError::Incompatible(format!(
+            "right_inverse requires a compact bijective layout, got {layout}"
+        )));
+    }
+    let flat = coalesce(layout);
+    let shapes = flat.shape().leaves();
+    let strides = flat.stride().leaves();
+    // Colex multiplier of each mode in the original linear order.
+    let mut mults = Vec::with_capacity(shapes.len());
+    let mut acc = 1;
+    for &s in &shapes {
+        mults.push(acc);
+        acc *= s;
+    }
+    // Sort modes by their physical stride: that is the order in which
+    // physical positions advance.
+    let mut order: Vec<usize> = (0..shapes.len()).collect();
+    order.sort_by_key(|&i| strides[i]);
+    let inv_shapes: Vec<i64> = order.iter().map(|&i| shapes[i]).collect();
+    let inv_strides: Vec<i64> = order.iter().map(|&i| mults[i]).collect();
+    let l = if inv_shapes.len() == 1 {
+        Layout::strided(inv_shapes[0], inv_strides[0])
+    } else {
+        Layout::new(
+            IntTuple::Tuple(inv_shapes.into_iter().map(IntTuple::Int).collect()),
+            IntTuple::Tuple(inv_strides.into_iter().map(IntTuple::Int).collect()),
+        )
+    };
+    Ok(coalesce(&l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::it;
+
+    /// Check two layouts denote the same function.
+    fn same_function(a: &Layout, b: &Layout) {
+        assert_eq!(a.size(), b.size(), "{a} vs {b}");
+        for i in 0..a.size() {
+            assert_eq!(a.value(i), b.value(i), "{a} vs {b} differ at {i}");
+        }
+    }
+
+    #[test]
+    fn coalesce_merges_contiguous() {
+        let l = Layout::new(it![4, 8], it![1, 4]);
+        assert_eq!(coalesce(&l).to_string(), "[32:1]");
+        same_function(&l, &coalesce(&l));
+    }
+
+    #[test]
+    fn coalesce_drops_unit_modes() {
+        let l = Layout::new(it![2, [1, 6]], it![1, [7, 2]]);
+        let c = coalesce(&l);
+        assert_eq!(c.to_string(), "[12:1]");
+        same_function(&l, &c);
+    }
+
+    #[test]
+    fn coalesce_keeps_gaps() {
+        let l = Layout::new(it![4, 8], it![1, 5]); // gap: 5 != 4
+        let c = coalesce(&l);
+        assert_eq!(c.to_string(), "[(4,8):(1,5)]");
+        same_function(&l, &c);
+    }
+
+    #[test]
+    fn composition_identity() {
+        let a = Layout::new(it![4, 8], it![8, 1]);
+        let id = Layout::contiguous(32);
+        let r = composition(&a, &id).unwrap();
+        same_function(&a.flatten(), &r);
+    }
+
+    #[test]
+    fn composition_stride_picks_every_other() {
+        // A = 1-D contiguous 0..16; B = [8:2] -> picks 0,2,4,...
+        let a = Layout::contiguous(16);
+        let b = Layout::strided(8, 2);
+        let r = composition(&a, &b).unwrap();
+        assert_eq!(r.indices(), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn composition_through_strided_lhs() {
+        // A = [4:8] (0,8,16,24); B = [2:2] -> A(0), A(2) = 0, 16
+        let a = Layout::strided(4, 8);
+        let b = Layout::strided(2, 2);
+        let r = composition(&a, &b).unwrap();
+        assert_eq!(r.indices(), vec![0, 16]);
+    }
+
+    #[test]
+    fn composition_multimode_rhs() {
+        let a = Layout::row_major(&[4, 8]);
+        // B reshapes the 32 elements as (8, 4) colex.
+        let b = Layout::column_major(&[8, 4]);
+        let r = composition(&a, &b).unwrap();
+        assert_eq!(r.size(), 32);
+        for i in 0..32 {
+            assert_eq!(r.value(i), a.value(b.value(i)));
+        }
+    }
+
+    #[test]
+    fn complement_of_strided() {
+        // A = [4:2] covers 0,2,4,6 within 8 -> complement = [2:1]
+        let a = Layout::strided(4, 2);
+        let c = complement(&a, 8).unwrap();
+        assert_eq!(c.to_string(), "[2:1]");
+    }
+
+    #[test]
+    fn complement_of_contiguous_tile() {
+        // A = [2:1] within 8 -> complement [4:2]
+        let a = Layout::contiguous(2);
+        let c = complement(&a, 8).unwrap();
+        assert_eq!(c.to_string(), "[4:2]");
+    }
+
+    #[test]
+    fn complement_covers_everything() {
+        // (A, A*) must be a bijection onto 0..N for admissible A.
+        for (shape, stride, n) in
+            [(it![4], it![2], 8i64), (it![2, 2], it![1, 8], 16), (it![8], it![1], 64)]
+        {
+            let a = Layout::new(shape, stride);
+            let c = complement(&a, n).unwrap();
+            let combined = Layout::from_modes(&[a.clone(), c.clone()]);
+            let mut seen: Vec<i64> = combined.indices();
+            seen.sort_unstable();
+            let expect: Vec<i64> = (0..n).collect();
+            assert_eq!(seen, expect, "A={a} A*={c}");
+        }
+    }
+
+    #[test]
+    fn logical_divide_1d() {
+        // Divide 16 contiguous elements by tile [4:1]:
+        // mode0 = the tile (4 elems), mode1 = 4 tiles with stride 4.
+        let a = Layout::contiguous(16);
+        let tiler = Layout::contiguous(4);
+        let d = logical_divide(&a, &tiler).unwrap();
+        assert_eq!(d.mode(0).indices(), vec![0, 1, 2, 3]);
+        assert_eq!(d.mode(1).indices(), vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn logical_divide_interleaved() {
+        // Paper Figure 4c: tile rows with [2:2] (every other row).
+        // 1-D view: divide [4:1] (a column of 4 rows) by [2:2].
+        let rows = Layout::contiguous(4);
+        let tiler = Layout::strided(2, 2);
+        let d = logical_divide(&rows, &tiler).unwrap();
+        // tile contains rows {0, 2}; rest iterates tiles {0, 1}.
+        assert_eq!(d.mode(0).indices(), vec![0, 2]);
+        assert_eq!(d.mode(1).indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn zipped_divide_2d_matches_paper_figure4b() {
+        // Figure 4b: A:[(4,8):(8,1)] row-major tiled by ([2:1],[4:1]).
+        let a = Layout::row_major(&[4, 8]);
+        let z = zipped_divide(&a, &[Layout::contiguous(2), Layout::contiguous(4)]).unwrap();
+        // Tile = 2×4; first tile addresses rows 0-1, cols 0-3.
+        let tile = z.mode(0);
+        assert_eq!(tile.size(), 8);
+        let mut idx: Vec<i64> = tile.indices();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        // 2×2 arrangement of tiles; strides (2 rows * 8, 4 cols) = (16, 4).
+        let rest = z.mode(1);
+        assert_eq!(rest.size(), 4);
+        let mut r: Vec<i64> = rest.indices();
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 4, 16, 20]);
+    }
+
+    #[test]
+    fn zipped_divide_noncontiguous_figure4c() {
+        // Figure 4c: tile size ([2:2],[4:1]) — every other row.
+        let a = Layout::row_major(&[4, 8]);
+        let z = zipped_divide(&a, &[Layout::strided(2, 2), Layout::contiguous(4)]).unwrap();
+        let tile = z.mode(0);
+        let mut idx: Vec<i64> = tile.indices();
+        idx.sort_unstable();
+        // rows 0 and 2, cols 0..4 -> offsets 0..3 and 16..19
+        assert_eq!(idx, vec![0, 1, 2, 3, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn zipped_divide_hierarchical_figure4d() {
+        // Figure 4d: tile size ([2:2], [(2,2):(1,4)]) — every other row and
+        // 2 adjacent cols repeated twice with stride 4.
+        let a = Layout::row_major(&[4, 8]);
+        let col_tiler = Layout::new(it![2, 2], it![1, 4]);
+        let z = zipped_divide(&a, &[Layout::strided(2, 2), col_tiler]).unwrap();
+        let tile = z.mode(0);
+        assert_eq!(tile.size(), 8);
+        let mut idx: Vec<i64> = tile.indices();
+        idx.sort_unstable();
+        // rows {0,2} × cols {0,1,4,5} -> {0,1,4,5, 16,17,20,21}
+        assert_eq!(idx, vec![0, 1, 4, 5, 16, 17, 20, 21]);
+    }
+
+    #[test]
+    fn tiles_partition_everything() {
+        // Every element must appear in exactly one (tile, rest) pair.
+        let a = Layout::row_major(&[8, 16]);
+        let z = zipped_divide(&a, &[Layout::contiguous(4), Layout::contiguous(8)]).unwrap();
+        let mut all: Vec<i64> = z.indices();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..128).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn logical_product_replicates() {
+        // Repeat a [2:1] tile 4 times -> covers 8 contiguous.
+        let tile = Layout::contiguous(2);
+        let p = logical_product(&tile, &Layout::contiguous(4)).unwrap();
+        let mut all: Vec<i64> = p.indices();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_product_2d() {
+        // 2×2 tile blocked over a 2×3 arrangement -> 4×6 result.
+        let tile = Layout::column_major(&[2, 2]);
+        let arr = Layout::column_major(&[2, 3]);
+        let b = blocked_product(&tile, &arr).unwrap();
+        assert_eq!(b.size(), 24);
+        let mut all: Vec<i64> = b.indices();
+        all.sort_unstable();
+        assert_eq!(all, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn divide_rank_mismatch_error() {
+        let a = Layout::contiguous(8);
+        let err = zipped_divide(&a, &[Layout::contiguous(2), Layout::contiguous(2)]);
+        assert!(matches!(err, Err(LayoutError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn indivisible_error_display() {
+        let e = LayoutError::IndivisibleShape { dividend: 7, divisor: 2, op: "composition" };
+        assert_eq!(e.to_string(), "composition: 7 is not divisible by 2");
+    }
+
+    #[test]
+    fn with_shape_relabels_without_moving_data() {
+        let a = Layout::row_major(&[4, 8]);
+        let r = with_shape(&a, &it![8, 4]).unwrap();
+        assert_eq!(r.size(), 32);
+        for i in 0..32 {
+            assert_eq!(r.value(i), a.value(i), "same function, new labels");
+        }
+        assert!(with_shape(&a, &it![5, 5]).is_err());
+    }
+
+    #[test]
+    fn right_inverse_of_row_major() {
+        let a = Layout::row_major(&[4, 8]);
+        let inv = right_inverse(&a).unwrap();
+        for i in 0..32 {
+            assert_eq!(a.value(inv.value(i)), i);
+        }
+    }
+
+    #[test]
+    fn right_inverse_of_hierarchical() {
+        // Figure 3c's compact hierarchical layout.
+        let a = Layout::new(it![4, [2, 4]], it![2, [1, 8]]);
+        let inv = right_inverse(&a).unwrap();
+        for i in 0..32 {
+            assert_eq!(a.value(inv.value(i)), i);
+        }
+    }
+
+    #[test]
+    fn right_inverse_rejects_noncompact() {
+        assert!(right_inverse(&Layout::strided(4, 2)).is_err());
+        assert!(right_inverse(&Layout::new(it![4], it![0])).is_err());
+    }
+}

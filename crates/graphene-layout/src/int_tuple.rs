@@ -1,0 +1,412 @@
+//! Recursive integer tuples — the building block of Graphene shapes.
+//!
+//! The paper (§3.1, Figure 2) defines
+//!
+//! ```text
+//! IntTuple = (Size, ..., Size)
+//! Size     = IntExpr | IntTuple
+//! ```
+//!
+//! i.e. every dimension of a shape (and every stride) may itself be a tuple
+//! of integers. This recursion is what lets Graphene express *hierarchical
+//! dimensions* (multiple strides per logical dimension, §3.2) and tiles
+//! (§3.3). The notation and algebra follow NVIDIA's CuTe shape algebra,
+//! which the paper explicitly builds upon.
+
+use std::fmt;
+
+/// A recursively-nested integer tuple.
+///
+/// An [`IntTuple`] is either a single integer leaf or an ordered tuple of
+/// nested [`IntTuple`]s. Shapes and strides of Graphene layouts are both
+/// `IntTuple`s with *congruent* (identical) nesting profiles.
+///
+/// # Examples
+///
+/// ```
+/// use graphene_layout::{it, IntTuple};
+///
+/// // The shape (4, (2, 4)) — a 2-D shape whose second dimension is
+/// // hierarchical (used for the layouts of Figure 3c/d in the paper).
+/// let shape = it![4, [2, 4]];
+/// assert_eq!(shape.size(), 32);
+/// assert_eq!(shape.rank(), 2);
+/// assert_eq!(shape.depth(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum IntTuple {
+    /// A single integer leaf.
+    Int(i64),
+    /// An ordered tuple of nested tuples.
+    Tuple(Vec<IntTuple>),
+}
+
+impl IntTuple {
+    /// Creates a leaf from an integer.
+    pub fn int(v: i64) -> Self {
+        IntTuple::Int(v)
+    }
+
+    /// Creates a tuple node from an iterator of elements.
+    pub fn tuple<I>(items: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<IntTuple>,
+    {
+        IntTuple::Tuple(items.into_iter().map(Into::into).collect())
+    }
+
+    /// The empty tuple `()`.
+    pub fn empty() -> Self {
+        IntTuple::Tuple(Vec::new())
+    }
+
+    /// Returns `true` if this is a single integer leaf.
+    pub fn is_int(&self) -> bool {
+        matches!(self, IntTuple::Int(_))
+    }
+
+    /// Returns the leaf value if this is a leaf.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            IntTuple::Int(v) => Some(*v),
+            IntTuple::Tuple(_) => None,
+        }
+    }
+
+    /// Returns the child elements. A leaf behaves as a rank-1 tuple
+    /// containing itself, so this returns a single-element slice view via
+    /// `modes()` instead; `children` is `None` for leaves.
+    pub fn children(&self) -> Option<&[IntTuple]> {
+        match self {
+            IntTuple::Int(_) => None,
+            IntTuple::Tuple(v) => Some(v),
+        }
+    }
+
+    /// Rank: the number of top-level modes. Leaves have rank 1.
+    pub fn rank(&self) -> usize {
+        match self {
+            IntTuple::Int(_) => 1,
+            IntTuple::Tuple(v) => v.len(),
+        }
+    }
+
+    /// Depth of nesting: leaves have depth 0, a flat tuple depth 1, etc.
+    pub fn depth(&self) -> usize {
+        match self {
+            IntTuple::Int(_) => 0,
+            IntTuple::Tuple(v) => 1 + v.iter().map(IntTuple::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// The product of all leaves — the total number of elements of a shape.
+    pub fn size(&self) -> i64 {
+        match self {
+            IntTuple::Int(v) => *v,
+            IntTuple::Tuple(v) => v.iter().map(IntTuple::size).product(),
+        }
+    }
+
+    /// The number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            IntTuple::Int(_) => 1,
+            IntTuple::Tuple(v) => v.iter().map(IntTuple::num_leaves).sum(),
+        }
+    }
+
+    /// Returns mode `i` of this tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn mode(&self, i: usize) -> &IntTuple {
+        match self {
+            IntTuple::Int(_) => {
+                assert_eq!(i, 0, "leaf IntTuple has a single mode");
+                self
+            }
+            IntTuple::Tuple(v) => &v[i],
+        }
+    }
+
+    /// All leaves in order (depth-first, left-to-right).
+    pub fn leaves(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.num_leaves());
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<i64>) {
+        match self {
+            IntTuple::Int(v) => out.push(*v),
+            IntTuple::Tuple(v) => v.iter().for_each(|t| t.collect_leaves(out)),
+        }
+    }
+
+    /// A flat (depth ≤ 1) tuple with the same leaves.
+    pub fn flatten(&self) -> IntTuple {
+        match self {
+            IntTuple::Int(v) => IntTuple::Int(*v),
+            IntTuple::Tuple(_) => {
+                IntTuple::Tuple(self.leaves().into_iter().map(IntTuple::Int).collect())
+            }
+        }
+    }
+
+    /// Two tuples are *congruent* when they have identical nesting profiles
+    /// (same tree shape; leaf values may differ). Layouts require congruent
+    /// shape and stride.
+    pub fn congruent(&self, other: &IntTuple) -> bool {
+        match (self, other) {
+            (IntTuple::Int(_), IntTuple::Int(_)) => true,
+            (IntTuple::Tuple(a), IntTuple::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.congruent(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Rebuilds a tuple congruent to `profile` from a flat list of leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` does not contain exactly `profile.num_leaves()`
+    /// entries.
+    pub fn unflatten(profile: &IntTuple, leaves: &[i64]) -> IntTuple {
+        let mut iter = leaves.iter().copied();
+        let out = Self::unflatten_inner(profile, &mut iter);
+        assert!(iter.next().is_none(), "too many leaves for profile");
+        out
+    }
+
+    fn unflatten_inner(profile: &IntTuple, leaves: &mut impl Iterator<Item = i64>) -> IntTuple {
+        match profile {
+            IntTuple::Int(_) => IntTuple::Int(leaves.next().expect("too few leaves for profile")),
+            IntTuple::Tuple(v) => {
+                IntTuple::Tuple(v.iter().map(|p| Self::unflatten_inner(p, leaves)).collect())
+            }
+        }
+    }
+
+    /// Appends a mode, turning a leaf into a rank-2 tuple.
+    pub fn append(&self, mode: IntTuple) -> IntTuple {
+        match self {
+            IntTuple::Int(v) => IntTuple::Tuple(vec![IntTuple::Int(*v), mode]),
+            IntTuple::Tuple(v) => {
+                let mut v = v.clone();
+                v.push(mode);
+                IntTuple::Tuple(v)
+            }
+        }
+    }
+
+    /// Prepends a mode, turning a leaf into a rank-2 tuple.
+    pub fn prepend(&self, mode: IntTuple) -> IntTuple {
+        match self {
+            IntTuple::Int(v) => IntTuple::Tuple(vec![mode, IntTuple::Int(*v)]),
+            IntTuple::Tuple(v) => {
+                let mut out = vec![mode];
+                out.extend(v.iter().cloned());
+                IntTuple::Tuple(out)
+            }
+        }
+    }
+
+    /// Element-wise product of congruent tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuples are not congruent.
+    pub fn elem_mul(&self, other: &IntTuple) -> IntTuple {
+        match (self, other) {
+            (IntTuple::Int(a), IntTuple::Int(b)) => IntTuple::Int(a * b),
+            (IntTuple::Tuple(a), IntTuple::Tuple(b)) if a.len() == b.len() => {
+                IntTuple::Tuple(a.iter().zip(b).map(|(x, y)| x.elem_mul(y)).collect())
+            }
+            _ => panic!("elem_mul requires congruent tuples: {self} vs {other}"),
+        }
+    }
+
+    /// Iterates over the top-level modes. A leaf yields itself once.
+    pub fn modes(&self) -> Vec<IntTuple> {
+        match self {
+            IntTuple::Int(v) => vec![IntTuple::Int(*v)],
+            IntTuple::Tuple(v) => v.clone(),
+        }
+    }
+}
+
+impl From<i64> for IntTuple {
+    fn from(v: i64) -> Self {
+        IntTuple::Int(v)
+    }
+}
+
+impl From<i32> for IntTuple {
+    fn from(v: i32) -> Self {
+        IntTuple::Int(v as i64)
+    }
+}
+
+impl From<usize> for IntTuple {
+    fn from(v: usize) -> Self {
+        IntTuple::Int(v as i64)
+    }
+}
+
+impl From<Vec<IntTuple>> for IntTuple {
+    fn from(v: Vec<IntTuple>) -> Self {
+        IntTuple::Tuple(v)
+    }
+}
+
+impl From<&[i64]> for IntTuple {
+    fn from(v: &[i64]) -> Self {
+        IntTuple::Tuple(v.iter().map(|&x| IntTuple::Int(x)).collect())
+    }
+}
+
+impl fmt::Display for IntTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntTuple::Int(v) => write!(f, "{v}"),
+            IntTuple::Tuple(v) => {
+                write!(f, "(")?;
+                for (i, t) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for IntTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Convenience macro for building [`IntTuple`]s with tuple-like syntax.
+///
+/// A top-level comma list builds a tuple; a single expression builds a
+/// leaf; square brackets nest.
+///
+/// ```
+/// use graphene_layout::{it, IntTuple};
+/// let t = it![4, [2, 4]];
+/// assert_eq!(t.to_string(), "(4,(2,4))");
+/// assert_eq!(it![8], IntTuple::Int(8));
+/// ```
+#[macro_export]
+macro_rules! it {
+    ([$($inner:tt),* $(,)?]) => {
+        $crate::IntTuple::Tuple(vec![$( $crate::it!($inner) ),*])
+    };
+    ($v:expr) => {
+        $crate::IntTuple::from($v)
+    };
+    ($($e:tt),+ $(,)?) => {
+        $crate::IntTuple::Tuple(vec![$( $crate::it!($e) ),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_basics() {
+        let t = IntTuple::int(7);
+        assert!(t.is_int());
+        assert_eq!(t.as_int(), Some(7));
+        assert_eq!(t.rank(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.size(), 7);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.to_string(), "7");
+    }
+
+    #[test]
+    fn nested_tuple() {
+        let t = it![4, [2, 4]];
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.size(), 32);
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.leaves(), vec![4, 2, 4]);
+        assert_eq!(t.to_string(), "(4,(2,4))");
+    }
+
+    #[test]
+    fn flatten_preserves_leaves() {
+        let t = it![[2, [3, 5]], 7];
+        let f = t.flatten();
+        assert_eq!(f.depth(), 1);
+        assert_eq!(f.leaves(), t.leaves());
+        assert_eq!(f.size(), t.size());
+    }
+
+    #[test]
+    fn congruence() {
+        let a = it![4, [2, 4]];
+        let b = it![9, [1, 7]];
+        let c = it![[4, 2], 4];
+        assert!(a.congruent(&b));
+        assert!(!a.congruent(&c));
+        assert!(IntTuple::int(3).congruent(&IntTuple::int(9)));
+        assert!(!IntTuple::int(3).congruent(&a));
+    }
+
+    #[test]
+    fn unflatten_roundtrip() {
+        let profile = it![4, [2, [4, 3]], 6];
+        let leaves = profile.leaves();
+        let rebuilt = IntTuple::unflatten(&profile, &leaves);
+        assert_eq!(rebuilt, profile);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few leaves")]
+    fn unflatten_too_few() {
+        IntTuple::unflatten(&it![2, 3], &[1]);
+    }
+
+    #[test]
+    fn elem_mul_congruent() {
+        let a = it![2, [3, 4]];
+        let b = it![5, [6, 7]];
+        assert_eq!(a.elem_mul(&b), it![10, [18, 28]]);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let e = IntTuple::empty();
+        assert_eq!(e.rank(), 0);
+        assert_eq!(e.size(), 1);
+        assert_eq!(e.num_leaves(), 0);
+        assert_eq!(e.to_string(), "()");
+    }
+
+    #[test]
+    fn append_prepend() {
+        let t = IntTuple::int(4).append(IntTuple::int(5));
+        assert_eq!(t, it![4, 5]);
+        let t = t.prepend(IntTuple::int(3));
+        assert_eq!(t, it![3, 4, 5]);
+    }
+
+    #[test]
+    fn mode_access() {
+        let t = it![4, [2, 4]];
+        assert_eq!(t.mode(0), &IntTuple::Int(4));
+        assert_eq!(t.mode(1), &it![2, 4]);
+        let leaf = IntTuple::int(9);
+        assert_eq!(leaf.mode(0), &leaf);
+    }
+}

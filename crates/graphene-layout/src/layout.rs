@@ -1,0 +1,388 @@
+//! Layouts: pairs of congruent shape and stride tuples.
+//!
+//! A Graphene tensor shape (paper §3.1, Figure 2) is written
+//! `[dims:strides]`. This module implements the *layout function* such a
+//! pair denotes: a map from logical coordinates (or linearised indices) to
+//! positions in one-dimensional physical memory, obtained as the dot
+//! product of coordinates and strides (paper §3.2), generalised over
+//! hierarchical dimensions.
+
+use crate::int_tuple::IntTuple;
+use std::fmt;
+
+/// A layout: a `shape` and a congruent `stride` tuple.
+///
+/// The layout denotes the function mapping each logical coordinate within
+/// `shape` to `dot(coord, stride)`. Linear (1-D) indices are interpreted in
+/// *colexicographic* order — the leftmost mode varies fastest — matching the
+/// CuTe convention the paper builds upon.
+///
+/// # Examples
+///
+/// ```
+/// use graphene_layout::{Layout, it};
+///
+/// // Figure 3b: a row-major 4×8 tensor, [(4,8):(8,1)].
+/// let row_major = Layout::new(it![4, 8], it![8, 1]);
+/// assert_eq!(row_major.crd2idx(&it![1, 2]), 10);
+/// assert_eq!(row_major.size(), 32);
+/// assert_eq!(row_major.cosize(), 32);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    shape: IntTuple,
+    stride: IntTuple,
+}
+
+impl Layout {
+    /// Creates a layout from congruent shape and stride tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` and `stride` are not congruent or if any shape
+    /// leaf is non-positive or any stride leaf is negative.
+    pub fn new(shape: IntTuple, stride: IntTuple) -> Self {
+        assert!(shape.congruent(&stride), "shape {shape} and stride {stride} must be congruent");
+        assert!(shape.leaves().iter().all(|&s| s > 0), "shape leaves must be positive: {shape}");
+        assert!(
+            stride.leaves().iter().all(|&d| d >= 0),
+            "stride leaves must be non-negative: {stride}"
+        );
+        Layout { shape, stride }
+    }
+
+    /// A rank-1 layout `[n:1]` over `n` contiguous elements.
+    pub fn contiguous(n: i64) -> Self {
+        Layout::new(IntTuple::Int(n), IntTuple::Int(1))
+    }
+
+    /// A rank-1 layout `[n:d]`.
+    pub fn strided(n: i64, d: i64) -> Self {
+        Layout::new(IntTuple::Int(n), IntTuple::Int(d))
+    }
+
+    /// A column-major layout for the given flat dimensions (leftmost mode
+    /// has stride 1). A single dimension yields a rank-1 leaf layout.
+    pub fn column_major(dims: &[i64]) -> Self {
+        if let [n] = dims {
+            return Layout::contiguous(*n);
+        }
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut acc = 1;
+        for &d in dims {
+            strides.push(acc);
+            acc *= d;
+        }
+        Layout::new(
+            IntTuple::from(dims),
+            IntTuple::Tuple(strides.into_iter().map(IntTuple::Int).collect()),
+        )
+    }
+
+    /// A row-major layout for the given flat dimensions (rightmost mode has
+    /// stride 1). This is the default layout for Graphene data tensors,
+    /// e.g. `A:[(16,16):(16,1)]` in the paper's §3.1.
+    pub fn row_major(dims: &[i64]) -> Self {
+        if let [n] = dims {
+            return Layout::contiguous(*n);
+        }
+        let mut strides = vec![0; dims.len()];
+        let mut acc = 1;
+        for (i, &d) in dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        Layout::new(
+            IntTuple::from(dims),
+            IntTuple::Tuple(strides.into_iter().map(IntTuple::Int).collect()),
+        )
+    }
+
+    /// The shape tuple.
+    pub fn shape(&self) -> &IntTuple {
+        &self.shape
+    }
+
+    /// The stride tuple.
+    pub fn stride(&self) -> &IntTuple {
+        &self.stride
+    }
+
+    /// The number of logical elements (product of the shape).
+    pub fn size(&self) -> i64 {
+        self.shape.size()
+    }
+
+    /// The rank (number of top-level modes).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// The depth of the shape tree.
+    pub fn depth(&self) -> usize {
+        self.shape.depth()
+    }
+
+    /// The image extent: one past the largest index this layout can
+    /// produce (`max(layout(i)) + 1`), or 0 for empty layouts.
+    pub fn cosize(&self) -> i64 {
+        if self.size() == 0 {
+            return 0;
+        }
+        // The max of the dot product is attained at coord = shape - 1.
+        let shapes = self.shape.leaves();
+        let strides = self.stride.leaves();
+        1 + shapes.iter().zip(&strides).map(|(&s, &d)| (s - 1) * d).sum::<i64>()
+    }
+
+    /// Sub-layout: mode `i` of this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn mode(&self, i: usize) -> Layout {
+        Layout::new(self.shape.mode(i).clone(), self.stride.mode(i).clone())
+    }
+
+    /// The top-level modes of this layout as individual layouts.
+    pub fn modes(&self) -> Vec<Layout> {
+        (0..self.rank()).map(|i| self.mode(i)).collect()
+    }
+
+    /// Builds a rank-N layout from per-mode layouts.
+    pub fn from_modes(modes: &[Layout]) -> Layout {
+        Layout::new(
+            IntTuple::Tuple(modes.iter().map(|l| l.shape.clone()).collect()),
+            IntTuple::Tuple(modes.iter().map(|l| l.stride.clone()).collect()),
+        )
+    }
+
+    /// Flattens nesting, keeping leaves in order.
+    pub fn flatten(&self) -> Layout {
+        Layout::new(self.shape.flatten(), self.stride.flatten())
+    }
+
+    /// Maps a (possibly hierarchical) coordinate to a physical index: the
+    /// generalised dot product of coordinate and stride (paper §3.2).
+    ///
+    /// The coordinate may be:
+    /// - congruent to the shape (full hierarchical coordinate),
+    /// - a flat tuple of rank equal to the layout's rank (each entry is a
+    ///   *linear* coordinate within that mode), or
+    /// - a single integer (linear coordinate for the whole layout, colex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds or incompatible with the
+    /// shape.
+    pub fn crd2idx(&self, coord: &IntTuple) -> i64 {
+        crd2idx_impl(coord, &self.shape, &self.stride)
+    }
+
+    /// Maps a linear index (colexicographic within the shape) to a physical
+    /// index. This *is* the layout function `L(i)`.
+    pub fn value(&self, i: i64) -> i64 {
+        self.crd2idx(&IntTuple::Int(i))
+    }
+
+    /// Maps a linear index to the hierarchical coordinate within `shape`
+    /// (colexicographic: leftmost/innermost leaf varies fastest).
+    pub fn idx2crd(&self, idx: i64) -> IntTuple {
+        assert!(
+            idx >= 0 && idx < self.size(),
+            "index {idx} out of bounds for shape {} (size {})",
+            self.shape,
+            self.size()
+        );
+        let mut rem = idx;
+        idx2crd_impl(&self.shape, &mut rem)
+    }
+
+    /// All physical indices produced by this layout, in linear-coordinate
+    /// order. Useful for tests and for the simulator.
+    pub fn indices(&self) -> Vec<i64> {
+        (0..self.size()).map(|i| self.value(i)).collect()
+    }
+
+    /// Returns `true` if no two logical coordinates map to the same
+    /// physical index (the layout function is injective).
+    pub fn is_injective(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.size() as usize);
+        (0..self.size()).all(|i| seen.insert(self.value(i)))
+    }
+
+    /// Returns `true` if the layout is a compact (bijective onto
+    /// `0..size()`) column-major-ordered enumeration — i.e. `cosize == size`
+    /// and injective.
+    pub fn is_compact(&self) -> bool {
+        self.cosize() == self.size() && self.is_injective()
+    }
+}
+
+fn crd2idx_impl(coord: &IntTuple, shape: &IntTuple, stride: &IntTuple) -> i64 {
+    match (coord, shape, stride) {
+        // Linear coordinate into an arbitrary (sub)shape: peel modes colex.
+        (IntTuple::Int(c), IntTuple::Tuple(ss), IntTuple::Tuple(ds)) => {
+            let mut rem = *c;
+            let mut acc = 0;
+            for (i, (s, d)) in ss.iter().zip(ds).enumerate() {
+                let sz = s.size();
+                let sub = if i + 1 == ss.len() { rem } else { rem % sz };
+                acc += crd2idx_impl(&IntTuple::Int(sub), s, d);
+                rem /= sz;
+            }
+            acc
+        }
+        (IntTuple::Int(c), IntTuple::Int(s), IntTuple::Int(d)) => {
+            assert!(*c >= 0 && c < s, "coordinate {c} out of bounds for extent {s}");
+            c * d
+        }
+        (IntTuple::Tuple(cs), IntTuple::Tuple(ss), IntTuple::Tuple(ds)) => {
+            assert_eq!(cs.len(), ss.len(), "coordinate {coord} incompatible with shape {shape}");
+            cs.iter().zip(ss.iter().zip(ds)).map(|(c, (s, d))| crd2idx_impl(c, s, d)).sum()
+        }
+        _ => panic!(
+            "coordinate {coord} incompatible with shape {shape} / stride {stride} \
+             (shape and stride must be congruent)"
+        ),
+    }
+}
+
+fn idx2crd_impl(shape: &IntTuple, rem: &mut i64) -> IntTuple {
+    match shape {
+        IntTuple::Int(s) => {
+            let c = *rem % *s;
+            *rem /= *s;
+            IntTuple::Int(c)
+        }
+        IntTuple::Tuple(ss) => IntTuple::Tuple(ss.iter().map(|s| idx2crd_impl(s, rem)).collect()),
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}:{}]", self.shape, self.stride)
+    }
+}
+
+impl fmt::Debug for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::it;
+
+    #[test]
+    fn row_and_column_major_match_paper_figure3() {
+        // Figure 3a: [(4,8):(1,4)] column-major 4×8.
+        let cm = Layout::column_major(&[4, 8]);
+        assert_eq!(cm.to_string(), "[(4,8):(1,4)]");
+        assert_eq!(cm.crd2idx(&it![2, 3]), 2 + 3 * 4);
+        // Figure 3b: [(4,8):(8,1)] row-major.
+        let rm = Layout::row_major(&[4, 8]);
+        assert_eq!(rm.to_string(), "[(4,8):(8,1)]");
+        assert_eq!(rm.crd2idx(&it![2, 3]), 2 * 8 + 3);
+    }
+
+    #[test]
+    fn hierarchical_layout_figure3c() {
+        // Figure 3c: [(4,(2,4)):(2,(1,8))] — two adjacent column values are
+        // contiguous, then rows, then the next two columns.
+        let l = Layout::new(it![4, [2, 4]], it![2, [1, 8]]);
+        assert_eq!(l.size(), 32);
+        assert_eq!(l.cosize(), 32);
+        assert!(l.is_compact());
+        // Logical (row=0, col=0..3) -> 0, 1, 8, 9
+        assert_eq!(l.crd2idx(&it![0, [0, 0]]), 0);
+        assert_eq!(l.crd2idx(&it![0, [1, 0]]), 1);
+        assert_eq!(l.crd2idx(&it![0, [0, 1]]), 8);
+        assert_eq!(l.crd2idx(&it![0, [1, 1]]), 9);
+        // Row 1, col 0 -> 2 (moving down the rows is stride 2).
+        assert_eq!(l.crd2idx(&it![1, [0, 0]]), 2);
+    }
+
+    #[test]
+    fn flat_coordinate_within_hierarchical_mode() {
+        // A 2-D logical coordinate (i, j) can address a hierarchical
+        // dimension: j is linearised colex within (2,4).
+        let l = Layout::new(it![4, [2, 4]], it![2, [1, 8]]);
+        // j = 3 -> (1, 1) within (2,4) -> 1*1 + 1*8 = 9
+        assert_eq!(l.crd2idx(&it![0, 3]), 9);
+        // j = 5 -> (1, 2) -> 1 + 16 = 17
+        assert_eq!(l.crd2idx(&it![1, 5]), 2 + 17);
+    }
+
+    #[test]
+    fn linear_index_colex_order() {
+        let cm = Layout::column_major(&[4, 8]);
+        // In colex order the first mode varies fastest, so for a
+        // column-major layout the linear index IS the physical index.
+        for i in 0..32 {
+            assert_eq!(cm.value(i), i);
+        }
+        let rm = Layout::row_major(&[4, 8]);
+        assert_eq!(rm.value(0), 0);
+        assert_eq!(rm.value(1), 8); // next row
+        assert_eq!(rm.value(4), 1); // wrapped to next column
+    }
+
+    #[test]
+    fn idx2crd_roundtrip() {
+        let l = Layout::new(it![4, [2, 4]], it![2, [1, 8]]);
+        for i in 0..l.size() {
+            let c = l.idx2crd(i);
+            assert_eq!(l.crd2idx(&c), l.value(i));
+        }
+    }
+
+    #[test]
+    fn cosize_padded_layout() {
+        // Padded layout [(4,8):(9,1)] from §3.2 — stride exceeds size.
+        let l = Layout::new(it![4, 8], it![9, 1]);
+        assert_eq!(l.size(), 32);
+        assert_eq!(l.cosize(), 3 * 9 + 7 + 1);
+        assert!(l.is_injective());
+        assert!(!l.is_compact());
+    }
+
+    #[test]
+    fn broadcast_stride_zero_not_injective() {
+        let l = Layout::new(it![4, 8], it![0, 1]);
+        assert!(!l.is_injective());
+        assert_eq!(l.cosize(), 8);
+    }
+
+    #[test]
+    fn quad_pair_layout_figure6() {
+        // Volta quad-pairs: [(4,2):(1,16)] — threads 0-3 and 16-19 form
+        // quad-pair 0.
+        let qp = Layout::new(it![4, 2], it![1, 16]);
+        assert_eq!(qp.indices(), vec![0, 1, 2, 3, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be congruent")]
+    fn incongruent_rejected() {
+        Layout::new(it![4, [2, 4]], it![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_coordinate_rejected() {
+        let l = Layout::row_major(&[4, 8]);
+        l.crd2idx(&it![4, 0]);
+    }
+
+    #[test]
+    fn mode_access_and_from_modes() {
+        let l = Layout::new(it![4, [2, 4]], it![2, [1, 8]]);
+        let m1 = l.mode(1);
+        assert_eq!(m1.to_string(), "[(2,4):(1,8)]");
+        let rebuilt = Layout::from_modes(&[l.mode(0), l.mode(1)]);
+        assert_eq!(rebuilt, l);
+    }
+}

@@ -1,0 +1,179 @@
+//! XOR swizzles for bank-conflict-free shared-memory layouts.
+//!
+//! The paper (§3.2) notes that optimized kernels lay out shared-memory
+//! tensors "in more complex ways beyond the simpler layouts", and §6
+//! attributes Graphene's FMHA win over the MLPerf kernels to "optimized
+//! shared memory layouts". In CuTe (which the paper builds upon) such
+//! layouts are expressed by post-composing a layout with an XOR swizzle.
+//!
+//! A [`Swizzle`] with parameters `(bits, base, shift)` permutes physical
+//! indices by XOR-ing a window of `bits` bits (located `shift` positions
+//! above the `base`-bit offset window) into the low window:
+//!
+//! ```text
+//! y = x ^ ((x >> shift) & mask << base)
+//! ```
+//!
+//! Because XOR with a moving key is an involution on each aligned block,
+//! the swizzle is a bijection on any `2^(base+bits+shift)`-aligned region,
+//! so it never changes *which* bytes are used — only their arrangement
+//! across shared-memory banks.
+
+use std::fmt;
+
+/// An XOR-swizzle permutation of physical indices.
+///
+/// `bits` is the number of address bits that participate, `base` is the
+/// position of the low (target) window, and `shift` is the distance from
+/// the low window up to the key window.
+///
+/// # Examples
+///
+/// ```
+/// use graphene_layout::Swizzle;
+/// // The classic <3,3,3> swizzle used for 128-byte smem rows of fp16.
+/// let sw = Swizzle::new(3, 3, 3);
+/// assert_eq!(sw.apply(0), 0);
+/// // Row bits are XORed into the column bits:
+/// assert_ne!(sw.apply(1 << 6), 1 << 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Swizzle {
+    bits: u32,
+    base: u32,
+    shift: u32,
+}
+
+impl Swizzle {
+    /// Creates a swizzle. A `bits` of 0 is the identity permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows would exceed 63 bits.
+    pub fn new(bits: u32, base: u32, shift: u32) -> Self {
+        assert!(base + bits + shift <= 63, "swizzle windows exceed i64 range");
+        Swizzle { bits, base, shift }
+    }
+
+    /// The identity swizzle.
+    pub fn identity() -> Self {
+        Swizzle { bits: 0, base: 0, shift: 0 }
+    }
+
+    /// Returns `true` if this swizzle is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of participating bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Base (target window) position.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Shift from target window to key window.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Applies the swizzle to a physical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative.
+    pub fn apply(&self, x: i64) -> i64 {
+        assert!(x >= 0, "swizzle applied to negative index {x}");
+        if self.bits == 0 {
+            return x;
+        }
+        let mask = ((1i64 << self.bits) - 1) << (self.base + self.shift);
+        x ^ ((x & mask) >> self.shift)
+    }
+
+    /// The number of indices over which this swizzle is a self-contained
+    /// permutation (its period).
+    pub fn period(&self) -> i64 {
+        1i64 << (self.base + self.bits + self.shift)
+    }
+}
+
+impl fmt::Display for Swizzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Swizzle<{},{},{}>", self.bits, self.base, self.shift)
+    }
+}
+
+impl fmt::Debug for Swizzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Default for Swizzle {
+    fn default() -> Self {
+        Swizzle::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_is_noop() {
+        let sw = Swizzle::identity();
+        assert!(sw.is_identity());
+        for x in 0..1024 {
+            assert_eq!(sw.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn swizzle_is_bijective_on_period() {
+        for (b, m, s) in [(1u32, 0u32, 1u32), (2, 0, 2), (3, 3, 3), (2, 4, 3)] {
+            let sw = Swizzle::new(b, m, s);
+            let n = sw.period();
+            let image: HashSet<i64> = (0..n).map(|x| sw.apply(x)).collect();
+            assert_eq!(image.len() as i64, n, "{sw} not bijective");
+            assert!(image.iter().all(|&y| y >= 0 && y < n), "{sw} escapes period");
+        }
+    }
+
+    #[test]
+    fn swizzle_is_involution() {
+        let sw = Swizzle::new(3, 3, 3);
+        for x in 0..sw.period() {
+            assert_eq!(sw.apply(sw.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn swizzle_spreads_banks() {
+        // 32 banks of 4 bytes; fp16 rows of 64 elements (128 B = all banks).
+        // Without swizzle, a column access (stride 64 elements) hits one
+        // bank; with Swizzle<3,3,3> the 8 rows within a 512-element period
+        // hit 8 distinct bank groups.
+        let sw = Swizzle::new(3, 3, 3);
+        let bank = |elem_idx: i64| (elem_idx * 2 / 4) % 32; // fp16 = 2 bytes
+        let unswizzled: HashSet<i64> = (0..8).map(|r| bank(r * 64)).collect();
+        let swizzled: HashSet<i64> = (0..8).map(|r| bank(sw.apply(r * 64))).collect();
+        assert_eq!(unswizzled.len(), 1);
+        assert_eq!(swizzled.len(), 8);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Swizzle::new(3, 4, 3).to_string(), "Swizzle<3,4,3>");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_index_panics() {
+        Swizzle::new(1, 0, 1).apply(-1);
+    }
+}

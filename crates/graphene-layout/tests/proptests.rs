@@ -1,0 +1,181 @@
+//! Property-based tests for the layout algebra.
+//!
+//! These check the semantic laws the algebra must satisfy on randomly
+//! generated layouts: coalescing preserves the layout function, tiling
+//! partitions every element exactly once, composition computes function
+//! composition, and complements tile their extent.
+
+use graphene_layout::{
+    coalesce, complement, composition, logical_divide, zipped_divide, IntTuple, Layout,
+};
+use proptest::prelude::*;
+
+/// Strategy: a flat layout with 1..=4 modes, sizes 1..=6, compact
+/// column-major-ordered strides (always admissible for the algebra).
+fn compact_layout() -> impl Strategy<Value = Layout> {
+    prop::collection::vec(1i64..=6, 1..=4).prop_map(|dims| Layout::column_major(&dims))
+}
+
+/// Strategy: a flat layout with arbitrary (possibly gappy) strides.
+fn strided_layout() -> impl Strategy<Value = Layout> {
+    prop::collection::vec((1i64..=6, 1i64..=8), 1..=4).prop_map(|modes| {
+        Layout::new(
+            IntTuple::Tuple(modes.iter().map(|&(s, _)| IntTuple::Int(s)).collect()),
+            IntTuple::Tuple(modes.iter().map(|&(_, d)| IntTuple::Int(d)).collect()),
+        )
+    })
+}
+
+/// Strategy: a hierarchical layout built by nesting two flat layouts.
+fn hierarchical_layout() -> impl Strategy<Value = Layout> {
+    (strided_layout(), strided_layout()).prop_map(|(a, b)| Layout::from_modes(&[a, b]))
+}
+
+proptest! {
+    /// `coalesce(L)` denotes the same function as `L`.
+    #[test]
+    fn coalesce_preserves_function(l in strided_layout()) {
+        let c = coalesce(&l);
+        prop_assert_eq!(c.size(), l.size());
+        for i in 0..l.size() {
+            prop_assert_eq!(c.value(i), l.value(i));
+        }
+    }
+
+    /// Coalescing is idempotent.
+    #[test]
+    fn coalesce_idempotent(l in hierarchical_layout()) {
+        let once = coalesce(&l);
+        let twice = coalesce(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// `idx2crd` then `crd2idx` reproduces the layout function.
+    #[test]
+    fn crd_roundtrip(l in hierarchical_layout()) {
+        for i in 0..l.size() {
+            let c = l.idx2crd(i);
+            prop_assert_eq!(l.crd2idx(&c), l.value(i));
+        }
+    }
+
+    /// `cosize` is exactly `1 + max(L(i))` for non-empty layouts.
+    #[test]
+    fn cosize_is_max_plus_one(l in strided_layout()) {
+        let max = (0..l.size()).map(|i| l.value(i)).max().unwrap();
+        prop_assert_eq!(l.cosize(), max + 1);
+    }
+
+    /// Composition: `(A ∘ B)(i) = A(B(i))` whenever it is defined.
+    #[test]
+    fn composition_is_function_composition(
+        a in compact_layout(),
+        n in 1i64..=8,
+        r in 1i64..=4,
+    ) {
+        if n * r > a.size() {
+            return Ok(());
+        }
+        let b = Layout::strided(n, r);
+        if let Ok(comp) = composition(&a, &b) {
+            prop_assert_eq!(comp.size(), b.size());
+            for i in 0..b.size() {
+                prop_assert_eq!(comp.value(i), a.value(b.value(i)));
+            }
+        }
+    }
+
+    /// `(A, complement(A, N))` is a bijection onto `0..N` when `A` is
+    /// injective and `N` is a multiple of A's reach.
+    #[test]
+    fn complement_tiles_extent(s in 1i64..=6, d in 1i64..=4, mult in 1i64..=4) {
+        let a = Layout::strided(s, d);
+        // Choose N as a multiple of the region A occupies.
+        let reach = s * d;
+        let n = reach * mult;
+        let c = complement(&a, n).unwrap();
+        let combined = Layout::from_modes(&[a, c]);
+        let mut all: Vec<i64> = combined.indices();
+        all.sort_unstable();
+        all.dedup();
+        // Combined must be injective over exactly n positions when A is
+        // "nestable" (d divides into the extent cleanly).
+        if reach % d == 0 && combined.size() == n {
+            prop_assert_eq!(all.len() as i64, n);
+            prop_assert_eq!(*all.last().unwrap(), n - 1);
+        }
+    }
+
+    /// Tiling partitions: every source element appears in exactly one
+    /// (element-in-tile, tile) position.
+    #[test]
+    fn tiling_partitions_elements(
+        rows in 1i64..=4, cols in 1i64..=4,
+        tr in 1i64..=4, tc in 1i64..=4,
+    ) {
+        let (rows, cols) = (rows * tr, cols * tc); // ensure divisibility
+        let a = Layout::row_major(&[rows, cols]);
+        let z = zipped_divide(&a, &[Layout::contiguous(tr), Layout::contiguous(tc)]).unwrap();
+        prop_assert_eq!(z.size(), rows * cols);
+        let mut all: Vec<i64> = z.indices();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..rows * cols).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Dividing a 1-D layout by an interleaved tiler still partitions.
+    #[test]
+    fn interleaved_divide_partitions(tiles in 1i64..=4, tsz in 1i64..=4) {
+        let n = tiles * tsz;
+        let a = Layout::contiguous(n);
+        // Tile selects `tsz` elements with stride `tiles` (fully raked).
+        let tiler = Layout::strided(tsz, tiles);
+        let d = logical_divide(&a, &tiler).unwrap();
+        let mut all: Vec<i64> = d.indices();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..n).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Swizzles are bijections over their period.
+    #[test]
+    fn swizzle_bijective(bits in 0u32..=3, base in 0u32..=4, shift in 1u32..=4) {
+        let sw = graphene_layout::Swizzle::new(bits, base, shift);
+        let n = sw.period().min(4096);
+        let mut image: Vec<i64> = (0..n).map(|x| sw.apply(x)).collect();
+        image.sort_unstable();
+        image.dedup();
+        prop_assert_eq!(image.len() as i64, n);
+    }
+}
+
+proptest! {
+    /// `with_shape` preserves the layout function for any compatible
+    /// factorisation of the size.
+    #[test]
+    fn with_shape_preserves_function(a in 1i64..=4, b in 1i64..=4, c in 1i64..=4) {
+        use graphene_layout::{with_shape, IntTuple};
+        let l = Layout::row_major(&[a * b, c]);
+        let reshaped = with_shape(
+            &l,
+            &IntTuple::Tuple(vec![IntTuple::Int(a), IntTuple::Int(b * c)]),
+        );
+        if let Ok(r) = reshaped {
+            prop_assert_eq!(r.size(), l.size());
+            for i in 0..l.size() {
+                prop_assert_eq!(r.value(i), l.value(i));
+            }
+        }
+    }
+
+    /// `right_inverse` inverts every compact row-major layout.
+    #[test]
+    fn right_inverse_inverts(dims in prop::collection::vec(1i64..=5, 1..=3)) {
+        use graphene_layout::right_inverse;
+        let l = Layout::row_major(&dims);
+        let inv = right_inverse(&l).unwrap();
+        for p in 0..l.size() {
+            prop_assert_eq!(l.value(inv.value(p)), p);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Static cost analysis of Graphene kernels.
+//!
+//! The paper's evaluation sizes (e.g. a 5376×5376×2048 GEMM) are far too
+//! large to execute element-by-element; but because Graphene IR
+//! "precisely describes the implementation" (§5.5), its cost profile is
+//! statically computable: walk the decomposition, multiply per-group
+//! instruction costs by loop trip counts, thread-group counts, and the
+//! grid size. Shared-memory bank-conflict factors are measured exactly by
+//! evaluating one representative warp's addresses per access site —
+//! the same arithmetic the hardware performs.
+
+use crate::counters::Counters;
+use crate::exec::rel_offsets;
+use graphene_ir::atomic::{match_atomic, registry, AtomicSpec};
+use graphene_ir::body::Stmt;
+use graphene_ir::printer::render_spec_header;
+use graphene_ir::spec::Spec;
+use graphene_ir::tensor::TensorId;
+use graphene_ir::{Arch, Kernel, MemSpace, Module};
+use std::collections::HashMap;
+
+/// Errors from static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeError {
+    /// An undecomposed spec matched no atomic spec.
+    NoAtomicMatch(String),
+    /// An address expression could not be evaluated for the sample warp.
+    Eval(String),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::NoAtomicMatch(s) => write!(f, "spec `{s}` matches no atomic spec"),
+            AnalyzeError::Eval(m) => write!(f, "cannot evaluate sample address: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Statically computes the execution counters of a kernel.
+///
+/// # Errors
+///
+/// Fails when an undecomposed spec cannot be matched or sample addresses
+/// cannot be evaluated.
+pub fn analyze(kernel: &Kernel, arch: Arch) -> Result<Counters, AnalyzeError> {
+    analyze_bound(kernel, arch, &HashMap::new())
+}
+
+/// Like [`analyze`], with values for dynamic (symbolic) kernel
+/// parameters (paper §3.4).
+///
+/// # Errors
+///
+/// See [`AnalyzeError`].
+pub fn analyze_bound(
+    kernel: &Kernel,
+    arch: Arch,
+    bindings: &HashMap<String, i64>,
+) -> Result<Counters, AnalyzeError> {
+    let reg = registry(arch);
+    let module = &kernel.module;
+    let mut env: HashMap<String, i64> = bindings.clone();
+    env.insert("blockIdx.x".into(), 0);
+    let mut c = Counters::default();
+    walk(&kernel.body.stmts, module, &reg, kernel, &mut env, 1, &mut c)?;
+    // Whole-kernel scaling: every block executes the body.
+    let mut total = c.scaled(kernel.grid_size() as u64);
+
+    // Unique DRAM footprint from parameter usage.
+    let (mut read, mut written) = (0u64, 0u64);
+    let mut reads: std::collections::HashSet<TensorId> = Default::default();
+    let mut writes: std::collections::HashSet<TensorId> = Default::default();
+    kernel.body.visit(&mut |s| {
+        if let Stmt::Spec(spec) = s {
+            for &i in &spec.ins {
+                let root = module.root_of(i);
+                if module[root].mem == MemSpace::Global {
+                    reads.insert(root);
+                }
+            }
+            for &o in &spec.outs {
+                let root = module.root_of(o);
+                if module[root].mem == MemSpace::Global {
+                    writes.insert(root);
+                }
+            }
+        }
+    });
+    for r in reads {
+        read += module[r].ty.bytes();
+    }
+    for w in writes {
+        written += module[w].ty.bytes();
+    }
+    total.unique_global_read_bytes = read;
+    total.unique_global_write_bytes = written;
+    Ok(total)
+}
+
+fn walk(
+    stmts: &[Stmt],
+    module: &Module,
+    reg: &[AtomicSpec],
+    kernel: &Kernel,
+    env: &mut HashMap<String, i64>,
+    mult: u64,
+    c: &mut Counters,
+) -> Result<(), AnalyzeError> {
+    for s in stmts {
+        match s {
+            Stmt::For { var, extent, body, .. } => {
+                env.insert(var.clone(), 0);
+                walk(body, module, reg, kernel, env, mult * *extent as u64, c)?;
+                env.remove(var);
+            }
+            Stmt::If { then, .. } => {
+                // Conservative: count the guarded block fully (partial
+                // tiles over-approximate, paper §3.4).
+                walk(then, module, reg, kernel, env, mult, c)?;
+            }
+            Stmt::Spec(spec) => match &spec.body {
+                Some(body) => walk(&body.stmts, module, reg, kernel, env, mult, c)?,
+                None => {
+                    let atomic = match_atomic(spec, module, reg).ok_or_else(|| {
+                        AnalyzeError::NoAtomicMatch(render_spec_header(module, spec))
+                    })?;
+                    spec_counters(spec, atomic, module, kernel, env, mult, c)?;
+                }
+            },
+            Stmt::Sync(graphene_ir::SyncScope::Block) => c.syncs += mult,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn spec_counters(
+    spec: &Spec,
+    atomic: &AtomicSpec,
+    module: &Module,
+    kernel: &Kernel,
+    env: &mut HashMap<String, i64>,
+    mult: u64,
+    c: &mut Counters,
+) -> Result<(), AnalyzeError> {
+    let exec = *spec.exec.last().expect("spec has an exec config");
+    let tt = &module[exec];
+    let groups = tt.num_groups() as u64;
+    let group_size = tt.group_size() as u64;
+    let lanes_total = groups * group_size;
+
+    // Instructions and FLOPs. Collective instructions (group > 1 lane)
+    // count once per group, matching the interpreter.
+    let collective = atomic.exec_local.size() > 1;
+    if collective {
+        c.instructions += groups * mult;
+    } else {
+        c.instructions += lanes_total * mult;
+    }
+    if atomic.cost.tensor_core {
+        c.flops_tc += atomic.cost.flops * groups * mult;
+    } else if collective {
+        c.flops_fma += atomic.cost.flops * groups * mult;
+    } else {
+        c.flops_fma += atomic.cost.flops * lanes_total * mult;
+    }
+
+    // Traffic per operand.
+    for (&id, is_read) in
+        spec.ins.iter().map(|i| (i, true)).chain(spec.outs.iter().map(|o| (o, false)))
+    {
+        let d = &module[id];
+        let root = module.root_of(id);
+        let mem = module[root].mem;
+        let bytes_per = d.ty.scalar_type().bytes();
+        let scalars = d.ty.num_scalars() as u64;
+        let total_bytes = scalars * bytes_per * lanes_total * mult;
+        match mem {
+            MemSpace::Global => {
+                if is_read {
+                    c.global_read_bytes += total_bytes;
+                } else {
+                    c.global_write_bytes += total_bytes;
+                }
+            }
+            MemSpace::Shared => {
+                if is_read {
+                    c.smem_read_bytes += total_bytes;
+                } else {
+                    c.smem_write_bytes += total_bytes;
+                }
+                // Sample one warp's conflict factor exactly.
+                let (accesses, transactions) =
+                    sample_conflicts(id, module, kernel, tt, env, bytes_per)?;
+                let chunk = 32.min(lanes_total).max(1);
+                let instances = (lanes_total * mult).div_ceil(chunk);
+                c.smem_accesses += accesses * instances;
+                c.smem_transactions += transactions * instances;
+            }
+            MemSpace::Register => {}
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates one representative warp's addresses for a shared-memory
+/// operand and counts its bank-conflict serialisation.
+fn sample_conflicts(
+    id: TensorId,
+    module: &Module,
+    _kernel: &Kernel,
+    tt: &graphene_ir::ThreadTensor,
+    env: &mut HashMap<String, i64>,
+    bytes_per: u64,
+) -> Result<(u64, u64), AnalyzeError> {
+    let d = &module[id];
+    let root = module.root_of(id);
+    let sw = module[root].ty.swizzle;
+    let offs = rel_offsets(&d.ty);
+
+    // Representative lanes: the first warp's worth of threads covered by
+    // the exec tensor.
+    let lanes: Vec<i64> = if tt.group_size() == 1 {
+        (0..tt.num_groups().min(32)).map(|g| tt.group.value(g)).collect()
+    } else {
+        let base = tt.group.value(0);
+        (0..tt.group_size().min(32)).map(|j| base + tt.local.value(j)).collect()
+    };
+
+    let mut per_lane: Vec<Vec<i64>> = Vec::with_capacity(lanes.len());
+    for &t in &lanes {
+        env.insert("threadIdx.x".into(), t);
+        let base = d.offset.eval(env).map_err(|e| AnalyzeError::Eval(e.to_string()))?;
+        per_lane.push(
+            offs.iter()
+                .map(|&o| if sw.is_identity() { base + o } else { sw.apply(base + o) })
+                .collect(),
+        );
+    }
+    env.remove("threadIdx.x");
+
+    let mut per_bank: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
+    for lane in &per_lane {
+        for &a in lane {
+            let word = a * bytes_per as i64 / 4;
+            per_bank.entry(word % 32).or_default().insert(word);
+        }
+    }
+    let distinct: usize = per_bank.values().map(|w| w.len()).sum();
+    if distinct == 0 {
+        return Ok((0, 0));
+    }
+    let ideal = distinct.div_ceil(32) as u64;
+    let cycles = per_bank.values().map(|w| w.len()).max().unwrap_or(1) as u64;
+    Ok((ideal, cycles.max(ideal)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_ir::builder::KernelBuilder;
+    use graphene_ir::spec::SpecKind;
+    use graphene_ir::tensor::TensorType;
+    use graphene_ir::ScalarType;
+    use graphene_layout::Layout;
+
+    /// Analysis and functional execution agree on a small kernel.
+    #[test]
+    fn analysis_matches_execution() {
+        let mut kb = KernelBuilder::new("copy", &[4], &[64]);
+        let src = kb.param("src", &[256], ScalarType::F32);
+        let dst = kb.param("dst", &[256], ScalarType::F32);
+        let block = kb.block();
+        let grid = kb.grid();
+        let bid = kb.module()[grid].group_coords()[0].clone();
+        let tid = kb.module()[block].group_coords()[0].clone();
+        let idx = bid * 64 + tid;
+        let r = kb.alloc_reg("r", TensorType::scalar(Layout::contiguous(1), ScalarType::F32));
+        let s = kb.index(src, std::slice::from_ref(&idx));
+        let d = kb.index(dst, &[idx]);
+        let ts = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![ts], vec![s], vec![r]);
+        let ts2 = kb.thread_scalar(block);
+        kb.spec(SpecKind::Move, vec![ts2], vec![r], vec![d]);
+        let kernel = kb.build();
+
+        let an = analyze(&kernel, Arch::Sm86).expect("analyze");
+        let ex = crate::exec::execute(&kernel, Arch::Sm86, &Default::default()).expect("exec");
+        assert_eq!(an.global_read_bytes, ex.counters.global_read_bytes);
+        assert_eq!(an.global_write_bytes, ex.counters.global_write_bytes);
+        assert_eq!(an.instructions, ex.counters.instructions);
+        assert_eq!(an.unique_global_read_bytes, ex.counters.unique_global_read_bytes);
+    }
+
+    /// Loop trip counts multiply instruction counts.
+    #[test]
+    fn loops_scale_counters() {
+        let mut kb = KernelBuilder::new("loop", &[1], &[32]);
+        let block = kb.block();
+        let a = kb.alloc_reg("a", TensorType::scalar(Layout::contiguous(1), ScalarType::F32));
+        let b = kb.alloc_reg("b", TensorType::scalar(Layout::contiguous(1), ScalarType::F32));
+        kb.for_loop("i", 10, true, |kb, _| {
+            let ts = kb.thread_scalar(block);
+            kb.spec(SpecKind::MatMul, vec![ts], vec![a, b], vec![b]);
+        });
+        let kernel = kb.build();
+        let an = analyze(&kernel, Arch::Sm86).unwrap();
+        // 10 iterations x 32 threads x 2 flops (fmaf).
+        assert_eq!(an.flops_fma, 10 * 32 * 2);
+        assert_eq!(an.instructions, 10 * 32);
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution counters — the simulator's Nsight-Compute-like profile.
+
+/// Counters accumulated while executing or analysing a kernel.
+///
+/// `global_*_bytes` is the total traffic the kernel issues to the global
+/// address space (served by L2); `unique_global_*_bytes` is the footprint
+/// that must ultimately come from / go to DRAM (tile re-reads hit in L2
+/// on real GPUs, which is what makes tensor-core GEMMs compute-bound).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Bytes read from global address space (L2 traffic).
+    pub global_read_bytes: u64,
+    /// Bytes written to global address space (L2 traffic).
+    pub global_write_bytes: u64,
+    /// DRAM read footprint (unique bytes).
+    pub unique_global_read_bytes: u64,
+    /// DRAM write footprint (unique bytes).
+    pub unique_global_write_bytes: u64,
+    /// Bytes read from shared memory.
+    pub smem_read_bytes: u64,
+    /// Bytes written to shared memory.
+    pub smem_write_bytes: u64,
+    /// Ideal (conflict-free) shared-memory transactions.
+    pub smem_accesses: u64,
+    /// Actual transactions after bank-conflict serialisation.
+    pub smem_transactions: u64,
+    /// FLOPs executed on the FMA (CUDA-core) pipe.
+    pub flops_fma: u64,
+    /// FLOPs executed on the tensor-core pipe.
+    pub flops_tc: u64,
+    /// Dynamic instruction count (atomic-spec executions).
+    pub instructions: u64,
+    /// Barrier count.
+    pub syncs: u64,
+}
+
+impl Counters {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.unique_global_read_bytes += other.unique_global_read_bytes;
+        self.unique_global_write_bytes += other.unique_global_write_bytes;
+        self.smem_read_bytes += other.smem_read_bytes;
+        self.smem_write_bytes += other.smem_write_bytes;
+        self.smem_accesses += other.smem_accesses;
+        self.smem_transactions += other.smem_transactions;
+        self.flops_fma += other.flops_fma;
+        self.flops_tc += other.flops_tc;
+        self.instructions += other.instructions;
+        self.syncs += other.syncs;
+    }
+
+    /// Scales all counters by `n` (used when one representative block or
+    /// iteration stands for many).
+    pub fn scaled(&self, n: u64) -> Counters {
+        Counters {
+            global_read_bytes: self.global_read_bytes * n,
+            global_write_bytes: self.global_write_bytes * n,
+            // Unique footprints do not scale with repetition; the caller
+            // sets them explicitly.
+            unique_global_read_bytes: self.unique_global_read_bytes,
+            unique_global_write_bytes: self.unique_global_write_bytes,
+            smem_read_bytes: self.smem_read_bytes * n,
+            smem_write_bytes: self.smem_write_bytes * n,
+            smem_accesses: self.smem_accesses * n,
+            smem_transactions: self.smem_transactions * n,
+            flops_fma: self.flops_fma * n,
+            flops_tc: self.flops_tc * n,
+            instructions: self.instructions * n,
+            syncs: self.syncs * n,
+        }
+    }
+
+    /// Total global traffic (L2), bytes.
+    pub fn l2_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Total DRAM traffic, bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.unique_global_read_bytes + self.unique_global_write_bytes
+    }
+
+    /// Total FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.flops_fma + self.flops_tc
+    }
+
+    /// Average bank-conflict serialisation factor (1.0 = conflict-free).
+    pub fn conflict_factor(&self) -> f64 {
+        if self.smem_accesses == 0 {
+            1.0
+        } else {
+            self.smem_transactions as f64 / self.smem_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a =
+            Counters { flops_tc: 10, smem_accesses: 4, smem_transactions: 8, ..Default::default() };
+        let b = Counters { flops_tc: 5, global_read_bytes: 64, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.flops_tc, 15);
+        assert_eq!(a.global_read_bytes, 64);
+        assert_eq!(a.conflict_factor(), 2.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_traffic_not_footprint() {
+        let c = Counters {
+            global_read_bytes: 100,
+            unique_global_read_bytes: 40,
+            flops_fma: 7,
+            ..Default::default()
+        };
+        let s = c.scaled(3);
+        assert_eq!(s.global_read_bytes, 300);
+        assert_eq!(s.unique_global_read_bytes, 40);
+        assert_eq!(s.flops_fma, 21);
+    }
+
+    #[test]
+    fn conflict_factor_defaults_to_one() {
+        assert_eq!(Counters::default().conflict_factor(), 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # graphene-sim
+//!
+//! The GPU substrate for the Graphene reproduction (ASPLOS '23).
+//!
+//! The paper evaluates on real V100 (Volta) and RTX A6000 (Ampere)
+//! hardware; this crate substitutes a simulator with two complementary
+//! halves operating on the *same IR* the CUDA backend prints:
+//!
+//! - **Functional execution** ([`execute`]) — interprets a decomposed
+//!   kernel block-by-block, group-by-group, including the collective
+//!   register-fragment semantics of `ldmatrix` and the `mma` tensor
+//!   instructions, validating Graphene's data-to-thread mappings
+//!   element-exactly against the reference math in [`host`].
+//! - **Static analysis + timing** ([`analyze()`](analyze()), [`time_kernel`]) — walks
+//!   the IR to count bytes per memory level (with exact per-warp
+//!   bank-conflict sampling), FLOPs per pipe, and launches, then applies
+//!   a roofline-with-overheads model of the two machines
+//!   ([`VOLTA_V100`], [`AMPERE_A6000`]). This scales to the paper's
+//!   evaluation sizes and produces the Nsight-Compute-style utilisation
+//!   percentages of Figure 9.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod counters;
+pub mod exec;
+pub mod host;
+pub mod machine;
+pub mod timing;
+
+pub use analyze::{analyze, analyze_bound, AnalyzeError};
+pub use counters::Counters;
+pub use exec::{execute, execute_bound, ExecError, ExecOutcome};
+pub use host::HostTensor;
+pub use machine::{machine_for, MachineDesc, AMPERE_A6000, VOLTA_V100};
+pub use timing::{time_kernel, time_sequence, KernelProfile};

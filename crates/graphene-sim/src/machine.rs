@@ -1,0 +1,127 @@
+//! Machine descriptions of the simulated GPUs.
+//!
+//! The paper evaluates on a V100 (SM70, Volta) and an RTX A6000 (SM86,
+//! Ampere) with clocks locked to base frequencies by Nsight Compute.
+//! These descriptions capture the headline capabilities the timing model
+//! needs: pipe throughputs, memory bandwidths, shared-memory banking,
+//! and kernel-launch overhead.
+
+use graphene_ir::Arch;
+
+/// Capabilities of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineDesc {
+    /// Marketing name, e.g. `V100`.
+    pub name: &'static str,
+    /// Architecture (selects the atomic-spec registry).
+    pub arch: Arch,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Locked base clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak FP16 tensor-core throughput (dense), TFLOP/s.
+    pub tensor_tflops: f64,
+    /// Peak FP32 FMA throughput, TFLOP/s.
+    pub fma_tflops: f64,
+    /// DRAM bandwidth, GB/s.
+    pub dram_gbs: f64,
+    /// L2 bandwidth, GB/s (serves tile re-reads that hit in L2).
+    pub l2_gbs: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Shared-memory banks per SM (each serving 4 bytes per cycle).
+    pub smem_banks: u32,
+    /// Shared memory per SM, bytes.
+    pub smem_bytes_per_sm: u64,
+    /// Kernel launch overhead, microseconds. Fusion wins in the paper's
+    /// Figures 11/12 come partly from eliminating these.
+    pub launch_overhead_us: f64,
+    /// Fraction of theoretical pipe/bandwidth peaks achievable by
+    /// perfectly tuned kernels (cuBLAS-class).
+    pub achievable_fraction: f64,
+}
+
+impl MachineDesc {
+    /// Shared-memory bandwidth in bytes/s across the whole GPU:
+    /// banks × 4 B × clock × SMs.
+    pub fn smem_gbs(&self) -> f64 {
+        self.smem_banks as f64 * 4.0 * self.clock_ghz * self.sms as f64
+    }
+
+    /// Peak tensor FLOP/s.
+    pub fn tensor_flops(&self) -> f64 {
+        self.tensor_tflops * 1e12
+    }
+
+    /// Peak FP32 FMA FLOP/s.
+    pub fn fma_flops(&self) -> f64 {
+        self.fma_tflops * 1e12
+    }
+}
+
+/// The Volta-class machine (V100-SXM2-16GB at base clocks).
+pub const VOLTA_V100: MachineDesc = MachineDesc {
+    name: "V100",
+    arch: Arch::Sm70,
+    sms: 80,
+    clock_ghz: 1.312,
+    tensor_tflops: 112.0,
+    fma_tflops: 14.0,
+    dram_gbs: 900.0,
+    l2_gbs: 2150.0,
+    l2_bytes: 6 * 1024 * 1024,
+    smem_banks: 32,
+    smem_bytes_per_sm: 96 * 1024,
+    launch_overhead_us: 5.0,
+    achievable_fraction: 0.90,
+};
+
+/// The Ampere-class machine (RTX A6000 at base clocks).
+pub const AMPERE_A6000: MachineDesc = MachineDesc {
+    name: "RTX A6000",
+    arch: Arch::Sm86,
+    sms: 84,
+    clock_ghz: 1.410,
+    tensor_tflops: 155.0,
+    fma_tflops: 19.4,
+    dram_gbs: 768.0,
+    l2_gbs: 2400.0,
+    l2_bytes: 6 * 1024 * 1024,
+    smem_banks: 32,
+    smem_bytes_per_sm: 100 * 1024,
+    launch_overhead_us: 4.0,
+    achievable_fraction: 0.90,
+};
+
+/// Looks up the machine for an architecture.
+pub fn machine_for(arch: Arch) -> &'static MachineDesc {
+    match arch {
+        Arch::Sm70 => &VOLTA_V100,
+        Arch::Sm86 => &AMPERE_A6000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_match_arch() {
+        assert_eq!(machine_for(Arch::Sm70).name, "V100");
+        assert_eq!(machine_for(Arch::Sm86).name, "RTX A6000");
+        assert_eq!(machine_for(Arch::Sm70).arch, Arch::Sm70);
+    }
+
+    #[test]
+    fn smem_bandwidth_is_plausible() {
+        // V100: 32 banks * 4 B * 1.312 GHz * 80 SMs ≈ 13.4 TB/s.
+        let bw = VOLTA_V100.smem_gbs();
+        assert!(bw > 10_000.0 && bw < 20_000.0, "{bw}");
+    }
+
+    #[test]
+    fn ampere_has_more_tensor_throughput() {
+        // Compare through the accessor so the values stay runtime reads.
+        assert!(AMPERE_A6000.tensor_flops() > VOLTA_V100.tensor_flops());
+    }
+}

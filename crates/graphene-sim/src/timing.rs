@@ -1,0 +1,177 @@
+//! The roofline-with-overheads timing model.
+//!
+//! Kernel time is modelled as launch overhead plus the slowest of four
+//! resource roofs — tensor/FMA compute, DRAM, L2, and shared memory
+//! (scaled by the measured bank-conflict factor) — with wave
+//! quantisation over the SMs. This is deliberately not a cycle-accurate
+//! microarchitecture model: it captures exactly the mechanisms the
+//! paper's evaluation turns on (fusion removes global-memory round
+//! trips and launches; tensor-core GEMMs are compute-bound; bank
+//! conflicts serialise shared memory) so the *shape* of every figure
+//! reproduces while absolute numbers depend on the machine description.
+
+use crate::counters::Counters;
+use crate::machine::MachineDesc;
+
+/// Timing breakdown of one simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// End-to-end kernel time in seconds (including launch).
+    pub time_s: f64,
+    /// Launch overhead, seconds.
+    pub launch_s: f64,
+    /// Tensor-pipe time at achievable peak.
+    pub tensor_time_s: f64,
+    /// FMA-pipe time at achievable peak.
+    pub fma_time_s: f64,
+    /// DRAM roof time.
+    pub dram_time_s: f64,
+    /// L2 roof time.
+    pub l2_time_s: f64,
+    /// Shared-memory roof time (conflict-inflated).
+    pub smem_time_s: f64,
+    /// Achieved tensor-pipe throughput as a fraction of the theoretical
+    /// peak (the profiler's "SM %" in the paper's Figure 9).
+    pub compute_util: f64,
+    /// Achieved DRAM throughput as a fraction of peak (Figure 9's
+    /// "Mem %").
+    pub dram_util: f64,
+}
+
+impl KernelProfile {
+    /// Time in microseconds.
+    pub fn us(&self) -> f64 {
+        self.time_s * 1e6
+    }
+
+    /// Time in milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.time_s * 1e3
+    }
+}
+
+/// Times one kernel from its counters on a machine.
+///
+/// `blocks` is the launched grid size (for wave quantisation); pass 0 to
+/// skip quantisation (library kernels whose tiling we don't model).
+pub fn time_kernel(c: &Counters, m: &MachineDesc, blocks: i64) -> KernelProfile {
+    let launch_s = m.launch_overhead_us * 1e-6;
+    let eff = m.achievable_fraction;
+
+    let tensor_time_s = c.flops_tc as f64 / (m.tensor_flops() * eff);
+    let fma_time_s = c.flops_fma as f64 / (m.fma_flops() * eff);
+    let dram_time_s = c.dram_bytes() as f64 / (m.dram_gbs * 1e9 * eff);
+    let l2_time_s = c.l2_bytes() as f64 / (m.l2_gbs * 1e9 * eff);
+    // Each shared-memory transaction serves up to 32 lanes x 4 B.
+    let smem_bytes_serialised = c.smem_transactions as f64 * 128.0;
+    let smem_time_s = smem_bytes_serialised / (m.smem_gbs() * 1e9 * eff);
+
+    // Wave quantisation: a partially filled last wave still takes a full
+    // wave of time.
+    let wave_factor = if blocks > 0 {
+        let waves = (blocks as f64 / m.sms as f64).ceil();
+        let ideal = blocks as f64 / m.sms as f64;
+        if ideal > 0.0 {
+            waves / ideal.max(waves / 8.0) // bounded distortion
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+
+    let compute_time = tensor_time_s + fma_time_s;
+    let roof = compute_time.max(dram_time_s).max(l2_time_s).max(smem_time_s);
+    let time_s = launch_s + roof * wave_factor;
+
+    let busy = (time_s - launch_s).max(1e-12);
+    KernelProfile {
+        time_s,
+        launch_s,
+        tensor_time_s,
+        fma_time_s,
+        dram_time_s,
+        l2_time_s,
+        smem_time_s,
+        compute_util: (c.flops_tc as f64 + c.flops_fma as f64)
+            / (busy * if c.flops_tc > 0 { m.tensor_flops() } else { m.fma_flops() }),
+        dram_util: c.dram_bytes() as f64 / (busy * m.dram_gbs * 1e9),
+    }
+}
+
+/// Total time of a sequence of kernels launched back-to-back (the
+/// unfused library baselines of Figures 11/12/14): times sum, and each
+/// launch pays its overhead.
+pub fn time_sequence(profiles: &[KernelProfile]) -> f64 {
+    profiles.iter().map(|p| p.time_s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{AMPERE_A6000, VOLTA_V100};
+
+    fn gemm_counters(m: u64, n: u64, k: u64) -> Counters {
+        Counters {
+            flops_tc: 2 * m * n * k,
+            unique_global_read_bytes: (m * k + k * n) * 2,
+            unique_global_write_bytes: m * n * 2,
+            global_read_bytes: (m * k + k * n) * 2 * 8, // tile re-reads via L2
+            global_write_bytes: m * n * 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound() {
+        let c = gemm_counters(5376, 5376, 2048);
+        let p = time_kernel(&c, &AMPERE_A6000, (5376 / 128) * (5376 / 128));
+        assert!(
+            p.tensor_time_s > p.dram_time_s,
+            "tensor {} vs dram {}",
+            p.tensor_time_s,
+            p.dram_time_s
+        );
+        assert!(p.compute_util > 0.85, "util {}", p.compute_util);
+        assert!(p.dram_util < 0.5, "dram util {}", p.dram_util);
+    }
+
+    #[test]
+    fn tiny_kernel_dominated_by_launch() {
+        let c = gemm_counters(64, 64, 64);
+        let p = time_kernel(&c, &AMPERE_A6000, 1);
+        assert!(p.launch_s / p.time_s > 0.5);
+    }
+
+    #[test]
+    fn conflicts_slow_smem_roof() {
+        let base = Counters {
+            smem_read_bytes: 1 << 26,
+            smem_accesses: 1 << 19,
+            smem_transactions: 1 << 19,
+            ..Default::default()
+        };
+        let conflicted = Counters { smem_transactions: 1 << 22, ..base };
+        let p0 = time_kernel(&base, &VOLTA_V100, 80);
+        let p1 = time_kernel(&conflicted, &VOLTA_V100, 80);
+        assert!(p1.smem_time_s > p0.smem_time_s * 7.0);
+    }
+
+    #[test]
+    fn sequence_pays_launch_per_kernel() {
+        let c = gemm_counters(512, 512, 512);
+        let p = time_kernel(&c, &AMPERE_A6000, 16);
+        let total = time_sequence(&[p, p, p]);
+        assert!((total - 3.0 * p.time_s).abs() < 1e-12);
+        assert!(total > 3.0 * p.launch_s);
+    }
+
+    #[test]
+    fn wave_quantization_penalises_ragged_grids() {
+        let c = gemm_counters(4096, 4096, 1024);
+        // 85 blocks on 84 SMs -> 2 waves for barely more work.
+        let ragged = time_kernel(&c, &AMPERE_A6000, 85);
+        let even = time_kernel(&c, &AMPERE_A6000, 84);
+        assert!(ragged.time_s > even.time_s);
+    }
+}

@@ -1,0 +1,31 @@
+//! # graphene-sym
+//!
+//! Symbolic integer expressions for the Graphene IR (ASPLOS '23).
+//!
+//! Graphene supports *parametric shapes* such as `[M,N].fp32` (paper §3.4)
+//! and compiles tensor accesses into scalar index expressions that are
+//! "arithmetically simplified" before being printed as CUDA C++
+//! (paper §5.5). This crate provides:
+//!
+//! - [`IntExpr`] — the `IntExpr = int | var | (IntExpr BinOp IntExpr)`
+//!   production from the paper's tensor syntax (Figure 2), with operator
+//!   overloading, evaluation, and bound inference;
+//! - [`simplify`] — the algebraic simplifier, including the paper's
+//!   example rule `(M % 256) → M iff M < 256` plus linear-term collection
+//!   and div/mod recombination.
+//!
+//! ```
+//! use graphene_sym::{simplify, IntExpr};
+//! let tid = IntExpr::var_bounded("threadIdx.x", 256);
+//! let idx = (tid.clone() / 16) * 16 + tid.clone() % 16;
+//! assert_eq!(simplify(&idx), tid);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod expr;
+mod simplify;
+
+pub use expr::{BinOp, EvalError, IntExpr, VarInfo};
+pub use simplify::simplify;

@@ -1,0 +1,179 @@
+//! Rendering correctness: the printed C form of an expression, re-parsed
+//! by a tiny recursive-descent parser, evaluates identically to the
+//! original — the property the generated CUDA relies on.
+
+use graphene_sym::{BinOp, IntExpr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A minimal C-expression parser supporting the renderer's output
+/// grammar: identifiers, integers, `+ - * / %`, parens, and
+/// `min(..)`/`max(..)`.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { s: s.as_bytes(), i: 0 }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i] == b' ' {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expr(&mut self) -> IntExpr {
+        let mut lhs = self.term();
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.i += 1;
+                    let rhs = self.term();
+                    lhs = IntExpr::bin(BinOp::Add, lhs, rhs);
+                }
+                Some(b'-') => {
+                    self.i += 1;
+                    let rhs = self.term();
+                    lhs = IntExpr::bin(BinOp::Sub, lhs, rhs);
+                }
+                _ => return lhs,
+            }
+        }
+    }
+
+    fn term(&mut self) -> IntExpr {
+        let mut lhs = self.atom();
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.i += 1;
+                    let rhs = self.atom();
+                    lhs = IntExpr::bin(BinOp::Mul, lhs, rhs);
+                }
+                Some(b'/') => {
+                    self.i += 1;
+                    let rhs = self.atom();
+                    lhs = IntExpr::bin(BinOp::Div, lhs, rhs);
+                }
+                Some(b'%') => {
+                    self.i += 1;
+                    let rhs = self.atom();
+                    lhs = IntExpr::bin(BinOp::Mod, lhs, rhs);
+                }
+                _ => return lhs,
+            }
+        }
+    }
+
+    fn atom(&mut self) -> IntExpr {
+        self.ws();
+        match self.s[self.i] {
+            b'-' => {
+                // Unary minus (negative constants from folding).
+                self.i += 1;
+                let inner = self.atom();
+                IntExpr::bin(BinOp::Sub, IntExpr::constant(0), inner)
+            }
+            b'(' => {
+                self.i += 1;
+                let e = self.expr();
+                assert_eq!(self.peek(), Some(b')'), "expected )");
+                self.i += 1;
+                e
+            }
+            b'0'..=b'9' => {
+                let start = self.i;
+                while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+                    self.i += 1;
+                }
+                let v: i64 = std::str::from_utf8(&self.s[start..self.i]).unwrap().parse().unwrap();
+                IntExpr::constant(v)
+            }
+            _ => {
+                let start = self.i;
+                while self.i < self.s.len()
+                    && (self.s[self.i].is_ascii_alphanumeric()
+                        || self.s[self.i] == b'_'
+                        || self.s[self.i] == b'.')
+                {
+                    self.i += 1;
+                }
+                let name = std::str::from_utf8(&self.s[start..self.i]).unwrap().to_string();
+                if (name == "min" || name == "max") && self.peek() == Some(b'(') {
+                    self.i += 1;
+                    let a = self.expr();
+                    assert_eq!(self.peek(), Some(b','));
+                    self.i += 1;
+                    let b = self.expr();
+                    assert_eq!(self.peek(), Some(b')'));
+                    self.i += 1;
+                    let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                    IntExpr::bin(op, a, b)
+                } else {
+                    IntExpr::var(name)
+                }
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = IntExpr> {
+    let leaf = prop_oneof![
+        (1i64..40).prop_map(IntExpr::constant),
+        Just(IntExpr::var("a")),
+        Just(IntExpr::var("b")),
+    ];
+    leaf.prop_recursive(4, 40, 2, |inner| {
+        (inner.clone(), inner, 0usize..7).prop_map(|(x, y, i)| {
+            let op = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Mod,
+                BinOp::Min,
+                BinOp::Max,
+            ][i];
+            if matches!(op, BinOp::Div | BinOp::Mod) {
+                IntExpr::bin(op, x, y.max(IntExpr::one()))
+            } else {
+                IntExpr::bin(op, x, y)
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display output re-parses to a semantically identical expression:
+    /// the precedence/parenthesisation logic is correct.
+    #[test]
+    fn rendering_roundtrips(e in arb_expr(), a in 0i64..50, b in 1i64..50) {
+        let rendered = e.to_string();
+        let reparsed = Parser::new(&rendered).expr();
+        let env: HashMap<String, i64> =
+            [("a".to_string(), a), ("b".to_string(), b)].into();
+        prop_assert_eq!(
+            e.eval(&env), reparsed.eval(&env),
+            "original `{}` reparsed `{}`", rendered, reparsed
+        );
+    }
+}
+
+#[test]
+fn parser_sanity() {
+    let e = Parser::new("a + 3 * (b - 1)").expr();
+    let env: HashMap<String, i64> = [("a".to_string(), 2), ("b".to_string(), 5)].into();
+    assert_eq!(e.eval(&env).unwrap(), 2 + 3 * 4);
+    let e = Parser::new("min(a, max(b, 7))").expr();
+    assert_eq!(e.eval(&env).unwrap(), 2);
+}

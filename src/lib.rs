@@ -1,0 +1,32 @@
+//! # graphene
+//!
+//! A from-scratch Rust reproduction of **"Graphene: An IR for Optimized
+//! Tensor Computations on GPUs"** (Hagedorn et al., ASPLOS 2023).
+//!
+//! This umbrella crate re-exports the whole system:
+//!
+//! - [`layout`] — the CuTe-style shape/layout algebra (paper §3),
+//! - [`sym`] — symbolic index expressions and simplification (§3.4, §5.5),
+//! - [`ir`] — tensors, logical thread groups, specs, decompositions,
+//!   atomic specs (§3–§5),
+//! - [`codegen`] — the CUDA C++ backend (§5.5),
+//! - [`sim`] — the simulated GPU substrate (functional interpreter +
+//!   roofline timing for Volta-like and Ampere-like machines),
+//! - [`kernels`] — the paper's evaluation workloads (GEMM, fused
+//!   epilogues, MLP, LSTM, Layernorm, FMHA) and the library baselines.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction results. Run the examples for a tour:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! cargo run --example ldmatrix_move
+//! cargo run --example fused_mlp
+//! ```
+
+pub use graphene_codegen as codegen;
+pub use graphene_ir as ir;
+pub use graphene_kernels as kernels;
+pub use graphene_layout as layout;
+pub use graphene_sim as sim;
+pub use graphene_sym as sym;

@@ -1,0 +1,115 @@
+//! Property tests of the builder + IR invariants: view offsets stay
+//! root-relative and simplified, tiling round-trips address every
+//! element exactly once, and thread tilings always produce coordinate
+//! bijections.
+
+use graphene::ir::builder::KernelBuilder;
+use graphene::ir::dtype::ScalarType;
+use graphene::ir::tensor::TensorType;
+use graphene::ir::threads::{ThreadLevel, ThreadTensor};
+use graphene::layout::Layout;
+use graphene::sym::IntExpr;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Random 2-D dims with a divisor tile per dimension.
+fn dims_and_tiles() -> impl Strategy<Value = ((i64, i64), (i64, i64))> {
+    ((1i64..=4, 1i64..=4), (1i64..=4, 1i64..=4))
+        .prop_map(|((tm, tn), (gm, gn))| ((tm * gm, tn * gn), (tm, tn)))
+}
+
+proptest! {
+    /// Tiling then indexing every (tile, element) coordinate touches each
+    /// source element exactly once, with offsets matching row-major
+    /// arithmetic.
+    #[test]
+    fn tile_index_partition(((m, n), (tm, tn)) in dims_and_tiles()) {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let a = kb.param("A", &[m, n], ScalarType::F32);
+        let tiled = kb.tile_c(a, &[Some(tm), Some(tn)]).unwrap();
+        let mut seen: HashSet<i64> = HashSet::new();
+        let env: HashMap<String, i64> = HashMap::new();
+        for bi in 0..(m / tm) {
+            for bj in 0..(n / tn) {
+                let view = kb.index(tiled, &[IntExpr::constant(bi), IntExpr::constant(bj)]);
+                let base = kb.module()[view].offset.eval(&env).unwrap();
+                let offs = graphene::sim::exec::rel_offsets(&kb.module()[view].ty);
+                for o in offs {
+                    prop_assert!(seen.insert(base + o), "duplicate address {}", base + o);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as i64, m * n);
+        let max = seen.into_iter().max().unwrap();
+        prop_assert_eq!(max, m * n - 1);
+    }
+
+    /// Nested tiling (tiles of tiles) still partitions.
+    #[test]
+    fn nested_tile_partition(outer in 1i64..=3, inner in 1i64..=3, reps in 1i64..=3) {
+        let n = outer * inner * reps;
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let a = kb.param("A", &[n, 4], ScalarType::F32);
+        let t1 = kb.tile_c(a, &[Some(outer * inner), None]).unwrap();
+        let env: HashMap<String, i64> = HashMap::new();
+        let mut seen = HashSet::new();
+        for r in 0..reps {
+            let big = kb.index(t1, &[IntExpr::constant(r), IntExpr::zero()]);
+            // tile the big tile again
+            let t2 = kb.tile_c(big, &[Some(inner), None]).unwrap();
+            for o in 0..outer {
+                let small = kb.index(t2, &[IntExpr::constant(o), IntExpr::zero()]);
+                let base = kb.module()[small].offset.eval(&env).unwrap();
+                for rel in graphene::sim::exec::rel_offsets(&kb.module()[small].ty) {
+                    prop_assert!(seen.insert(base + rel));
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as i64, n * 4);
+    }
+
+    /// Any divisor tiling of a warp gives a (group, local) bijection.
+    #[test]
+    fn thread_tiling_bijection(group_sz in 1usize..=5, stride_pow in 0u32..=2) {
+        let sizes = [1i64, 2, 4, 8, 16, 32];
+        let g = sizes[group_sz];
+        let stride = 1i64 << stride_pow;
+        if g * stride > 32 {
+            return Ok(());
+        }
+        let tiler = Layout::strided(g, stride);
+        let warp = ThreadTensor::new("w", ThreadLevel::Thread, &[32]);
+        let Ok(tt) = warp.tile("t", &tiler) else { return Ok(()) };
+        let gexprs = tt.group_coords();
+        let lexpr = tt.local_coord();
+        let mut seen = HashSet::new();
+        for t in 0..32 {
+            let env: HashMap<String, i64> = [("threadIdx.x".to_string(), t)].into();
+            let gc: Vec<i64> = gexprs.iter().map(|e| e.eval(&env).unwrap()).collect();
+            let lc = lexpr.eval(&env).unwrap();
+            prop_assert!(lc >= 0 && lc < tt.group_size());
+            prop_assert!(seen.insert((gc, lc)), "thread {t} collides");
+        }
+        prop_assert_eq!(seen.len(), 32);
+    }
+
+    /// View offsets are always root-relative: chaining views composes
+    /// offsets additively.
+    #[test]
+    fn view_offsets_compose(o1 in 0i64..16, o2 in 0i64..16) {
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let root = kb.param("A", &[64], ScalarType::F32);
+        let v1 = kb.view_as(
+            root,
+            TensorType::scalar(Layout::contiguous(32), ScalarType::F32),
+            IntExpr::constant(o1),
+        );
+        let v2 = kb.view_as(
+            v1,
+            TensorType::scalar(Layout::contiguous(8), ScalarType::F32),
+            IntExpr::constant(o2),
+        );
+        prop_assert_eq!(kb.module().root_of(v2), root);
+        prop_assert_eq!(kb.module()[v2].offset.as_const(), Some(o1 + o2));
+    }
+}
