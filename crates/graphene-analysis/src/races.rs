@@ -1,0 +1,311 @@
+//! Shared-memory race detection (`GRA010`) and the redundant-barrier
+//! lint (`GRA011`).
+//!
+//! The detector symbolically executes the decomposition in program
+//! order, evaluating the concrete per-thread addresses of every
+//! shared-memory access (the same arithmetic [`graphene_sim`] and the
+//! hardware perform) and keeping, per shared tensor, the set of accesses
+//! not yet ordered by a barrier. A new access conflicts with a pending
+//! one when some address is touched by two *different* threads and at
+//! least one side writes. Conflicts are reported unless an adequate
+//! synchronisation intervened:
+//!
+//! - a **block-scope** barrier (`__syncthreads()`) orders everything —
+//!   including `cp.async` copies, because the CUDA backend drains the
+//!   async-copy pipeline (`cp.async.wait_all`) before every block
+//!   barrier of a kernel that issues them;
+//! - a **warp-scope** barrier (`__syncwarp()`) orders a conflict only
+//!   when every conflicting thread pair lies within one warp *and* the
+//!   write is not an asynchronous copy (`cp.async` completion is
+//!   invisible to `__syncwarp()`).
+//!
+//! Loops are unrolled twice (iterations 0 and 1) so hazards between an
+//! iteration's tail and the next iteration's head — the classic missing
+//! top-of-loop barrier in double-buffered pipelines — are observed.
+//! Thread-independent guards are evaluated under the loop environment
+//! (symbolic guards are assumed taken); thread-dependent guards filter
+//! the active lanes per thread.
+
+use crate::walk::{eval_guard, shared_accesses, thread_dependent, SharedAccess};
+use graphene_ir::atomic::{registry, AtomicSpec};
+use graphene_ir::body::{Predicate, Stmt, SyncScope};
+use graphene_ir::tensor::TensorId;
+use graphene_ir::{Arch, Diagnostic, Kernel, MemSpace, Module};
+use std::collections::{HashMap, HashSet};
+
+/// Detects shared-memory races in a kernel.
+pub fn check_races(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
+    let mut cx = RaceCx {
+        module: &kernel.module,
+        reg: registry(arch),
+        env: HashMap::from([("blockIdx.x".to_string(), 0)]),
+        path: vec!["body".into()],
+        guards: Vec::new(),
+        pending: HashMap::new(),
+        reported: HashSet::new(),
+        diags: Vec::new(),
+    };
+    cx.walk(&kernel.body.stmts);
+    cx.diags
+}
+
+struct PendingAccess {
+    access: SharedAccess,
+    /// A warp-scope barrier was executed after this access.
+    warp_synced: bool,
+}
+
+struct RaceCx<'m> {
+    module: &'m Module,
+    reg: Vec<AtomicSpec>,
+    env: HashMap<String, i64>,
+    path: Vec<String>,
+    guards: Vec<Predicate>,
+    pending: HashMap<TensorId, Vec<PendingAccess>>,
+    reported: HashSet<(TensorId, String, String)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl RaceCx<'_> {
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::For { var, extent, body, .. } => {
+                    // Two unrolled iterations expose cross-iteration
+                    // hazards; more add no new access pairs.
+                    for i in 0..(*extent).clamp(0, 2) {
+                        self.env.insert(var.clone(), i);
+                        self.path.push(format!("for {var} (iteration {i})"));
+                        self.walk(body);
+                        self.path.pop();
+                    }
+                    self.env.remove(var);
+                }
+                Stmt::If { cond, then } => {
+                    if thread_dependent(cond) {
+                        self.guards.push(cond.clone());
+                        self.path.push(format!("if ({} < {})", cond.lhs, cond.rhs));
+                        self.walk(then);
+                        self.path.pop();
+                        self.guards.pop();
+                    } else if eval_guard(cond, &self.env).unwrap_or(true) {
+                        self.path.push(format!("if ({} < {})", cond.lhs, cond.rhs));
+                        self.walk(then);
+                        self.path.pop();
+                    }
+                }
+                Stmt::Spec(spec) => match &spec.body {
+                    Some(body) => {
+                        self.path.push(spec.kind.name());
+                        self.walk(&body.stmts);
+                        self.path.pop();
+                    }
+                    None => {
+                        for acc in shared_accesses(
+                            spec,
+                            self.module,
+                            &self.reg,
+                            &mut self.env,
+                            &self.guards,
+                            &self.path,
+                        ) {
+                            self.record(acc);
+                        }
+                    }
+                },
+                Stmt::Sync(SyncScope::Block) => self.pending.clear(),
+                Stmt::Sync(SyncScope::Warp) => {
+                    for pend in self.pending.values_mut() {
+                        for p in pend.iter_mut() {
+                            p.warp_synced = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn record(&mut self, acc: SharedAccess) {
+        let mut pend = self.pending.remove(&acc.root).unwrap_or_default();
+        for prev in &pend {
+            let p = &prev.access;
+            if !(p.write || acc.write) {
+                continue; // read-read never conflicts
+            }
+            if let Some(conflict) = first_conflict(p, &acc) {
+                let async_write = p.cp_async || acc.cp_async;
+                let adequately_warp_synced =
+                    prev.warp_synced && !async_write && conflicts_within_one_warp(p, &acc);
+                if adequately_warp_synced {
+                    continue;
+                }
+                let key = (acc.root, p.desc.clone(), acc.desc.clone());
+                if !self.reported.insert(key) {
+                    continue;
+                }
+                let d = self.race_diag(prev, &acc, conflict);
+                self.diags.push(d);
+            }
+        }
+        pend.push(PendingAccess { access: acc, warp_synced: false });
+        let root = pend[0].access.root;
+        self.pending.insert(root, pend);
+    }
+
+    fn race_diag(
+        &self,
+        prev: &PendingAccess,
+        acc: &SharedAccess,
+        c: (i64, i64, i64),
+    ) -> Diagnostic {
+        let (addr, t1, t2) = c;
+        let name = &self.module[acc.root].name;
+        let p = &prev.access;
+        let rw = |w: bool| if w { "write" } else { "read" };
+        let remedy = if p.cp_async || acc.cp_async {
+            "cp.async completion requires a wait + block-level barrier between them"
+        } else if prev.warp_synced {
+            "the intervening __syncwarp() does not order threads of different warps; \
+             a block-level __syncthreads() is required"
+        } else {
+            "insert a block-level __syncthreads() between them"
+        };
+        Diagnostic::error(
+            "GRA010",
+            format!(
+                "shared-memory race on %{name}: {} by `{}` conflicts with {} by `{}` \
+                 at offset {addr} (threads {t1} and {t2}); {remedy}",
+                rw(p.write),
+                p.desc,
+                rw(acc.write),
+                acc.desc,
+            ),
+        )
+        .at(acc.path.clone())
+    }
+}
+
+/// First `(address, prev thread, new thread)` where two different
+/// threads touch the same address.
+fn first_conflict(a: &SharedAccess, b: &SharedAccess) -> Option<(i64, i64, i64)> {
+    let (small, big, swapped) =
+        if a.lanes_at.len() <= b.lanes_at.len() { (a, b, false) } else { (b, a, true) };
+    let mut best: Option<(i64, i64, i64)> = None;
+    for (&addr, lanes) in &small.lanes_at {
+        if let Some(other) = big.lanes_at.get(&addr) {
+            for &t1 in lanes {
+                for &t2 in other {
+                    if t1 != t2 && best.is_none_or(|(ba, ..)| addr < ba) {
+                        best = Some(if swapped { (addr, t2, t1) } else { (addr, t1, t2) });
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Every conflicting thread pair lies within one warp (so a warp-scope
+/// barrier can order it).
+fn conflicts_within_one_warp(a: &SharedAccess, b: &SharedAccess) -> bool {
+    for (&addr, lanes) in &a.lanes_at {
+        if let Some(other) = b.lanes_at.get(&addr) {
+            for &t1 in lanes {
+                for &t2 in other {
+                    if t1 != t2 && t1 / 32 != t2 / 32 {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Flags block barriers with no shared-memory traffic since the
+/// previous block barrier *in the same statement list* (`GRA011`).
+///
+/// The same-list restriction avoids false positives on loop-carried
+/// pipelines, where a barrier at the top of an iteration orders against
+/// traffic of the *previous* iteration.
+pub fn check_redundant_barriers(kernel: &Kernel, _arch: Arch) -> Vec<Diagnostic> {
+    let module = &kernel.module;
+    let mut diags = Vec::new();
+    walk_lists(&kernel.body.stmts, &mut vec!["body".into()], &mut |stmts, path| {
+        let mut since_last: Option<bool> = None; // None until the first barrier
+        for (i, s) in stmts.iter().enumerate() {
+            match s {
+                Stmt::Sync(SyncScope::Block) => {
+                    if since_last == Some(false) {
+                        diags.push(
+                            Diagnostic::warn(
+                                "GRA011",
+                                format!(
+                                    "redundant barrier: no shared-memory access since the \
+                                     previous block-level sync (statement {i})"
+                                ),
+                            )
+                            .at(path.to_vec()),
+                        );
+                    }
+                    since_last = Some(false);
+                }
+                _ => {
+                    if touches_shared(s, module) {
+                        since_last = since_last.map(|_| true);
+                    }
+                }
+            }
+        }
+    });
+    diags
+}
+
+fn walk_lists(stmts: &[Stmt], path: &mut Vec<String>, f: &mut impl FnMut(&[Stmt], &[String])) {
+    f(stmts, path);
+    for s in stmts {
+        match s {
+            Stmt::For { var, body, .. } => {
+                path.push(format!("for {var}"));
+                walk_lists(body, path, f);
+                path.pop();
+            }
+            Stmt::If { cond, then } => {
+                path.push(format!("if ({} < {})", cond.lhs, cond.rhs));
+                walk_lists(then, path, f);
+                path.pop();
+            }
+            Stmt::Spec(spec) => {
+                if let Some(b) = &spec.body {
+                    path.push(spec.kind.name());
+                    walk_lists(&b.stmts, path, f);
+                    path.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Does this statement (or anything nested in it) touch shared memory?
+fn touches_shared(s: &Stmt, module: &Module) -> bool {
+    let spec_touches = |spec: &graphene_ir::Spec| {
+        spec.ins
+            .iter()
+            .chain(spec.outs.iter())
+            .any(|&id| module[module.root_of(id)].mem == MemSpace::Shared)
+    };
+    match s {
+        Stmt::Spec(spec) => {
+            if spec_touches(spec) {
+                return true;
+            }
+            spec.body.as_ref().is_some_and(|b| b.stmts.iter().any(|st| touches_shared(st, module)))
+        }
+        Stmt::For { body, .. } | Stmt::If { then: body, .. } => {
+            body.iter().any(|st| touches_shared(st, module))
+        }
+        _ => false,
+    }
+}

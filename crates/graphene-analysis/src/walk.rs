@@ -1,0 +1,113 @@
+//! Shared traversal helpers for the analysis passes.
+
+use graphene_ir::atomic::{match_atomic, AtomicSpec};
+use graphene_ir::body::Predicate;
+use graphene_ir::printer::render_spec_header;
+use graphene_ir::spec::Spec;
+use graphene_ir::tensor::TensorId;
+use graphene_ir::threads::ThreadLevel;
+use graphene_ir::{MemSpace, Module};
+use graphene_sim::{exec_lanes, lane_addresses};
+use std::collections::HashMap;
+
+/// One shared-memory operand access of one undecomposed spec, with the
+/// concrete per-thread addresses it touches.
+#[derive(Debug, Clone)]
+pub struct SharedAccess {
+    /// Root shared tensor being accessed.
+    pub root: TensorId,
+    /// Rendered spec header (for diagnostics).
+    pub desc: String,
+    /// Statement path of the spec.
+    pub path: Vec<String>,
+    /// Write access (the operand is an output).
+    pub write: bool,
+    /// The access is performed by a `cp.async` asynchronous copy: its
+    /// completion is ordered only by a wait + block barrier, never by a
+    /// warp-scope sync.
+    pub cp_async: bool,
+    /// `address -> threads touching it` for every scalar address.
+    pub lanes_at: HashMap<i64, Vec<i64>>,
+}
+
+/// Whether a predicate mentions `threadIdx.x` (so its outcome differs
+/// per thread and it *filters* lanes rather than gating the block).
+pub fn thread_dependent(cond: &Predicate) -> bool {
+    cond.lhs.free_vars().iter().chain(cond.rhs.free_vars().iter()).any(|v| v == "threadIdx.x")
+}
+
+/// Evaluates a thread-independent guard under `env`: `Some(taken)` when
+/// both sides evaluate, `None` when symbolic (dynamic shape parameters)
+/// — callers assume symbolic guards taken, over-approximating.
+pub fn eval_guard(cond: &Predicate, env: &HashMap<String, i64>) -> Option<bool> {
+    match (cond.lhs.eval(env), cond.rhs.eval(env)) {
+        (Ok(l), Ok(r)) => Some(l < r),
+        _ => None,
+    }
+}
+
+/// Collects the shared-memory accesses of one undecomposed spec, with
+/// per-thread addresses evaluated under `env` and lanes filtered by the
+/// active thread-dependent guards.
+///
+/// Returns nothing when the spec matches no atomic spec (reported
+/// separately as `GRA002`), has no thread-level execution config, or
+/// its addresses cannot be evaluated (unbound dynamic parameters).
+pub fn shared_accesses(
+    spec: &Spec,
+    module: &Module,
+    reg: &[AtomicSpec],
+    env: &mut HashMap<String, i64>,
+    guards: &[Predicate],
+    path: &[String],
+) -> Vec<SharedAccess> {
+    let Some(atomic) = match_atomic(spec, module, reg) else { return Vec::new() };
+    let Some(&exec) = spec.exec.last() else { return Vec::new() };
+    let tt = &module[exec];
+    if tt.level != ThreadLevel::Thread {
+        return Vec::new();
+    }
+    let cp_async = atomic.name.starts_with("cp.async");
+    let all_lanes = exec_lanes(tt, tt.count() as usize);
+    let lanes: Vec<i64> = all_lanes
+        .into_iter()
+        .filter(|&t| {
+            guards.iter().all(|g| {
+                env.insert("threadIdx.x".into(), t);
+                let taken = eval_guard(g, env).unwrap_or(true);
+                env.remove("threadIdx.x");
+                taken
+            })
+        })
+        .collect();
+    if lanes.is_empty() {
+        return Vec::new();
+    }
+
+    let desc = render_spec_header(module, spec);
+    let mut out = Vec::new();
+    for (&id, write) in
+        spec.ins.iter().map(|i| (i, false)).chain(spec.outs.iter().map(|o| (o, true)))
+    {
+        let root = module.root_of(id);
+        if module[root].mem != MemSpace::Shared {
+            continue;
+        }
+        let Ok(per_lane) = lane_addresses(id, module, &lanes, env) else { continue };
+        let mut lanes_at: HashMap<i64, Vec<i64>> = HashMap::new();
+        for (t, addrs) in per_lane {
+            for a in addrs {
+                lanes_at.entry(a).or_default().push(t);
+            }
+        }
+        out.push(SharedAccess {
+            root,
+            desc: desc.clone(),
+            path: path.to_vec(),
+            write,
+            cp_async: cp_async && write,
+            lanes_at,
+        });
+    }
+    out
+}

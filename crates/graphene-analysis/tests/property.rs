@@ -1,0 +1,64 @@
+//! Property test: every well-formed kernel the builders produce, across
+//! a grid of tile configurations, passes the race detector (and the
+//! rest of the pipeline) with zero error diagnostics. Barrier placement
+//! in the builders is by construction, not by configuration, so no tile
+//! shape should be able to introduce a hazard.
+
+use graphene_analysis::{analyze_kernel, Severity};
+use graphene_ir::Arch;
+use graphene_kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
+use proptest::prelude::*;
+
+/// Well-formed Ampere tile grids: warp grid × K-slice count × bk.
+fn arb_ampere_cfg() -> impl Strategy<Value = GemmConfig> {
+    (
+        1i64..=2,
+        1i64..=2,
+        1i64..=3,
+        prop_oneof![Just(16i64), Just(32)],
+        prop_oneof![Just(true), Just(false)],
+    )
+        .prop_map(|(wgm, wgn, kmul, bk, swizzle)| {
+            let (wm, wn) = (16, 16);
+            let (bm, bn) = (wm * wgm, wn * wgn);
+            GemmConfig { m: bm * 2, n: bn * 2, k: bk * kmul, bm, bn, bk, wm, wn, swizzle }
+        })
+}
+
+fn assert_no_errors(arch: Arch, kernel: &graphene_ir::Kernel) {
+    let errors: Vec<_> = analyze_kernel(kernel, arch)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "{} has errors: {errors:#?}", kernel.name);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The single-buffered schedule is race-free for every tile shape,
+    /// with and without swizzling.
+    #[test]
+    fn gemm_race_free_across_tile_grid(cfg in arb_ampere_cfg()) {
+        assert_no_errors(Arch::Sm86, &build_gemm(Arch::Sm86, &cfg, Epilogue::None));
+    }
+
+    /// So is the software-pipelined (double-buffered) schedule — the
+    /// one whose barrier discipline is subtlest.
+    #[test]
+    fn pipelined_gemm_race_free_across_tile_grid(cfg in arb_ampere_cfg()) {
+        assert_no_errors(Arch::Sm86, &build_gemm_double_buffered(&cfg, Epilogue::None));
+    }
+
+    /// Volta's register-staged path too.
+    #[test]
+    fn volta_gemm_race_free_across_tile_grid(
+        (gm, gn, bk) in (1i64..=2, 1i64..=2, prop_oneof![Just(8i64), Just(16)])
+    ) {
+        let cfg = GemmConfig {
+            m: 32 * gm, n: 32 * gn, k: bk * 2,
+            bm: 32, bn: 32, bk, wm: 32, wn: 32, swizzle: true,
+        };
+        assert_no_errors(Arch::Sm70, &build_gemm(Arch::Sm70, &cfg, Epilogue::None));
+    }
+}

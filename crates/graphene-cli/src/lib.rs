@@ -10,6 +10,7 @@
 //! graphene mlp --m 4096 --layers 8 --emit profile
 //! graphene fmha --emit cuda
 //! graphene layernorm --rows 16384 --hidden 1024 --emit ir
+//! graphene lint gemm --emit=json
 //! graphene table2 --arch sm86
 //! ```
 
@@ -17,7 +18,7 @@
 
 use graphene_ir::{Arch, Kernel};
 use graphene_kernels::fmha::FmhaConfig;
-use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
+use graphene_kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
 use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
 use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
 use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
@@ -42,8 +43,11 @@ pub enum Emit {
 pub struct Cli {
     /// Sub-command name.
     pub command: String,
-    /// `--key value` options.
+    /// `--key value` / `--key=value` options.
     pub options: HashMap<String, String>,
+    /// Bare (non-option) arguments after the sub-command, e.g. the
+    /// kernel name in `lint gemm`.
+    pub positional: Vec<String>,
 }
 
 /// Errors surfaced to the user.
@@ -69,17 +73,26 @@ impl Cli {
             return Err(CliError(usage()));
         };
         let mut options = HashMap::new();
+        let mut positional = Vec::new();
         let mut i = 1;
         while i < args.len() {
-            let key = args[i]
-                .strip_prefix("--")
-                .ok_or_else(|| CliError(format!("expected --option, got `{}`", args[i])))?;
-            let value =
-                args.get(i + 1).ok_or_else(|| CliError(format!("--{key} needs a value")))?;
-            options.insert(key.to_string(), value.clone());
-            i += 2;
+            let Some(key) = args[i].strip_prefix("--") else {
+                positional.push(args[i].clone());
+                i += 1;
+                continue;
+            };
+            // Both `--key value` and `--key=value` are accepted.
+            if let Some((k, v)) = key.split_once('=') {
+                options.insert(k.to_string(), v.to_string());
+                i += 1;
+            } else {
+                let value =
+                    args.get(i + 1).ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+                options.insert(key.to_string(), value.clone());
+                i += 2;
+            }
         }
-        Ok(Cli { command: command.clone(), options })
+        Ok(Cli { command: command.clone(), options, positional })
     }
 
     fn arch(&self) -> Result<Arch, CliError> {
@@ -120,6 +133,7 @@ pub fn usage() -> String {
        softmax    --rows --cols [--emit ...]\n\
        fmha       --heads --seq --d [--emit ...]   (Ampere only)\n\
        tune       --arch ... --m --n --k [--top N]  (GEMM tile search)\n\
+       lint       <kernel> [--arch ...] [--emit text|json]  (static analysis; kernel = gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha)\n\
        table2     --arch sm70|sm86\n"
         .to_string()
 }
@@ -133,95 +147,11 @@ pub fn usage() -> String {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let cli = Cli::parse(args)?;
     match cli.command.as_str() {
-        "gemm" => {
-            let arch = cli.arch()?;
-            let (m, n, k) = (cli.int("m", 1024)?, cli.int("n", 1024)?, cli.int("k", 1024)?);
-            let epilogue = match cli.options.get("epilogue").map(String::as_str) {
-                None | Some("none") => Epilogue::None,
-                Some("bias") => Epilogue::Bias,
-                Some("relu") => Epilogue::Relu,
-                Some("bias+relu") => Epilogue::BiasRelu,
-                Some("bias+gelu") => Epilogue::BiasGelu,
-                Some(other) => return Err(CliError(format!("unknown epilogue `{other}`"))),
-            };
-            let cfg = GemmConfig::cublas_like(m, n, k);
-            if m % cfg.bm != 0 || n % cfg.bn != 0 || k % cfg.bk != 0 {
-                return Err(CliError(format!(
-                    "gemm sizes must tile by {}x{}x{}",
-                    cfg.bm, cfg.bn, cfg.bk
-                )));
-            }
-            render(cli.emit()?, arch, &build_gemm(arch, &cfg, epilogue))
+        "gemm" | "mlp" | "lstm" | "layernorm" | "softmax" | "fmha" => {
+            let (arch, kernel) = build_named_kernel(&cli, &cli.command)?;
+            render(cli.emit()?, arch, &kernel)
         }
-        "mlp" => {
-            let arch = cli.arch()?;
-            let cfg = MlpConfig::paper(cli.int("m", 4096)?, cli.int("layers", 4)?);
-            let cfg = MlpConfig { hidden: cli.int("hidden", 128)?, ..cfg };
-            render(cli.emit()?, arch, &build_fused_mlp(arch, &cfg))
-        }
-        "lstm" => {
-            let arch = cli.arch()?;
-            let cfg = LstmConfig::paper(cli.int("m", 4096)?);
-            let cfg = LstmConfig { hidden: cli.int("hidden", 128)?, ..cfg };
-            render(cli.emit()?, arch, &build_fused_lstm(arch, &cfg))
-        }
-        "layernorm" => {
-            let arch = cli.arch()?;
-            let (rows, hidden) = (cli.int("rows", 4096)?, cli.int("hidden", 1024)?);
-            if hidden % 256 != 0 {
-                return Err(CliError(format!(
-                    "layernorm --hidden must be a multiple of 256, got {hidden}"
-                )));
-            }
-            if rows % 4 != 0 {
-                return Err(CliError(format!(
-                    "layernorm --rows must be a multiple of 4, got {rows}"
-                )));
-            }
-            let cfg = LayernormConfig::new(rows, hidden);
-            render(cli.emit()?, arch, &build_layernorm(arch, &cfg))
-        }
-        "softmax" => {
-            let arch = cli.arch()?;
-            let (rows, cols) = (cli.int("rows", 4096)?, cli.int("cols", 1024)?);
-            if cols % 256 != 0 {
-                return Err(CliError(format!(
-                    "softmax --cols must be a multiple of 256, got {cols}"
-                )));
-            }
-            if rows % 4 != 0 {
-                return Err(CliError(format!(
-                    "softmax --rows must be a multiple of 4, got {rows}"
-                )));
-            }
-            let cfg = SoftmaxConfig::new(rows, cols);
-            render(cli.emit()?, arch, &build_softmax(arch, &cfg))
-        }
-        "fmha" => {
-            if cli.arch()? != Arch::Sm86 {
-                return Err(CliError(
-                    "the fused FMHA schedule targets Ampere (use --arch sm86)".into(),
-                ));
-            }
-            let base = FmhaConfig::mlperf_bert();
-            let cfg = FmhaConfig {
-                heads: cli.int("heads", base.heads)?,
-                seq: cli.int("seq", base.seq)?,
-                d: cli.int("d", base.d)?,
-                ..base
-            };
-            if cfg.seq % cfg.bq != 0 || cfg.d % 16 != 0 || cfg.seq % 16 != 0 {
-                return Err(CliError(format!(
-                    "fmha requires seq % {} == 0 and d % 16 == 0 (got seq {}, d {})",
-                    cfg.bq, cfg.seq, cfg.d
-                )));
-            }
-            render(
-                cli.emit()?,
-                Arch::Sm86,
-                &graphene_kernels::fmha::build_fused_fmha(Arch::Sm86, &cfg),
-            )
-        }
+        "lint" => lint(&cli),
         "tune" => {
             let arch = cli.arch()?;
             let (m, n, k) = (cli.int("m", 4096)?, cli.int("n", 4096)?, cli.int("k", 1024)?);
@@ -266,6 +196,144 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{}", usage()))),
+    }
+}
+
+/// Builds the kernel a sub-command (or `lint` target) names, applying
+/// the shared `--arch`/size options and their validity checks.
+fn build_named_kernel(cli: &Cli, name: &str) -> Result<(Arch, Kernel), CliError> {
+    let arch = cli.arch()?;
+    match name {
+        "gemm" | "gemm-db" => {
+            let (m, n, k) = (cli.int("m", 1024)?, cli.int("n", 1024)?, cli.int("k", 1024)?);
+            let epilogue = match cli.options.get("epilogue").map(String::as_str) {
+                None | Some("none") => Epilogue::None,
+                Some("bias") => Epilogue::Bias,
+                Some("relu") => Epilogue::Relu,
+                Some("bias+relu") => Epilogue::BiasRelu,
+                Some("bias+gelu") => Epilogue::BiasGelu,
+                Some(other) => return Err(CliError(format!("unknown epilogue `{other}`"))),
+            };
+            let cfg = GemmConfig::cublas_like(m, n, k);
+            if m % cfg.bm != 0 || n % cfg.bn != 0 || k % cfg.bk != 0 {
+                return Err(CliError(format!(
+                    "gemm sizes must tile by {}x{}x{}",
+                    cfg.bm, cfg.bn, cfg.bk
+                )));
+            }
+            if name == "gemm-db" {
+                if arch != Arch::Sm86 {
+                    return Err(CliError(
+                        "the double-buffered GEMM schedule targets Ampere (use --arch sm86)".into(),
+                    ));
+                }
+                Ok((arch, build_gemm_double_buffered(&cfg, epilogue)))
+            } else {
+                Ok((arch, build_gemm(arch, &cfg, epilogue)))
+            }
+        }
+        "mlp" => {
+            let cfg = MlpConfig::paper(cli.int("m", 4096)?, cli.int("layers", 4)?);
+            let cfg = MlpConfig { hidden: cli.int("hidden", 128)?, ..cfg };
+            Ok((arch, build_fused_mlp(arch, &cfg)))
+        }
+        "lstm" => {
+            let cfg = LstmConfig::paper(cli.int("m", 4096)?);
+            let cfg = LstmConfig { hidden: cli.int("hidden", 128)?, ..cfg };
+            Ok((arch, build_fused_lstm(arch, &cfg)))
+        }
+        "layernorm" => {
+            let (rows, hidden) = (cli.int("rows", 4096)?, cli.int("hidden", 1024)?);
+            if hidden % 256 != 0 {
+                return Err(CliError(format!(
+                    "layernorm --hidden must be a multiple of 256, got {hidden}"
+                )));
+            }
+            if rows % 4 != 0 {
+                return Err(CliError(format!(
+                    "layernorm --rows must be a multiple of 4, got {rows}"
+                )));
+            }
+            let cfg = LayernormConfig::new(rows, hidden);
+            Ok((arch, build_layernorm(arch, &cfg)))
+        }
+        "softmax" => {
+            let (rows, cols) = (cli.int("rows", 4096)?, cli.int("cols", 1024)?);
+            if cols % 256 != 0 {
+                return Err(CliError(format!(
+                    "softmax --cols must be a multiple of 256, got {cols}"
+                )));
+            }
+            if rows % 4 != 0 {
+                return Err(CliError(format!(
+                    "softmax --rows must be a multiple of 4, got {rows}"
+                )));
+            }
+            let cfg = SoftmaxConfig::new(rows, cols);
+            Ok((arch, build_softmax(arch, &cfg)))
+        }
+        "fmha" => {
+            if arch != Arch::Sm86 {
+                return Err(CliError(
+                    "the fused FMHA schedule targets Ampere (use --arch sm86)".into(),
+                ));
+            }
+            let base = FmhaConfig::mlperf_bert();
+            let cfg = FmhaConfig {
+                heads: cli.int("heads", base.heads)?,
+                seq: cli.int("seq", base.seq)?,
+                d: cli.int("d", base.d)?,
+                ..base
+            };
+            if cfg.seq % cfg.bq != 0 || cfg.d % 16 != 0 || cfg.seq % 16 != 0 {
+                return Err(CliError(format!(
+                    "fmha requires seq % {} == 0 and d % 16 == 0 (got seq {}, d {})",
+                    cfg.bq, cfg.seq, cfg.d
+                )));
+            }
+            Ok((Arch::Sm86, graphene_kernels::fmha::build_fused_fmha(Arch::Sm86, &cfg)))
+        }
+        other => Err(CliError(format!(
+            "unknown kernel `{other}` (gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha)"
+        ))),
+    }
+}
+
+/// The `lint` sub-command: run the full static-analysis pipeline of
+/// `graphene-analysis` over a named kernel and render the diagnostics.
+///
+/// Returns `Err` when any error-severity diagnostic is present, so the
+/// binary exits non-zero — this is what CI's lint-selfcheck keys on.
+fn lint(cli: &Cli) -> Result<String, CliError> {
+    let Some(name) = cli.positional.first() else {
+        return Err(CliError(
+            "lint needs a kernel name: lint <gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha>".into(),
+        ));
+    };
+    let (arch, kernel) = build_named_kernel(cli, name)?;
+    let diags = graphene_analysis::analyze_kernel(&kernel, arch);
+    let errors = graphene_analysis::error_count(&diags);
+    let out = match cli.options.get("emit").map(String::as_str) {
+        None | Some("text") => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "lint {} ({arch}): {} diagnostics, {errors} errors",
+                kernel.name,
+                diags.len()
+            );
+            for d in &diags {
+                let _ = writeln!(out, "  {d}");
+            }
+            out
+        }
+        Some("json") => graphene_analysis::render_json(&kernel.name, &diags),
+        Some(other) => return Err(CliError(format!("unknown emit `{other}` (text|json)"))),
+    };
+    if errors > 0 {
+        Err(CliError(out))
+    } else {
+        Ok(out)
     }
 }
 
@@ -377,6 +445,61 @@ mod tests {
         assert!(run_str("frobnicate").unwrap_err().0.contains("unknown command"));
         assert!(run_str("gemm --m").is_err());
         assert!(Cli::parse(&[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn lint_clean_kernel_succeeds() {
+        let out = run_str("lint gemm --m 256 --n 256 --k 64").unwrap();
+        assert!(out.contains("0 errors"), "{out}");
+    }
+
+    #[test]
+    fn lint_emits_json_with_equals_syntax() {
+        // The exact invocation shape CI's lint-selfcheck uses.
+        let out = run_str("lint gemm --m 256 --n 256 --k 64 --emit=json").unwrap();
+        assert!(out.contains("\"kernel\""), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+    }
+
+    #[test]
+    fn lint_covers_every_paper_kernel() {
+        let cases = [
+            ("gemm-db", "--m 256 --n 256 --k 64"),
+            ("mlp", "--m 256 --layers 2"),
+            ("lstm", "--m 256"),
+            ("layernorm", "--rows 64 --hidden 512"),
+            ("softmax", "--rows 64 --cols 512"),
+            ("fmha", ""),
+        ];
+        for (name, opts) in cases {
+            let out = run_str(&format!("lint {name} {opts}"))
+                .unwrap_or_else(|e| panic!("lint {name} failed: {e}"));
+            assert!(out.contains("0 errors"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn lint_rejects_unknown_kernel_and_missing_name() {
+        assert!(run_str("lint frobnicate").unwrap_err().0.contains("unknown kernel"));
+        assert!(run_str("lint").unwrap_err().0.contains("kernel name"));
+        assert!(run_str("lint gemm --emit=yaml").unwrap_err().0.contains("unknown emit"));
+    }
+
+    #[test]
+    fn equals_and_space_option_forms_are_equivalent() {
+        let a = Cli::parse(&["gemm".into(), "--m".into(), "512".into()]).unwrap();
+        let b = Cli::parse(&["gemm".into(), "--m=512".into()]).unwrap();
+        assert_eq!(a.options.get("m"), b.options.get("m"));
     }
 }
 

@@ -37,6 +37,16 @@ impl Arch {
             Arch::Sm86 => "Ampere",
         }
     }
+
+    /// Maximum shared memory one thread block may allocate (with the
+    /// opt-in carve-out both parts support): 96 KiB on V100, 100 KiB on
+    /// the GA102-class Ampere parts.
+    pub fn smem_limit_bytes(self) -> u64 {
+        match self {
+            Arch::Sm70 => 96 * 1024,
+            Arch::Sm86 => 100 * 1024,
+        }
+    }
 }
 
 impl fmt::Display for Arch {

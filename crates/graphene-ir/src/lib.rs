@@ -29,6 +29,7 @@
 pub mod atomic;
 pub mod body;
 pub mod builder;
+pub mod diag;
 pub mod dtype;
 pub mod memory;
 pub mod module;
@@ -42,6 +43,7 @@ pub mod validate;
 
 pub use atomic::{Arch, AtomicSemantics, AtomicSpec};
 pub use body::{Body, Stmt, SyncScope};
+pub use diag::{Diagnostic, Severity};
 pub use dtype::ScalarType;
 pub use memory::MemSpace;
 pub use module::{Kernel, Module};

@@ -95,6 +95,13 @@ impl Module {
     pub fn num_tensors(&self) -> usize {
         self.tensors.len()
     }
+
+    /// Mutable access to a tensor declaration — used by IR transforms
+    /// and by analysis tests that plant targeted defects (e.g. moving an
+    /// operand to the wrong memory space).
+    pub fn tensor_mut(&mut self, id: TensorId) -> &mut TensorDecl {
+        &mut self.tensors[id.0 as usize]
+    }
 }
 
 impl std::ops::Index<TensorId> for Module {

@@ -5,34 +5,24 @@
 //! match no atomic spec of the target architecture, execution
 //! configurations exceeding the launch dimensions, pointwise specs with
 //! mismatched element counts, and shared-memory overflows.
+//!
+//! Diagnostics use the structured model of [`crate::diag`] (stable
+//! `GRA0xx` codes, severities, statement paths). The deeper data-flow
+//! passes — shared-memory race detection, barrier hygiene, memory-space
+//! legality, accumulator initialisation, bank-conflict grading — live in
+//! the `graphene-analysis` crate, which starts from [`check`].
 
 use crate::atomic::{match_atomic, registry, Arch};
 use crate::body::Stmt;
 use crate::module::Kernel;
 use crate::printer::render_spec_header;
 use crate::spec::SpecKind;
-use std::fmt;
 
-/// A validation diagnostic.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Human-readable description of the problem.
-    pub message: String,
-}
+pub use crate::diag::{Diagnostic, Severity};
 
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
-    }
-}
-
-/// Validates a kernel against an architecture.
-///
-/// # Errors
-///
-/// Returns all diagnostics found (empty `Ok(())` means the kernel is
-/// lowerable).
-pub fn validate(kernel: &Kernel, arch: Arch) -> Result<(), Vec<Diagnostic>> {
+/// Runs the structural validation checks, returning every diagnostic
+/// found (the list is empty for a lowerable kernel).
+pub fn check(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let reg = registry(arch);
     let module = &kernel.module;
@@ -44,76 +34,89 @@ pub fn validate(kernel: &Kernel, arch: Arch) -> Result<(), Vec<Diagnostic>> {
             for &t in &spec.exec {
                 let tt = &module[t];
                 if tt.level == crate::threads::ThreadLevel::Thread && tt.count() > block_threads {
-                    diags.push(Diagnostic {
-                        message: format!(
+                    diags.push(Diagnostic::error(
+                        "GRA001",
+                        format!(
                             "spec `{}` requires {} threads but the block has {}",
                             render_spec_header(module, spec),
                             tt.count(),
                             block_threads
                         ),
-                    });
+                    ));
                 }
             }
             // Undecomposed specs must be atomic.
             if spec.is_undecomposed() && match_atomic(spec, module, &reg).is_none() {
-                diags.push(Diagnostic {
-                    message: format!(
+                diags.push(Diagnostic::error(
+                    "GRA002",
+                    format!(
                         "undecomposed spec `{}` matches no {} atomic spec",
                         render_spec_header(module, spec),
                         arch
                     ),
-                });
+                ));
             }
             // Pointwise element-count agreement.
             if let SpecKind::BinaryPointwise(_) = spec.kind {
                 if let (Some(&a), Some(&b)) = (spec.ins.first(), spec.ins.get(1)) {
                     let (na, nb) = (module[a].ty.num_scalars(), module[b].ty.num_scalars());
                     if na != nb {
-                        diags.push(Diagnostic {
-                            message: format!(
-                                "binary pointwise operands disagree: {na} vs {nb} scalars"
-                            ),
-                        });
+                        diags.push(Diagnostic::error(
+                            "GRA003",
+                            format!("binary pointwise operands disagree: {na} vs {nb} scalars"),
+                        ));
                     }
                 }
             }
             // Moves preserve total element counts (per executing group).
+            // An empty exec executes once (host-like single lane), so the
+            // group size is 1 and the check still applies.
             if matches!(spec.kind, SpecKind::Move) && spec.body.is_none() {
                 if let (Some(&src), Some(&dst)) = (spec.ins.first(), spec.outs.first()) {
                     let (ns, nd) = (module[src].ty.num_scalars(), module[dst].ty.num_scalars());
-                    // Collective moves redistribute across the group; the
-                    // per-thread counts may differ by the group size.
-                    let group = spec
-                        .exec
-                        .last()
-                        .map(|&t| module[t].group_size())
-                        .unwrap_or(1);
                     // Collective moves redistribute across the group and
                     // may over-address (ldmatrix.x2 uses only half the
                     // warp's addresses): totals must divide evenly.
+                    let group = spec.exec.last().map(|&t| module[t].group_size()).unwrap_or(1);
                     let (ts, td) = (ns * group, nd * group);
-                    let balanced = ts == td || (ts > td && ts % td == 0) || (td > ts && td % ts == 0);
+                    let balanced =
+                        ts == td || (ts > td && ts % td == 0) || (td > ts && td % ts == 0);
                     if !balanced {
-                        diags.push(Diagnostic {
-                            message: format!(
+                        diags.push(Diagnostic::error(
+                            "GRA004",
+                            format!(
                                 "move element counts irreconcilable: src {ns}, dst {nd}, group {group}"
                             ),
-                        });
+                        ));
                     }
                 }
             }
         }
     });
 
-    // Shared memory budget (both target architectures allow ≥ 96 KiB).
+    // Shared memory budget (per-architecture opt-in limit).
     let smem = kernel.shared_bytes();
-    let limit = 96 * 1024;
+    let limit = arch.smem_limit_bytes();
     if smem > limit {
-        diags.push(Diagnostic {
-            message: format!("kernel allocates {smem} B of shared memory (limit {limit} B)"),
-        });
+        diags.push(Diagnostic::error(
+            "GRA005",
+            format!("kernel allocates {smem} B of shared memory ({arch} limit {limit} B)"),
+        ));
     }
 
+    diags
+}
+
+/// Validates a kernel against an architecture.
+///
+/// Thin compatibility wrapper over [`check`].
+///
+/// # Errors
+///
+/// Returns all diagnostics found (empty `Ok(())` means the kernel is
+/// lowerable).
+pub fn validate(kernel: &Kernel, arch: Arch) -> Result<(), Vec<Diagnostic>> {
+    let diags = check(kernel, arch);
     if diags.is_empty() {
         Ok(())
     } else {
@@ -155,7 +158,7 @@ mod tests {
         kb.spec(SpecKind::Move, vec![ts], vec![g1], vec![g2]);
         let kernel = kb.build();
         let err = validate(&kernel, Arch::Sm86).unwrap_err();
-        assert!(err.iter().any(|d| d.message.contains("matches no Ampere atomic spec")));
+        assert!(err.iter().any(|d| d.code == "GRA002" && d.severity == Severity::Error));
     }
 
     #[test]
@@ -197,7 +200,8 @@ mod tests {
             body: crate::body::Body::from_stmts(vec![Stmt::Spec(spec)]),
         };
         let err = validate(&kernel, Arch::Sm86).unwrap_err();
-        assert!(err.iter().any(|d| d.message.contains("requires 64 threads")));
+        let d = err.iter().find(|d| d.code == "GRA001").expect("GRA001 reported");
+        assert!(d.message.contains("requires 64 threads"));
     }
 
     #[test]
@@ -209,6 +213,30 @@ mod tests {
         );
         let kernel = kb.build();
         let err = validate(&kernel, Arch::Sm86).unwrap_err();
-        assert!(err.iter().any(|d| d.message.contains("shared memory")));
+        assert!(err.iter().any(|d| d.code == "GRA005"));
+    }
+
+    #[test]
+    fn smem_limit_is_per_arch() {
+        // 98 KiB: over Volta's 96 KiB, under Ampere's 100 KiB.
+        let mut kb = KernelBuilder::new("k", &[1], &[128]);
+        kb.alloc_shared("mid", TensorType::row_major(&[98 * 1024 / 4], ScalarType::F32));
+        let kernel = kb.build();
+        assert!(validate(&kernel, Arch::Sm86).is_ok());
+        let err = validate(&kernel, Arch::Sm70).unwrap_err();
+        assert!(err.iter().any(|d| d.code == "GRA005" && d.message.contains("Volta")));
+    }
+
+    #[test]
+    fn empty_exec_move_is_still_checked() {
+        // A Move with no execution config: the element-count balance
+        // check must not be skipped (group defaults to 1).
+        let mut kb = KernelBuilder::new("k", &[1], &[32]);
+        let g = kb.param("g", &[3], ScalarType::F32);
+        let r = kb.alloc_reg("r", TensorType::scalar(Layout::contiguous(2), ScalarType::F32));
+        kb.spec(SpecKind::Move, vec![], vec![g], vec![r]);
+        let kernel = kb.build();
+        let err = validate(&kernel, Arch::Sm86).unwrap_err();
+        assert!(err.iter().any(|d| d.code == "GRA004"), "{err:?}");
     }
 }

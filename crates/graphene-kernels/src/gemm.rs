@@ -816,7 +816,9 @@ pub fn build_gemm_double_buffered(cfg: &GemmConfig, epilogue: Epilogue) -> Kerne
                 kb, grid, warp, &ctx, a_s[1], b_s[1], acc, a_frags, b_frags, &geom,
             );
         });
-        kb.sync();
+        // No trailing barrier: the consume of buffer 1 is ordered against
+        // the next iteration's re-stage of buffer 1 by that iteration's
+        // leading sync, so two barriers per iteration suffice.
     });
 
     let ops = EpilogueOps {

@@ -65,7 +65,7 @@ pub fn analyze_bound(
     let mut env: HashMap<String, i64> = bindings.clone();
     env.insert("blockIdx.x".into(), 0);
     let mut c = Counters::default();
-    walk(&kernel.body.stmts, module, &reg, kernel, &mut env, 1, &mut c)?;
+    walk(&kernel.body.stmts, module, &reg, &mut env, 1, &mut c)?;
     // Whole-kernel scaling: every block executes the body.
     let mut total = c.scaled(kernel.grid_size() as u64);
 
@@ -104,7 +104,6 @@ fn walk(
     stmts: &[Stmt],
     module: &Module,
     reg: &[AtomicSpec],
-    kernel: &Kernel,
     env: &mut HashMap<String, i64>,
     mult: u64,
     c: &mut Counters,
@@ -113,21 +112,21 @@ fn walk(
         match s {
             Stmt::For { var, extent, body, .. } => {
                 env.insert(var.clone(), 0);
-                walk(body, module, reg, kernel, env, mult * *extent as u64, c)?;
+                walk(body, module, reg, env, mult * *extent as u64, c)?;
                 env.remove(var);
             }
             Stmt::If { then, .. } => {
                 // Conservative: count the guarded block fully (partial
                 // tiles over-approximate, paper §3.4).
-                walk(then, module, reg, kernel, env, mult, c)?;
+                walk(then, module, reg, env, mult, c)?;
             }
             Stmt::Spec(spec) => match &spec.body {
-                Some(body) => walk(&body.stmts, module, reg, kernel, env, mult, c)?,
+                Some(body) => walk(&body.stmts, module, reg, env, mult, c)?,
                 None => {
                     let atomic = match_atomic(spec, module, reg).ok_or_else(|| {
                         AnalyzeError::NoAtomicMatch(render_spec_header(module, spec))
                     })?;
-                    spec_counters(spec, atomic, module, kernel, env, mult, c)?;
+                    spec_counters(spec, atomic, module, env, mult, c)?;
                 }
             },
             Stmt::Sync(graphene_ir::SyncScope::Block) => c.syncs += mult,
@@ -141,7 +140,6 @@ fn spec_counters(
     spec: &Spec,
     atomic: &AtomicSpec,
     module: &Module,
-    kernel: &Kernel,
     env: &mut HashMap<String, i64>,
     mult: u64,
     c: &mut Counters,
@@ -193,8 +191,7 @@ fn spec_counters(
                     c.smem_write_bytes += total_bytes;
                 }
                 // Sample one warp's conflict factor exactly.
-                let (accesses, transactions) =
-                    sample_conflicts(id, module, kernel, tt, env, bytes_per)?;
+                let (accesses, transactions) = sample_conflicts(id, module, tt, env, bytes_per)?;
                 let chunk = 32.min(lanes_total).max(1);
                 let instances = (lanes_total * mult).div_ceil(chunk);
                 c.smem_accesses += accesses * instances;
@@ -206,21 +203,83 @@ fn spec_counters(
     Ok(())
 }
 
-/// Evaluates one representative warp's addresses for a shared-memory
-/// operand and counts its bank-conflict serialisation.
-fn sample_conflicts(
+/// Enumerates the concrete `threadIdx.x` values covered by an execution
+/// config, outermost groups first, capped at `limit` lanes.
+///
+/// A per-thread config (`group_size() == 1`) yields one lane per group;
+/// a collective config yields `group base + local offset` for every
+/// group member — including non-contiguous layouts such as Volta's
+/// quad-pairs.
+pub fn exec_lanes(tt: &graphene_ir::ThreadTensor, limit: usize) -> Vec<i64> {
+    let mut lanes = Vec::new();
+    if tt.group_size() == 1 {
+        for g in 0..tt.num_groups().min(limit as i64) {
+            lanes.push(tt.group.value(g));
+        }
+    } else {
+        'groups: for g in 0..tt.num_groups() {
+            let base = tt.group.value(g);
+            for j in 0..tt.group_size() {
+                if lanes.len() >= limit {
+                    break 'groups;
+                }
+                lanes.push(base + tt.local.value(j));
+            }
+        }
+    }
+    lanes
+}
+
+/// Evaluates the scalar shared/global addresses an operand view touches
+/// for each given lane, with the root tensor's swizzle applied — the
+/// same arithmetic the interpreter and the hardware perform.
+///
+/// Loop variables and dynamic parameters must already be bound in
+/// `env`; `threadIdx.x` is bound per lane and removed before returning.
+///
+/// # Errors
+///
+/// Fails when the view's offset expression references an unbound
+/// variable.
+pub fn lane_addresses(
     id: TensorId,
     module: &Module,
-    _kernel: &Kernel,
-    tt: &graphene_ir::ThreadTensor,
+    lanes: &[i64],
     env: &mut HashMap<String, i64>,
-    bytes_per: u64,
-) -> Result<(u64, u64), AnalyzeError> {
+) -> Result<Vec<(i64, Vec<i64>)>, AnalyzeError> {
     let d = &module[id];
     let root = module.root_of(id);
     let sw = module[root].ty.swizzle;
     let offs = rel_offsets(&d.ty);
+    let mut out = Vec::with_capacity(lanes.len());
+    for &t in lanes {
+        env.insert("threadIdx.x".into(), t);
+        let base = d.offset.eval(env).map_err(|e| AnalyzeError::Eval(e.to_string()))?;
+        out.push((
+            t,
+            offs.iter()
+                .map(|&o| if sw.is_identity() { base + o } else { sw.apply(base + o) })
+                .collect(),
+        ));
+    }
+    env.remove("threadIdx.x");
+    Ok(out)
+}
 
+/// Evaluates one representative warp's addresses for a shared-memory
+/// operand and counts its bank-conflict serialisation: returns
+/// `(ideal transactions, actual transactions)` for one warp-wide access.
+///
+/// # Errors
+///
+/// See [`AnalyzeError`].
+pub fn sample_conflicts(
+    id: TensorId,
+    module: &Module,
+    tt: &graphene_ir::ThreadTensor,
+    env: &mut HashMap<String, i64>,
+    bytes_per: u64,
+) -> Result<(u64, u64), AnalyzeError> {
     // Representative lanes: the first warp's worth of threads covered by
     // the exec tensor.
     let lanes: Vec<i64> = if tt.group_size() == 1 {
@@ -229,21 +288,10 @@ fn sample_conflicts(
         let base = tt.group.value(0);
         (0..tt.group_size().min(32)).map(|j| base + tt.local.value(j)).collect()
     };
-
-    let mut per_lane: Vec<Vec<i64>> = Vec::with_capacity(lanes.len());
-    for &t in &lanes {
-        env.insert("threadIdx.x".into(), t);
-        let base = d.offset.eval(env).map_err(|e| AnalyzeError::Eval(e.to_string()))?;
-        per_lane.push(
-            offs.iter()
-                .map(|&o| if sw.is_identity() { base + o } else { sw.apply(base + o) })
-                .collect(),
-        );
-    }
-    env.remove("threadIdx.x");
+    let per_lane = lane_addresses(id, module, &lanes, env)?;
 
     let mut per_bank: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
-    for lane in &per_lane {
+    for (_, lane) in &per_lane {
         for &a in lane {
             let word = a * bytes_per as i64 / 4;
             per_bank.entry(word % 32).or_default().insert(word);

@@ -28,9 +28,11 @@ pub mod host;
 pub mod machine;
 pub mod timing;
 
-pub use analyze::{analyze, analyze_bound, AnalyzeError};
+pub use analyze::{
+    analyze, analyze_bound, exec_lanes, lane_addresses, sample_conflicts, AnalyzeError,
+};
 pub use counters::Counters;
-pub use exec::{execute, execute_bound, ExecError, ExecOutcome};
+pub use exec::{execute, execute_bound, rel_offsets, ExecError, ExecOutcome};
 pub use host::HostTensor;
 pub use machine::{machine_for, MachineDesc, AMPERE_A6000, VOLTA_V100};
 pub use timing::{time_kernel, time_sequence, KernelProfile};
