@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-12b5ca1301df20ab.d: crates/graphene-bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-12b5ca1301df20ab: crates/graphene-bench/src/bin/ablations.rs
+
+crates/graphene-bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-23ef322db69d170b.d: crates/graphene-bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-23ef322db69d170b.rmeta: crates/graphene-bench/src/bin/ablations.rs Cargo.toml
+
+crates/graphene-bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builder_properties-63063e7f42e1768e.d: tests/builder_properties.rs
+
+/root/repo/target/debug/deps/builder_properties-63063e7f42e1768e: tests/builder_properties.rs
+
+tests/builder_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/builder_properties-af49b1bd403e4edf.d: tests/builder_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuilder_properties-af49b1bd403e4edf.rmeta: tests/builder_properties.rs Cargo.toml
+
+tests/builder_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler-88619d4b6699d1a7.d: crates/graphene-bench/benches/compiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler-88619d4b6699d1a7.rmeta: crates/graphene-bench/benches/compiler.rs Cargo.toml
+
+crates/graphene-bench/benches/compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

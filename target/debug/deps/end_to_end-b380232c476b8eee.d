@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b380232c476b8eee.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b380232c476b8eee: tests/end_to_end.rs
+
+tests/end_to_end.rs:

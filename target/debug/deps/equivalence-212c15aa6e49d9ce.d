@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-212c15aa6e49d9ce.d: crates/graphene-kernels/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-212c15aa6e49d9ce: crates/graphene-kernels/tests/equivalence.rs
+
+crates/graphene-kernels/tests/equivalence.rs:

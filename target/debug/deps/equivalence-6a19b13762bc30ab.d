@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-6a19b13762bc30ab.d: crates/graphene-kernels/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-6a19b13762bc30ab.rmeta: crates/graphene-kernels/tests/equivalence.rs Cargo.toml
+
+crates/graphene-kernels/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_ldmatrix-e5b46b02d284195b.d: crates/graphene-bench/src/bin/fig01_ldmatrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_ldmatrix-e5b46b02d284195b.rmeta: crates/graphene-bench/src/bin/fig01_ldmatrix.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig01_ldmatrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_ldmatrix-f2003a3ae5e9e5e0.d: crates/graphene-bench/src/bin/fig01_ldmatrix.rs
+
+/root/repo/target/debug/deps/fig01_ldmatrix-f2003a3ae5e9e5e0: crates/graphene-bench/src/bin/fig01_ldmatrix.rs
+
+crates/graphene-bench/src/bin/fig01_ldmatrix.rs:

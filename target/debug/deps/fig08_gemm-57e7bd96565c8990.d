@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_gemm-57e7bd96565c8990.d: crates/graphene-bench/src/bin/fig08_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_gemm-57e7bd96565c8990.rmeta: crates/graphene-bench/src/bin/fig08_gemm.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig08_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

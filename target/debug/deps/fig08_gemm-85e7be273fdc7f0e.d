@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_gemm-85e7be273fdc7f0e.d: crates/graphene-bench/src/bin/fig08_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_gemm-85e7be273fdc7f0e.rmeta: crates/graphene-bench/src/bin/fig08_gemm.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig08_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

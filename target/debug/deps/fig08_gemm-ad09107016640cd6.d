@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_gemm-ad09107016640cd6.d: crates/graphene-bench/src/bin/fig08_gemm.rs
+
+/root/repo/target/debug/deps/fig08_gemm-ad09107016640cd6: crates/graphene-bench/src/bin/fig08_gemm.rs
+
+crates/graphene-bench/src/bin/fig08_gemm.rs:

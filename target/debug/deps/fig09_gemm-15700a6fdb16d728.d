@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_gemm-15700a6fdb16d728.d: crates/graphene-bench/src/bin/fig09_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_gemm-15700a6fdb16d728.rmeta: crates/graphene-bench/src/bin/fig09_gemm.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig09_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

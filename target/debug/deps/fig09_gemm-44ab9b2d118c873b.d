@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_gemm-44ab9b2d118c873b.d: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+/root/repo/target/debug/deps/fig09_gemm-44ab9b2d118c873b: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+crates/graphene-bench/src/bin/fig09_gemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_gemm-ed400383d1076409.d: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+/root/repo/target/debug/deps/fig09_gemm-ed400383d1076409: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+crates/graphene-bench/src/bin/fig09_gemm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_gemm_pointwise-8808ae8dacdc9970.d: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_gemm_pointwise-8808ae8dacdc9970.rmeta: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

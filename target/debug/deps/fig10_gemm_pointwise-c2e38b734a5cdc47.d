@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_gemm_pointwise-c2e38b734a5cdc47.d: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs
+
+/root/repo/target/debug/deps/fig10_gemm_pointwise-c2e38b734a5cdc47: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs
+
+crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_mlp-66fd93050e2bd6b4.d: crates/graphene-bench/src/bin/fig11_mlp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_mlp-66fd93050e2bd6b4.rmeta: crates/graphene-bench/src/bin/fig11_mlp.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig11_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_mlp-9c216c0b9f43f5f0.d: crates/graphene-bench/src/bin/fig11_mlp.rs
+
+/root/repo/target/debug/deps/fig11_mlp-9c216c0b9f43f5f0: crates/graphene-bench/src/bin/fig11_mlp.rs
+
+crates/graphene-bench/src/bin/fig11_mlp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_lstm-616c8783cdbf2f74.d: crates/graphene-bench/src/bin/fig12_lstm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_lstm-616c8783cdbf2f74.rmeta: crates/graphene-bench/src/bin/fig12_lstm.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig12_lstm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_lstm-6c2fa156d46801e4.d: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+/root/repo/target/debug/deps/fig12_lstm-6c2fa156d46801e4: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+crates/graphene-bench/src/bin/fig12_lstm.rs:

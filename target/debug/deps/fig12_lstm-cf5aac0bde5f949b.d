@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_lstm-cf5aac0bde5f949b.d: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+/root/repo/target/debug/deps/fig12_lstm-cf5aac0bde5f949b: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+crates/graphene-bench/src/bin/fig12_lstm.rs:

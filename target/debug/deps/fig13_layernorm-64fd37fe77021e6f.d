@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_layernorm-64fd37fe77021e6f.d: crates/graphene-bench/src/bin/fig13_layernorm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_layernorm-64fd37fe77021e6f.rmeta: crates/graphene-bench/src/bin/fig13_layernorm.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig13_layernorm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_layernorm-da788dc98b90fe38.d: crates/graphene-bench/src/bin/fig13_layernorm.rs
+
+/root/repo/target/debug/deps/fig13_layernorm-da788dc98b90fe38: crates/graphene-bench/src/bin/fig13_layernorm.rs
+
+crates/graphene-bench/src/bin/fig13_layernorm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_layernorm-de32e54ffa64b7d3.d: crates/graphene-bench/src/bin/fig13_layernorm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_layernorm-de32e54ffa64b7d3.rmeta: crates/graphene-bench/src/bin/fig13_layernorm.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig13_layernorm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_fmha-440957f900fc16bd.d: crates/graphene-bench/src/bin/fig14_fmha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_fmha-440957f900fc16bd.rmeta: crates/graphene-bench/src/bin/fig14_fmha.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig14_fmha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

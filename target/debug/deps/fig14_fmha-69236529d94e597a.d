@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_fmha-69236529d94e597a.d: crates/graphene-bench/src/bin/fig14_fmha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_fmha-69236529d94e597a.rmeta: crates/graphene-bench/src/bin/fig14_fmha.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig14_fmha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_fmha-bb3358b76b885dce.d: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+/root/repo/target/debug/deps/fig14_fmha-bb3358b76b885dce: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+crates/graphene-bench/src/bin/fig14_fmha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_fmha-fb792181e93a9589.d: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+/root/repo/target/debug/deps/fig14_fmha-fb792181e93a9589: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+crates/graphene-bench/src/bin/fig14_fmha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_transformers-600902d14a35f801.d: crates/graphene-bench/src/bin/fig15_transformers.rs
+
+/root/repo/target/debug/deps/fig15_transformers-600902d14a35f801: crates/graphene-bench/src/bin/fig15_transformers.rs
+
+crates/graphene-bench/src/bin/fig15_transformers.rs:

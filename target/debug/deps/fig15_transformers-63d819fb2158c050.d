@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_transformers-63d819fb2158c050.d: crates/graphene-bench/src/bin/fig15_transformers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_transformers-63d819fb2158c050.rmeta: crates/graphene-bench/src/bin/fig15_transformers.rs Cargo.toml
+
+crates/graphene-bench/src/bin/fig15_transformers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

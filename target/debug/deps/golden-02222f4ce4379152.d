@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-02222f4ce4379152.d: crates/graphene-codegen/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-02222f4ce4379152: crates/graphene-codegen/tests/golden.rs
+
+crates/graphene-codegen/tests/golden.rs:

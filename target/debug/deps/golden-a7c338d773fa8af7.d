@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-a7c338d773fa8af7.d: crates/graphene-codegen/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-a7c338d773fa8af7.rmeta: crates/graphene-codegen/tests/golden.rs Cargo.toml
+
+crates/graphene-codegen/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphene-110d4baa9799da59.d: src/lib.rs
+
+/root/repo/target/debug/deps/graphene-110d4baa9799da59: src/lib.rs
+
+src/lib.rs:

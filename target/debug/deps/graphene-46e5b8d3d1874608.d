@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphene-46e5b8d3d1874608.d: crates/graphene-cli/src/main.rs
+
+/root/repo/target/debug/deps/graphene-46e5b8d3d1874608: crates/graphene-cli/src/main.rs
+
+crates/graphene-cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphene-497da50aa7ff9d32.d: crates/graphene-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene-497da50aa7ff9d32.rmeta: crates/graphene-cli/src/main.rs Cargo.toml
+
+crates/graphene-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

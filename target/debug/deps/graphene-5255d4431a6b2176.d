@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphene-5255d4431a6b2176.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene-5255d4431a6b2176.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

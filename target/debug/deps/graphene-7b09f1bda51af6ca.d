@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphene-7b09f1bda51af6ca.d: crates/graphene-cli/src/main.rs
+
+/root/repo/target/debug/deps/graphene-7b09f1bda51af6ca: crates/graphene-cli/src/main.rs
+
+crates/graphene-cli/src/main.rs:

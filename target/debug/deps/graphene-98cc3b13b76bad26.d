@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphene-98cc3b13b76bad26.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphene-98cc3b13b76bad26.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphene-98cc3b13b76bad26.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphene-b74d63485f87bc84.d: crates/graphene-cli/src/main.rs
+
+/root/repo/target/debug/deps/graphene-b74d63485f87bc84: crates/graphene-cli/src/main.rs
+
+crates/graphene-cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/graphene_analysis-0942f35d743bfc49.d: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs
+
+/root/repo/target/debug/deps/graphene_analysis-0942f35d743bfc49: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs
+
+crates/graphene-analysis/src/lib.rs:
+crates/graphene-analysis/src/banks.rs:
+crates/graphene-analysis/src/memspace.rs:
+crates/graphene-analysis/src/races.rs:
+crates/graphene-analysis/src/uninit.rs:
+crates/graphene-analysis/src/walk.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/graphene_analysis-91103e39f3c05c2b.d: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_analysis-91103e39f3c05c2b.rmeta: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs Cargo.toml
+
+crates/graphene-analysis/src/lib.rs:
+crates/graphene-analysis/src/banks.rs:
+crates/graphene-analysis/src/memspace.rs:
+crates/graphene-analysis/src/races.rs:
+crates/graphene-analysis/src/uninit.rs:
+crates/graphene-analysis/src/walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

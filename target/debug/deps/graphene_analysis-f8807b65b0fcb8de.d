@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/graphene_analysis-f8807b65b0fcb8de.d: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs
+
+/root/repo/target/debug/deps/libgraphene_analysis-f8807b65b0fcb8de.rlib: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs
+
+/root/repo/target/debug/deps/libgraphene_analysis-f8807b65b0fcb8de.rmeta: crates/graphene-analysis/src/lib.rs crates/graphene-analysis/src/banks.rs crates/graphene-analysis/src/memspace.rs crates/graphene-analysis/src/races.rs crates/graphene-analysis/src/uninit.rs crates/graphene-analysis/src/walk.rs
+
+crates/graphene-analysis/src/lib.rs:
+crates/graphene-analysis/src/banks.rs:
+crates/graphene-analysis/src/memspace.rs:
+crates/graphene-analysis/src/races.rs:
+crates/graphene-analysis/src/uninit.rs:
+crates/graphene-analysis/src/walk.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/graphene_bench-a24b3a9956d42a5d.d: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+/root/repo/target/debug/deps/libgraphene_bench-a24b3a9956d42a5d.rlib: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+/root/repo/target/debug/deps/libgraphene_bench-a24b3a9956d42a5d.rmeta: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+crates/graphene-bench/src/lib.rs:
+crates/graphene-bench/src/ablations.rs:
+crates/graphene-bench/src/figures.rs:
+crates/graphene-bench/src/report.rs:

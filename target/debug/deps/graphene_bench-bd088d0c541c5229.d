@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/graphene_bench-bd088d0c541c5229.d: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+/root/repo/target/debug/deps/graphene_bench-bd088d0c541c5229: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+crates/graphene-bench/src/lib.rs:
+crates/graphene-bench/src/ablations.rs:
+crates/graphene-bench/src/figures.rs:
+crates/graphene-bench/src/report.rs:

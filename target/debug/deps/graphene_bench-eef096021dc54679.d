@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/graphene_bench-eef096021dc54679.d: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_bench-eef096021dc54679.rmeta: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs Cargo.toml
+
+crates/graphene-bench/src/lib.rs:
+crates/graphene-bench/src/ablations.rs:
+crates/graphene-bench/src/figures.rs:
+crates/graphene-bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

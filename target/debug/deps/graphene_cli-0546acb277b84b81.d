@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphene_cli-0546acb277b84b81.d: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/debug/deps/graphene_cli-0546acb277b84b81: crates/graphene-cli/src/lib.rs
+
+crates/graphene-cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphene_cli-378bc791dc5e3c51.d: crates/graphene-cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_cli-378bc791dc5e3c51.rmeta: crates/graphene-cli/src/lib.rs Cargo.toml
+
+crates/graphene-cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

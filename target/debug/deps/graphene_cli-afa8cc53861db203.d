@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphene_cli-afa8cc53861db203.d: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgraphene_cli-afa8cc53861db203.rlib: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgraphene_cli-afa8cc53861db203.rmeta: crates/graphene-cli/src/lib.rs
+
+crates/graphene-cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphene_cli-c22ca52fa6042ac5.d: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgraphene_cli-c22ca52fa6042ac5.rlib: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libgraphene_cli-c22ca52fa6042ac5.rmeta: crates/graphene-cli/src/lib.rs
+
+crates/graphene-cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphene_cli-c3aaed172a232907.d: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/debug/deps/graphene_cli-c3aaed172a232907: crates/graphene-cli/src/lib.rs
+
+crates/graphene-cli/src/lib.rs:

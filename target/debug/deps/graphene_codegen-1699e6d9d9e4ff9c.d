@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/graphene_codegen-1699e6d9d9e4ff9c.d: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_codegen-1699e6d9d9e4ff9c.rmeta: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs Cargo.toml
+
+crates/graphene-codegen/src/lib.rs:
+crates/graphene-codegen/src/emit.rs:
+crates/graphene-codegen/src/expr.rs:
+crates/graphene-codegen/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

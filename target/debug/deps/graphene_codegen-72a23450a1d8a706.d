@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/graphene_codegen-72a23450a1d8a706.d: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+/root/repo/target/debug/deps/libgraphene_codegen-72a23450a1d8a706.rlib: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+/root/repo/target/debug/deps/libgraphene_codegen-72a23450a1d8a706.rmeta: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+crates/graphene-codegen/src/lib.rs:
+crates/graphene-codegen/src/emit.rs:
+crates/graphene-codegen/src/expr.rs:
+crates/graphene-codegen/src/writer.rs:

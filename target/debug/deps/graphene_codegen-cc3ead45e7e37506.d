@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/graphene_codegen-cc3ead45e7e37506.d: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+/root/repo/target/debug/deps/graphene_codegen-cc3ead45e7e37506: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+crates/graphene-codegen/src/lib.rs:
+crates/graphene-codegen/src/emit.rs:
+crates/graphene-codegen/src/expr.rs:
+crates/graphene-codegen/src/writer.rs:

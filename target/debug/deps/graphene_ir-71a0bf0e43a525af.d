@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/graphene_ir-71a0bf0e43a525af.d: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_ir-71a0bf0e43a525af.rmeta: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs Cargo.toml
+
+crates/graphene-ir/src/lib.rs:
+crates/graphene-ir/src/atomic.rs:
+crates/graphene-ir/src/body.rs:
+crates/graphene-ir/src/builder.rs:
+crates/graphene-ir/src/diag.rs:
+crates/graphene-ir/src/dtype.rs:
+crates/graphene-ir/src/memory.rs:
+crates/graphene-ir/src/module.rs:
+crates/graphene-ir/src/ops.rs:
+crates/graphene-ir/src/printer.rs:
+crates/graphene-ir/src/spec.rs:
+crates/graphene-ir/src/tensor.rs:
+crates/graphene-ir/src/threads.rs:
+crates/graphene-ir/src/transform.rs:
+crates/graphene-ir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

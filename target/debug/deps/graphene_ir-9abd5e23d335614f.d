@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/graphene_ir-9abd5e23d335614f.d: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+/root/repo/target/debug/deps/libgraphene_ir-9abd5e23d335614f.rlib: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+/root/repo/target/debug/deps/libgraphene_ir-9abd5e23d335614f.rmeta: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+crates/graphene-ir/src/lib.rs:
+crates/graphene-ir/src/atomic.rs:
+crates/graphene-ir/src/body.rs:
+crates/graphene-ir/src/builder.rs:
+crates/graphene-ir/src/diag.rs:
+crates/graphene-ir/src/dtype.rs:
+crates/graphene-ir/src/memory.rs:
+crates/graphene-ir/src/module.rs:
+crates/graphene-ir/src/ops.rs:
+crates/graphene-ir/src/printer.rs:
+crates/graphene-ir/src/spec.rs:
+crates/graphene-ir/src/tensor.rs:
+crates/graphene-ir/src/threads.rs:
+crates/graphene-ir/src/transform.rs:
+crates/graphene-ir/src/validate.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/graphene_kernels-85ebc8e065b0b062.d: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_kernels-85ebc8e065b0b062.rmeta: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs Cargo.toml
+
+crates/graphene-kernels/src/lib.rs:
+crates/graphene-kernels/src/common.rs:
+crates/graphene-kernels/src/fmha.rs:
+crates/graphene-kernels/src/gemm.rs:
+crates/graphene-kernels/src/graph.rs:
+crates/graphene-kernels/src/layernorm.rs:
+crates/graphene-kernels/src/lstm.rs:
+crates/graphene-kernels/src/mlp.rs:
+crates/graphene-kernels/src/mma.rs:
+crates/graphene-kernels/src/reference.rs:
+crates/graphene-kernels/src/softmax.rs:
+crates/graphene-kernels/src/transformer.rs:
+crates/graphene-kernels/src/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

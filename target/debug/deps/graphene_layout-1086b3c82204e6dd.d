@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphene_layout-1086b3c82204e6dd.d: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+/root/repo/target/debug/deps/graphene_layout-1086b3c82204e6dd: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+crates/graphene-layout/src/lib.rs:
+crates/graphene-layout/src/algebra.rs:
+crates/graphene-layout/src/int_tuple.rs:
+crates/graphene-layout/src/layout.rs:
+crates/graphene-layout/src/swizzle.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/graphene_layout-20a5d7c63b58a9e3.d: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+/root/repo/target/debug/deps/libgraphene_layout-20a5d7c63b58a9e3.rlib: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+/root/repo/target/debug/deps/libgraphene_layout-20a5d7c63b58a9e3.rmeta: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+crates/graphene-layout/src/lib.rs:
+crates/graphene-layout/src/algebra.rs:
+crates/graphene-layout/src/int_tuple.rs:
+crates/graphene-layout/src/layout.rs:
+crates/graphene-layout/src/swizzle.rs:

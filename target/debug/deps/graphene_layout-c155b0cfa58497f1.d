@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/graphene_layout-c155b0cfa58497f1.d: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_layout-c155b0cfa58497f1.rmeta: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs Cargo.toml
+
+crates/graphene-layout/src/lib.rs:
+crates/graphene-layout/src/algebra.rs:
+crates/graphene-layout/src/int_tuple.rs:
+crates/graphene-layout/src/layout.rs:
+crates/graphene-layout/src/swizzle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/graphene_sim-01fe587d30df58d6.d: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_sim-01fe587d30df58d6.rmeta: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs Cargo.toml
+
+crates/graphene-sim/src/lib.rs:
+crates/graphene-sim/src/analyze.rs:
+crates/graphene-sim/src/counters.rs:
+crates/graphene-sim/src/exec.rs:
+crates/graphene-sim/src/host.rs:
+crates/graphene-sim/src/machine.rs:
+crates/graphene-sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/graphene_sim-5c85e7b2e22e4654.d: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libgraphene_sim-5c85e7b2e22e4654.rlib: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libgraphene_sim-5c85e7b2e22e4654.rmeta: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+crates/graphene-sim/src/lib.rs:
+crates/graphene-sim/src/analyze.rs:
+crates/graphene-sim/src/counters.rs:
+crates/graphene-sim/src/exec.rs:
+crates/graphene-sim/src/host.rs:
+crates/graphene-sim/src/machine.rs:
+crates/graphene-sim/src/timing.rs:

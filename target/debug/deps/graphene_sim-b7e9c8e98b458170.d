@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/graphene_sim-b7e9c8e98b458170.d: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_sim-b7e9c8e98b458170.rmeta: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs Cargo.toml
+
+crates/graphene-sim/src/lib.rs:
+crates/graphene-sim/src/analyze.rs:
+crates/graphene-sim/src/counters.rs:
+crates/graphene-sim/src/exec.rs:
+crates/graphene-sim/src/host.rs:
+crates/graphene-sim/src/machine.rs:
+crates/graphene-sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphene_sym-18117846041df56c.d: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+/root/repo/target/debug/deps/libgraphene_sym-18117846041df56c.rlib: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+/root/repo/target/debug/deps/libgraphene_sym-18117846041df56c.rmeta: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+crates/graphene-sym/src/lib.rs:
+crates/graphene-sym/src/expr.rs:
+crates/graphene-sym/src/simplify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/graphene_sym-63e499ba9406f79d.d: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphene_sym-63e499ba9406f79d.rmeta: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs Cargo.toml
+
+crates/graphene-sym/src/lib.rs:
+crates/graphene-sym/src/expr.rs:
+crates/graphene-sym/src/simplify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphene_sym-bb861819ff34e3db.d: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+/root/repo/target/debug/deps/graphene_sym-bb861819ff34e3db: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+crates/graphene-sym/src/lib.rs:
+crates/graphene-sym/src/expr.rs:
+crates/graphene-sym/src/simplify.rs:

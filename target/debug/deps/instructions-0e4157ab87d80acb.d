@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instructions-0e4157ab87d80acb.d: crates/graphene-codegen/tests/instructions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstructions-0e4157ab87d80acb.rmeta: crates/graphene-codegen/tests/instructions.rs Cargo.toml
+
+crates/graphene-codegen/tests/instructions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

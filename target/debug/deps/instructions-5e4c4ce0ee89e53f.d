@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instructions-5e4c4ce0ee89e53f.d: crates/graphene-codegen/tests/instructions.rs
+
+/root/repo/target/debug/deps/instructions-5e4c4ce0ee89e53f: crates/graphene-codegen/tests/instructions.rs
+
+crates/graphene-codegen/tests/instructions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-fc69bea9c00e7567.d: crates/graphene-bench/benches/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-fc69bea9c00e7567.rmeta: crates/graphene-bench/benches/paper_figures.rs Cargo.toml
+
+crates/graphene-bench/benches/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_kernels-8ed5439505ae8f16.d: crates/graphene-analysis/tests/paper_kernels.rs
+
+/root/repo/target/debug/deps/paper_kernels-8ed5439505ae8f16: crates/graphene-analysis/tests/paper_kernels.rs
+
+crates/graphene-analysis/tests/paper_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_kernels-a98b5d24548dba86.d: crates/graphene-analysis/tests/paper_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_kernels-a98b5d24548dba86.rmeta: crates/graphene-analysis/tests/paper_kernels.rs Cargo.toml
+
+crates/graphene-analysis/tests/paper_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-0f38ebb025843eca.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-0f38ebb025843eca: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

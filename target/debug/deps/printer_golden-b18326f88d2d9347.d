@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/printer_golden-b18326f88d2d9347.d: crates/graphene-ir/tests/printer_golden.rs
+
+/root/repo/target/debug/deps/printer_golden-b18326f88d2d9347: crates/graphene-ir/tests/printer_golden.rs
+
+crates/graphene-ir/tests/printer_golden.rs:

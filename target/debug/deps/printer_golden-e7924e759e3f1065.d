@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/printer_golden-e7924e759e3f1065.d: crates/graphene-ir/tests/printer_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprinter_golden-e7924e759e3f1065.rmeta: crates/graphene-ir/tests/printer_golden.rs Cargo.toml
+
+crates/graphene-ir/tests/printer_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-0fad962913c72b8a.d: crates/graphene-analysis/tests/property.rs
+
+/root/repo/target/debug/deps/property-0fad962913c72b8a: crates/graphene-analysis/tests/property.rs
+
+crates/graphene-analysis/tests/property.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property-ea1eb0e1059083d2.d: crates/graphene-analysis/tests/property.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty-ea1eb0e1059083d2.rmeta: crates/graphene-analysis/tests/property.rs Cargo.toml
+
+crates/graphene-analysis/tests/property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

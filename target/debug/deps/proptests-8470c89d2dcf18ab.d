@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8470c89d2dcf18ab.d: crates/graphene-layout/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8470c89d2dcf18ab.rmeta: crates/graphene-layout/tests/proptests.rs Cargo.toml
+
+crates/graphene-layout/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c3d7d196c3cf4ff0.d: crates/graphene-layout/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c3d7d196c3cf4ff0: crates/graphene-layout/tests/proptests.rs
+
+crates/graphene-layout/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rendering-65ac21c38fc767d2.d: crates/graphene-sym/tests/rendering.rs
+
+/root/repo/target/debug/deps/rendering-65ac21c38fc767d2: crates/graphene-sym/tests/rendering.rs
+
+crates/graphene-sym/tests/rendering.rs:

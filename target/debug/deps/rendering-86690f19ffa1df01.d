@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rendering-86690f19ffa1df01.d: crates/graphene-sym/tests/rendering.rs Cargo.toml
+
+/root/repo/target/debug/deps/librendering-86690f19ffa1df01.rmeta: crates/graphene-sym/tests/rendering.rs Cargo.toml
+
+crates/graphene-sym/tests/rendering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

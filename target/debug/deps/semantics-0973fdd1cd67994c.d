@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-0973fdd1cd67994c.d: crates/graphene-sim/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-0973fdd1cd67994c.rmeta: crates/graphene-sim/tests/semantics.rs Cargo.toml
+
+crates/graphene-sim/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

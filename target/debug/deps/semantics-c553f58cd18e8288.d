@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-c553f58cd18e8288.d: crates/graphene-sim/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-c553f58cd18e8288: crates/graphene-sim/tests/semantics.rs
+
+crates/graphene-sim/tests/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness-accd7fa967bcdbf9.d: crates/graphene-sym/tests/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness-accd7fa967bcdbf9.rmeta: crates/graphene-sym/tests/soundness.rs Cargo.toml
+
+crates/graphene-sym/tests/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-dde23678a1f23976.d: crates/graphene-sym/tests/soundness.rs
+
+/root/repo/target/debug/deps/soundness-dde23678a1f23976: crates/graphene-sym/tests/soundness.rs
+
+crates/graphene-sym/tests/soundness.rs:

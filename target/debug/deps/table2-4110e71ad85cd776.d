@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-4110e71ad85cd776.d: crates/graphene-ir/tests/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-4110e71ad85cd776.rmeta: crates/graphene-ir/tests/table2.rs Cargo.toml
+
+crates/graphene-ir/tests/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

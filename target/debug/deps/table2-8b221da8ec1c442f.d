@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8b221da8ec1c442f.d: crates/graphene-ir/tests/table2.rs
+
+/root/repo/target/debug/deps/table2-8b221da8ec1c442f: crates/graphene-ir/tests/table2.rs
+
+crates/graphene-ir/tests/table2.rs:

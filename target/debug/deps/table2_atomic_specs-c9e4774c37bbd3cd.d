@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_atomic_specs-c9e4774c37bbd3cd.d: crates/graphene-bench/src/bin/table2_atomic_specs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_atomic_specs-c9e4774c37bbd3cd.rmeta: crates/graphene-bench/src/bin/table2_atomic_specs.rs Cargo.toml
+
+crates/graphene-bench/src/bin/table2_atomic_specs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

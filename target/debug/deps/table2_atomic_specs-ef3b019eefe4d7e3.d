@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_atomic_specs-ef3b019eefe4d7e3.d: crates/graphene-bench/src/bin/table2_atomic_specs.rs
+
+/root/repo/target/debug/deps/table2_atomic_specs-ef3b019eefe4d7e3: crates/graphene-bench/src/bin/table2_atomic_specs.rs
+
+crates/graphene-bench/src/bin/table2_atomic_specs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compiler_lowering-36f9ccf91b08231b.d: examples/compiler_lowering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompiler_lowering-36f9ccf91b08231b.rmeta: examples/compiler_lowering.rs Cargo.toml
+
+examples/compiler_lowering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_lowering-b365f1697a3d974a.d: examples/compiler_lowering.rs
+
+/root/repo/target/debug/examples/compiler_lowering-b365f1697a3d974a: examples/compiler_lowering.rs
+
+examples/compiler_lowering.rs:

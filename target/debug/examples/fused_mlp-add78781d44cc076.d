@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fused_mlp-add78781d44cc076.d: examples/fused_mlp.rs
+
+/root/repo/target/debug/examples/fused_mlp-add78781d44cc076: examples/fused_mlp.rs
+
+examples/fused_mlp.rs:

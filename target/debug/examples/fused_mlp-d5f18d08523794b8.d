@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fused_mlp-d5f18d08523794b8.d: examples/fused_mlp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfused_mlp-d5f18d08523794b8.rmeta: examples/fused_mlp.rs Cargo.toml
+
+examples/fused_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

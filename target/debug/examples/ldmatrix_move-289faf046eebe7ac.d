@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ldmatrix_move-289faf046eebe7ac.d: examples/ldmatrix_move.rs
+
+/root/repo/target/debug/examples/ldmatrix_move-289faf046eebe7ac: examples/ldmatrix_move.rs
+
+examples/ldmatrix_move.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ldmatrix_move-488f2cd3fca12ac8.d: examples/ldmatrix_move.rs Cargo.toml
+
+/root/repo/target/debug/examples/libldmatrix_move-488f2cd3fca12ac8.rmeta: examples/ldmatrix_move.rs Cargo.toml
+
+examples/ldmatrix_move.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e66567f944d0244d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e66567f944d0244d: examples/quickstart.rs
+
+examples/quickstart.rs:

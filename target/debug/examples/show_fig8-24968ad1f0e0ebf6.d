@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/show_fig8-24968ad1f0e0ebf6.d: crates/graphene-codegen/examples/show_fig8.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshow_fig8-24968ad1f0e0ebf6.rmeta: crates/graphene-codegen/examples/show_fig8.rs Cargo.toml
+
+crates/graphene-codegen/examples/show_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

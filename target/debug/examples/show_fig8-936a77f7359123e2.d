@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/show_fig8-936a77f7359123e2.d: crates/graphene-codegen/examples/show_fig8.rs
+
+/root/repo/target/debug/examples/show_fig8-936a77f7359123e2: crates/graphene-codegen/examples/show_fig8.rs
+
+crates/graphene-codegen/examples/show_fig8.rs:

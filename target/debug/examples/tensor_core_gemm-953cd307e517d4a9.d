@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tensor_core_gemm-953cd307e517d4a9.d: examples/tensor_core_gemm.rs
+
+/root/repo/target/debug/examples/tensor_core_gemm-953cd307e517d4a9: examples/tensor_core_gemm.rs
+
+examples/tensor_core_gemm.rs:

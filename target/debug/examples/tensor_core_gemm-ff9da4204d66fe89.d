@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tensor_core_gemm-ff9da4204d66fe89.d: examples/tensor_core_gemm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtensor_core_gemm-ff9da4204d66fe89.rmeta: examples/tensor_core_gemm.rs Cargo.toml
+
+examples/tensor_core_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4a3d35b081eb9ff4.d: crates/graphene-bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-4a3d35b081eb9ff4: crates/graphene-bench/src/bin/ablations.rs
+
+crates/graphene-bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-99ebbbd717831b2f.d: crates/graphene-bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-99ebbbd717831b2f: crates/graphene-bench/src/bin/ablations.rs
+
+crates/graphene-bench/src/bin/ablations.rs:

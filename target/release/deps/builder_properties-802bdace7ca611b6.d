@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/builder_properties-802bdace7ca611b6.d: tests/builder_properties.rs
+
+/root/repo/target/release/deps/builder_properties-802bdace7ca611b6: tests/builder_properties.rs
+
+tests/builder_properties.rs:

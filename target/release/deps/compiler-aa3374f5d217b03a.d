@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler-aa3374f5d217b03a.d: crates/graphene-bench/benches/compiler.rs
+
+/root/repo/target/release/deps/compiler-aa3374f5d217b03a: crates/graphene-bench/benches/compiler.rs
+
+crates/graphene-bench/benches/compiler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-37bae5eb453fca6b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-37bae5eb453fca6b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

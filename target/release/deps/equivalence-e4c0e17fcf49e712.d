@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-e4c0e17fcf49e712.d: crates/graphene-kernels/tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-e4c0e17fcf49e712: crates/graphene-kernels/tests/equivalence.rs
+
+crates/graphene-kernels/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_ldmatrix-26c392684b6df27c.d: crates/graphene-bench/src/bin/fig01_ldmatrix.rs
+
+/root/repo/target/release/deps/fig01_ldmatrix-26c392684b6df27c: crates/graphene-bench/src/bin/fig01_ldmatrix.rs
+
+crates/graphene-bench/src/bin/fig01_ldmatrix.rs:

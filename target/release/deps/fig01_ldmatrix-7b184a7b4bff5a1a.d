@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_ldmatrix-7b184a7b4bff5a1a.d: crates/graphene-bench/src/bin/fig01_ldmatrix.rs
+
+/root/repo/target/release/deps/fig01_ldmatrix-7b184a7b4bff5a1a: crates/graphene-bench/src/bin/fig01_ldmatrix.rs
+
+crates/graphene-bench/src/bin/fig01_ldmatrix.rs:

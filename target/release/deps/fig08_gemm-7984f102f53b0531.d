@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_gemm-7984f102f53b0531.d: crates/graphene-bench/src/bin/fig08_gemm.rs
+
+/root/repo/target/release/deps/fig08_gemm-7984f102f53b0531: crates/graphene-bench/src/bin/fig08_gemm.rs
+
+crates/graphene-bench/src/bin/fig08_gemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_gemm-9e8a59b46b95d71f.d: crates/graphene-bench/src/bin/fig08_gemm.rs
+
+/root/repo/target/release/deps/fig08_gemm-9e8a59b46b95d71f: crates/graphene-bench/src/bin/fig08_gemm.rs
+
+crates/graphene-bench/src/bin/fig08_gemm.rs:

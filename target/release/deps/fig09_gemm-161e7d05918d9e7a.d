@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_gemm-161e7d05918d9e7a.d: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+/root/repo/target/release/deps/fig09_gemm-161e7d05918d9e7a: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+crates/graphene-bench/src/bin/fig09_gemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_gemm-f03e12b300c6da66.d: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+/root/repo/target/release/deps/fig09_gemm-f03e12b300c6da66: crates/graphene-bench/src/bin/fig09_gemm.rs
+
+crates/graphene-bench/src/bin/fig09_gemm.rs:

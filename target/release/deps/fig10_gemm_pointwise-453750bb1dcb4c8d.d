@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_gemm_pointwise-453750bb1dcb4c8d.d: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs
+
+/root/repo/target/release/deps/fig10_gemm_pointwise-453750bb1dcb4c8d: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs
+
+crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs:

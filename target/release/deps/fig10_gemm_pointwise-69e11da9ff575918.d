@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_gemm_pointwise-69e11da9ff575918.d: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs
+
+/root/repo/target/release/deps/fig10_gemm_pointwise-69e11da9ff575918: crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs
+
+crates/graphene-bench/src/bin/fig10_gemm_pointwise.rs:

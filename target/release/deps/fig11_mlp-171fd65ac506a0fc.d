@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_mlp-171fd65ac506a0fc.d: crates/graphene-bench/src/bin/fig11_mlp.rs
+
+/root/repo/target/release/deps/fig11_mlp-171fd65ac506a0fc: crates/graphene-bench/src/bin/fig11_mlp.rs
+
+crates/graphene-bench/src/bin/fig11_mlp.rs:

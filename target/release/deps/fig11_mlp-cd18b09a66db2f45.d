@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_mlp-cd18b09a66db2f45.d: crates/graphene-bench/src/bin/fig11_mlp.rs
+
+/root/repo/target/release/deps/fig11_mlp-cd18b09a66db2f45: crates/graphene-bench/src/bin/fig11_mlp.rs
+
+crates/graphene-bench/src/bin/fig11_mlp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_lstm-7713e27a019f1788.d: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+/root/repo/target/release/deps/fig12_lstm-7713e27a019f1788: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+crates/graphene-bench/src/bin/fig12_lstm.rs:

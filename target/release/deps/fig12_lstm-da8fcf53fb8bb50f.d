@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_lstm-da8fcf53fb8bb50f.d: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+/root/repo/target/release/deps/fig12_lstm-da8fcf53fb8bb50f: crates/graphene-bench/src/bin/fig12_lstm.rs
+
+crates/graphene-bench/src/bin/fig12_lstm.rs:

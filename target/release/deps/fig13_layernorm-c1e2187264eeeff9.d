@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_layernorm-c1e2187264eeeff9.d: crates/graphene-bench/src/bin/fig13_layernorm.rs
+
+/root/repo/target/release/deps/fig13_layernorm-c1e2187264eeeff9: crates/graphene-bench/src/bin/fig13_layernorm.rs
+
+crates/graphene-bench/src/bin/fig13_layernorm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_layernorm-fda53d28ee265b11.d: crates/graphene-bench/src/bin/fig13_layernorm.rs
+
+/root/repo/target/release/deps/fig13_layernorm-fda53d28ee265b11: crates/graphene-bench/src/bin/fig13_layernorm.rs
+
+crates/graphene-bench/src/bin/fig13_layernorm.rs:

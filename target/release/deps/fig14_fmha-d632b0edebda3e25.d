@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_fmha-d632b0edebda3e25.d: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+/root/repo/target/release/deps/fig14_fmha-d632b0edebda3e25: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+crates/graphene-bench/src/bin/fig14_fmha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_fmha-f30f8887c7db1a96.d: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+/root/repo/target/release/deps/fig14_fmha-f30f8887c7db1a96: crates/graphene-bench/src/bin/fig14_fmha.rs
+
+crates/graphene-bench/src/bin/fig14_fmha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_transformers-8ac55e6db00f5a6c.d: crates/graphene-bench/src/bin/fig15_transformers.rs
+
+/root/repo/target/release/deps/fig15_transformers-8ac55e6db00f5a6c: crates/graphene-bench/src/bin/fig15_transformers.rs
+
+crates/graphene-bench/src/bin/fig15_transformers.rs:

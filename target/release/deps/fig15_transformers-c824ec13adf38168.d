@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_transformers-c824ec13adf38168.d: crates/graphene-bench/src/bin/fig15_transformers.rs
+
+/root/repo/target/release/deps/fig15_transformers-c824ec13adf38168: crates/graphene-bench/src/bin/fig15_transformers.rs
+
+crates/graphene-bench/src/bin/fig15_transformers.rs:

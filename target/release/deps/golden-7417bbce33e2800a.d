@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden-7417bbce33e2800a.d: crates/graphene-codegen/tests/golden.rs
+
+/root/repo/target/release/deps/golden-7417bbce33e2800a: crates/graphene-codegen/tests/golden.rs
+
+crates/graphene-codegen/tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graphene-5a7cb1d8b3b9f178.d: crates/graphene-cli/src/main.rs
+
+/root/repo/target/release/deps/graphene-5a7cb1d8b3b9f178: crates/graphene-cli/src/main.rs
+
+crates/graphene-cli/src/main.rs:

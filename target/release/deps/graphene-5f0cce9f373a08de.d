@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graphene-5f0cce9f373a08de.d: src/lib.rs
+
+/root/repo/target/release/deps/graphene-5f0cce9f373a08de: src/lib.rs
+
+src/lib.rs:

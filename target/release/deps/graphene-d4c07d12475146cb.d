@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graphene-d4c07d12475146cb.d: src/lib.rs
+
+/root/repo/target/release/deps/libgraphene-d4c07d12475146cb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgraphene-d4c07d12475146cb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graphene-f78436b9e754c44d.d: crates/graphene-cli/src/main.rs
+
+/root/repo/target/release/deps/graphene-f78436b9e754c44d: crates/graphene-cli/src/main.rs
+
+crates/graphene-cli/src/main.rs:

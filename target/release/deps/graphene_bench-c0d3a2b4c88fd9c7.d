@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/graphene_bench-c0d3a2b4c88fd9c7.d: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+/root/repo/target/release/deps/graphene_bench-c0d3a2b4c88fd9c7: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+crates/graphene-bench/src/lib.rs:
+crates/graphene-bench/src/ablations.rs:
+crates/graphene-bench/src/figures.rs:
+crates/graphene-bench/src/report.rs:

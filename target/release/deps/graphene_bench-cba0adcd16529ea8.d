@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/graphene_bench-cba0adcd16529ea8.d: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+/root/repo/target/release/deps/libgraphene_bench-cba0adcd16529ea8.rlib: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+/root/repo/target/release/deps/libgraphene_bench-cba0adcd16529ea8.rmeta: crates/graphene-bench/src/lib.rs crates/graphene-bench/src/ablations.rs crates/graphene-bench/src/figures.rs crates/graphene-bench/src/report.rs
+
+crates/graphene-bench/src/lib.rs:
+crates/graphene-bench/src/ablations.rs:
+crates/graphene-bench/src/figures.rs:
+crates/graphene-bench/src/report.rs:

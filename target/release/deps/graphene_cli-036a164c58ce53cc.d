@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graphene_cli-036a164c58ce53cc.d: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/release/deps/libgraphene_cli-036a164c58ce53cc.rlib: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/release/deps/libgraphene_cli-036a164c58ce53cc.rmeta: crates/graphene-cli/src/lib.rs
+
+crates/graphene-cli/src/lib.rs:

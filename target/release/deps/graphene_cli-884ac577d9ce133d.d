@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graphene_cli-884ac577d9ce133d.d: crates/graphene-cli/src/lib.rs
+
+/root/repo/target/release/deps/graphene_cli-884ac577d9ce133d: crates/graphene-cli/src/lib.rs
+
+crates/graphene-cli/src/lib.rs:

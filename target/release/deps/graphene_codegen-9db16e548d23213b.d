@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/graphene_codegen-9db16e548d23213b.d: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+/root/repo/target/release/deps/libgraphene_codegen-9db16e548d23213b.rlib: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+/root/repo/target/release/deps/libgraphene_codegen-9db16e548d23213b.rmeta: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+crates/graphene-codegen/src/lib.rs:
+crates/graphene-codegen/src/emit.rs:
+crates/graphene-codegen/src/expr.rs:
+crates/graphene-codegen/src/writer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/graphene_codegen-a9a3670c1ee921da.d: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+/root/repo/target/release/deps/graphene_codegen-a9a3670c1ee921da: crates/graphene-codegen/src/lib.rs crates/graphene-codegen/src/emit.rs crates/graphene-codegen/src/expr.rs crates/graphene-codegen/src/writer.rs
+
+crates/graphene-codegen/src/lib.rs:
+crates/graphene-codegen/src/emit.rs:
+crates/graphene-codegen/src/expr.rs:
+crates/graphene-codegen/src/writer.rs:

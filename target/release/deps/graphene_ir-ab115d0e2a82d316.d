@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/graphene_ir-ab115d0e2a82d316.d: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+/root/repo/target/release/deps/graphene_ir-ab115d0e2a82d316: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+crates/graphene-ir/src/lib.rs:
+crates/graphene-ir/src/atomic.rs:
+crates/graphene-ir/src/body.rs:
+crates/graphene-ir/src/builder.rs:
+crates/graphene-ir/src/dtype.rs:
+crates/graphene-ir/src/memory.rs:
+crates/graphene-ir/src/module.rs:
+crates/graphene-ir/src/ops.rs:
+crates/graphene-ir/src/printer.rs:
+crates/graphene-ir/src/spec.rs:
+crates/graphene-ir/src/tensor.rs:
+crates/graphene-ir/src/threads.rs:
+crates/graphene-ir/src/transform.rs:
+crates/graphene-ir/src/validate.rs:

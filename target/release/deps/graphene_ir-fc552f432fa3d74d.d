@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/graphene_ir-fc552f432fa3d74d.d: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+/root/repo/target/release/deps/libgraphene_ir-fc552f432fa3d74d.rlib: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+/root/repo/target/release/deps/libgraphene_ir-fc552f432fa3d74d.rmeta: crates/graphene-ir/src/lib.rs crates/graphene-ir/src/atomic.rs crates/graphene-ir/src/body.rs crates/graphene-ir/src/builder.rs crates/graphene-ir/src/diag.rs crates/graphene-ir/src/dtype.rs crates/graphene-ir/src/memory.rs crates/graphene-ir/src/module.rs crates/graphene-ir/src/ops.rs crates/graphene-ir/src/printer.rs crates/graphene-ir/src/spec.rs crates/graphene-ir/src/tensor.rs crates/graphene-ir/src/threads.rs crates/graphene-ir/src/transform.rs crates/graphene-ir/src/validate.rs
+
+crates/graphene-ir/src/lib.rs:
+crates/graphene-ir/src/atomic.rs:
+crates/graphene-ir/src/body.rs:
+crates/graphene-ir/src/builder.rs:
+crates/graphene-ir/src/diag.rs:
+crates/graphene-ir/src/dtype.rs:
+crates/graphene-ir/src/memory.rs:
+crates/graphene-ir/src/module.rs:
+crates/graphene-ir/src/ops.rs:
+crates/graphene-ir/src/printer.rs:
+crates/graphene-ir/src/spec.rs:
+crates/graphene-ir/src/tensor.rs:
+crates/graphene-ir/src/threads.rs:
+crates/graphene-ir/src/transform.rs:
+crates/graphene-ir/src/validate.rs:

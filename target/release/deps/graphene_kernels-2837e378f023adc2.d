@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/graphene_kernels-2837e378f023adc2.d: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs
+
+/root/repo/target/release/deps/graphene_kernels-2837e378f023adc2: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs
+
+crates/graphene-kernels/src/lib.rs:
+crates/graphene-kernels/src/common.rs:
+crates/graphene-kernels/src/fmha.rs:
+crates/graphene-kernels/src/gemm.rs:
+crates/graphene-kernels/src/graph.rs:
+crates/graphene-kernels/src/layernorm.rs:
+crates/graphene-kernels/src/lstm.rs:
+crates/graphene-kernels/src/mlp.rs:
+crates/graphene-kernels/src/mma.rs:
+crates/graphene-kernels/src/reference.rs:
+crates/graphene-kernels/src/softmax.rs:
+crates/graphene-kernels/src/transformer.rs:
+crates/graphene-kernels/src/tune.rs:

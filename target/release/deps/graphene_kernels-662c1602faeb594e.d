@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/graphene_kernels-662c1602faeb594e.d: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs
+
+/root/repo/target/release/deps/libgraphene_kernels-662c1602faeb594e.rlib: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs
+
+/root/repo/target/release/deps/libgraphene_kernels-662c1602faeb594e.rmeta: crates/graphene-kernels/src/lib.rs crates/graphene-kernels/src/common.rs crates/graphene-kernels/src/fmha.rs crates/graphene-kernels/src/gemm.rs crates/graphene-kernels/src/graph.rs crates/graphene-kernels/src/layernorm.rs crates/graphene-kernels/src/lstm.rs crates/graphene-kernels/src/mlp.rs crates/graphene-kernels/src/mma.rs crates/graphene-kernels/src/reference.rs crates/graphene-kernels/src/softmax.rs crates/graphene-kernels/src/transformer.rs crates/graphene-kernels/src/tune.rs
+
+crates/graphene-kernels/src/lib.rs:
+crates/graphene-kernels/src/common.rs:
+crates/graphene-kernels/src/fmha.rs:
+crates/graphene-kernels/src/gemm.rs:
+crates/graphene-kernels/src/graph.rs:
+crates/graphene-kernels/src/layernorm.rs:
+crates/graphene-kernels/src/lstm.rs:
+crates/graphene-kernels/src/mlp.rs:
+crates/graphene-kernels/src/mma.rs:
+crates/graphene-kernels/src/reference.rs:
+crates/graphene-kernels/src/softmax.rs:
+crates/graphene-kernels/src/transformer.rs:
+crates/graphene-kernels/src/tune.rs:

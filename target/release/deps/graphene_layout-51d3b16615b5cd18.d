@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/graphene_layout-51d3b16615b5cd18.d: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+/root/repo/target/release/deps/libgraphene_layout-51d3b16615b5cd18.rlib: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+/root/repo/target/release/deps/libgraphene_layout-51d3b16615b5cd18.rmeta: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+crates/graphene-layout/src/lib.rs:
+crates/graphene-layout/src/algebra.rs:
+crates/graphene-layout/src/int_tuple.rs:
+crates/graphene-layout/src/layout.rs:
+crates/graphene-layout/src/swizzle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/graphene_layout-f828ba98ecafecc7.d: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+/root/repo/target/release/deps/graphene_layout-f828ba98ecafecc7: crates/graphene-layout/src/lib.rs crates/graphene-layout/src/algebra.rs crates/graphene-layout/src/int_tuple.rs crates/graphene-layout/src/layout.rs crates/graphene-layout/src/swizzle.rs
+
+crates/graphene-layout/src/lib.rs:
+crates/graphene-layout/src/algebra.rs:
+crates/graphene-layout/src/int_tuple.rs:
+crates/graphene-layout/src/layout.rs:
+crates/graphene-layout/src/swizzle.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/graphene_sim-48971bbd36b69f96.d: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+/root/repo/target/release/deps/graphene_sim-48971bbd36b69f96: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+crates/graphene-sim/src/lib.rs:
+crates/graphene-sim/src/analyze.rs:
+crates/graphene-sim/src/counters.rs:
+crates/graphene-sim/src/exec.rs:
+crates/graphene-sim/src/host.rs:
+crates/graphene-sim/src/machine.rs:
+crates/graphene-sim/src/timing.rs:

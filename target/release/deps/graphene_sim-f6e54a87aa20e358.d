@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/graphene_sim-f6e54a87aa20e358.d: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+/root/repo/target/release/deps/libgraphene_sim-f6e54a87aa20e358.rlib: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+/root/repo/target/release/deps/libgraphene_sim-f6e54a87aa20e358.rmeta: crates/graphene-sim/src/lib.rs crates/graphene-sim/src/analyze.rs crates/graphene-sim/src/counters.rs crates/graphene-sim/src/exec.rs crates/graphene-sim/src/host.rs crates/graphene-sim/src/machine.rs crates/graphene-sim/src/timing.rs
+
+crates/graphene-sim/src/lib.rs:
+crates/graphene-sim/src/analyze.rs:
+crates/graphene-sim/src/counters.rs:
+crates/graphene-sim/src/exec.rs:
+crates/graphene-sim/src/host.rs:
+crates/graphene-sim/src/machine.rs:
+crates/graphene-sim/src/timing.rs:

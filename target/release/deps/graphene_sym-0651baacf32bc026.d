@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graphene_sym-0651baacf32bc026.d: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+/root/repo/target/release/deps/graphene_sym-0651baacf32bc026: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+crates/graphene-sym/src/lib.rs:
+crates/graphene-sym/src/expr.rs:
+crates/graphene-sym/src/simplify.rs:

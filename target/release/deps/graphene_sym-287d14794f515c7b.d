@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/graphene_sym-287d14794f515c7b.d: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+/root/repo/target/release/deps/libgraphene_sym-287d14794f515c7b.rlib: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+/root/repo/target/release/deps/libgraphene_sym-287d14794f515c7b.rmeta: crates/graphene-sym/src/lib.rs crates/graphene-sym/src/expr.rs crates/graphene-sym/src/simplify.rs
+
+crates/graphene-sym/src/lib.rs:
+crates/graphene-sym/src/expr.rs:
+crates/graphene-sym/src/simplify.rs:

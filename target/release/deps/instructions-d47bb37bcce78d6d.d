@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/instructions-d47bb37bcce78d6d.d: crates/graphene-codegen/tests/instructions.rs
+
+/root/repo/target/release/deps/instructions-d47bb37bcce78d6d: crates/graphene-codegen/tests/instructions.rs
+
+crates/graphene-codegen/tests/instructions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_figures-c06a28e40e031d65.d: crates/graphene-bench/benches/paper_figures.rs
+
+/root/repo/target/release/deps/paper_figures-c06a28e40e031d65: crates/graphene-bench/benches/paper_figures.rs
+
+crates/graphene-bench/benches/paper_figures.rs:

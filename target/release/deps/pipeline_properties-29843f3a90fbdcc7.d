@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_properties-29843f3a90fbdcc7.d: tests/pipeline_properties.rs
+
+/root/repo/target/release/deps/pipeline_properties-29843f3a90fbdcc7: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/printer_golden-7f4816ed67af44f8.d: crates/graphene-ir/tests/printer_golden.rs
+
+/root/repo/target/release/deps/printer_golden-7f4816ed67af44f8: crates/graphene-ir/tests/printer_golden.rs
+
+crates/graphene-ir/tests/printer_golden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-580caaf49b3cbf20.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-580caaf49b3cbf20.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-580caaf49b3cbf20.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-8fce909d009a30f5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-8fce909d009a30f5: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

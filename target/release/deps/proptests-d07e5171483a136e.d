@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d07e5171483a136e.d: crates/graphene-layout/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d07e5171483a136e: crates/graphene-layout/tests/proptests.rs
+
+crates/graphene-layout/tests/proptests.rs:

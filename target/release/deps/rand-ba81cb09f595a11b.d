@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-ba81cb09f595a11b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-ba81cb09f595a11b: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

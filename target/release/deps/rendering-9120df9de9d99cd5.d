@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rendering-9120df9de9d99cd5.d: crates/graphene-sym/tests/rendering.rs
+
+/root/repo/target/release/deps/rendering-9120df9de9d99cd5: crates/graphene-sym/tests/rendering.rs
+
+crates/graphene-sym/tests/rendering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semantics-9cdd717913a2bade.d: crates/graphene-sim/tests/semantics.rs
+
+/root/repo/target/release/deps/semantics-9cdd717913a2bade: crates/graphene-sim/tests/semantics.rs
+
+crates/graphene-sim/tests/semantics.rs:

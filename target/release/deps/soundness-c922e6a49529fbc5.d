@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soundness-c922e6a49529fbc5.d: crates/graphene-sym/tests/soundness.rs
+
+/root/repo/target/release/deps/soundness-c922e6a49529fbc5: crates/graphene-sym/tests/soundness.rs
+
+crates/graphene-sym/tests/soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d9dbc64f0f22c38d.d: crates/graphene-ir/tests/table2.rs
+
+/root/repo/target/release/deps/table2-d9dbc64f0f22c38d: crates/graphene-ir/tests/table2.rs
+
+crates/graphene-ir/tests/table2.rs:

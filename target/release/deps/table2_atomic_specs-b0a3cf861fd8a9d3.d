@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_atomic_specs-b0a3cf861fd8a9d3.d: crates/graphene-bench/src/bin/table2_atomic_specs.rs
+
+/root/repo/target/release/deps/table2_atomic_specs-b0a3cf861fd8a9d3: crates/graphene-bench/src/bin/table2_atomic_specs.rs
+
+crates/graphene-bench/src/bin/table2_atomic_specs.rs:

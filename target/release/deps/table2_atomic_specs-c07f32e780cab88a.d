@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_atomic_specs-c07f32e780cab88a.d: crates/graphene-bench/src/bin/table2_atomic_specs.rs
+
+/root/repo/target/release/deps/table2_atomic_specs-c07f32e780cab88a: crates/graphene-bench/src/bin/table2_atomic_specs.rs
+
+crates/graphene-bench/src/bin/table2_atomic_specs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_lowering-137706f4cf49c0cc.d: examples/compiler_lowering.rs
+
+/root/repo/target/release/examples/compiler_lowering-137706f4cf49c0cc: examples/compiler_lowering.rs
+
+examples/compiler_lowering.rs:

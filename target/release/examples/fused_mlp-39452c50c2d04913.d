@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fused_mlp-39452c50c2d04913.d: examples/fused_mlp.rs
+
+/root/repo/target/release/examples/fused_mlp-39452c50c2d04913: examples/fused_mlp.rs
+
+examples/fused_mlp.rs:

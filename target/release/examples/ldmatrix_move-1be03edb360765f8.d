@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ldmatrix_move-1be03edb360765f8.d: examples/ldmatrix_move.rs
+
+/root/repo/target/release/examples/ldmatrix_move-1be03edb360765f8: examples/ldmatrix_move.rs
+
+examples/ldmatrix_move.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bdfb710fa49db946.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bdfb710fa49db946: examples/quickstart.rs
+
+examples/quickstart.rs:

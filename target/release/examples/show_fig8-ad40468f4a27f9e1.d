@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/show_fig8-ad40468f4a27f9e1.d: crates/graphene-codegen/examples/show_fig8.rs
+
+/root/repo/target/release/examples/show_fig8-ad40468f4a27f9e1: crates/graphene-codegen/examples/show_fig8.rs
+
+crates/graphene-codegen/examples/show_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tensor_core_gemm-b8d023255f834dea.d: examples/tensor_core_gemm.rs
+
+/root/repo/target/release/examples/tensor_core_gemm-b8d023255f834dea: examples/tensor_core_gemm.rs
+
+examples/tensor_core_gemm.rs:

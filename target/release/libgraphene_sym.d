@@ -1,0 +1,1 @@
+/root/repo/target/release/libgraphene_sym.rlib: /root/repo/crates/graphene-sym/src/expr.rs /root/repo/crates/graphene-sym/src/lib.rs /root/repo/crates/graphene-sym/src/simplify.rs

@@ -1,0 +1,171 @@
+//! Vendored offline shim for the subset of `rand` 0.8 this workspace
+//! uses: a seedable deterministic RNG (`StdRng`) and uniform
+//! `gen_range` sampling over primitive ranges.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be fetched; this shim keeps the same module paths
+//! (`rand::rngs::StdRng`, `rand::{Rng, SeedableRng}`) and deterministic
+//! seeding semantics the tests rely on. It is NOT a cryptographic or
+//! statistically rigorous generator — it is a splitmix64/xoshiro256**
+//! pair, which is more than adequate for generating test tensors.
+
+/// Core trait for random number generators, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of RNGs from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed (deterministic across runs).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: UniformRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can be sampled uniformly. Implemented for the primitive
+/// integer and float ranges the workspace draws from.
+pub trait UniformRange<T> {
+    /// Draws one uniform sample.
+    fn sample<G: RngCore>(&self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            fn sample<G: RngCore>(&self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<G: RngCore>(&self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl UniformRange<f32> for core::ops::Range<f32> {
+    fn sample<G: RngCore>(&self, rng: &mut G) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl UniformRange<f64> for core::ops::Range<f64> {
+    fn sample<G: RngCore>(&self, rng: &mut G) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via splitmix64 —
+    /// stands in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 60), b.gen_range(0u64..1 << 60));
+        }
+    }
+
+    #[test]
+    fn float_range_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+            let v = rng.gen_range(1i64..=6);
+            assert!((1..=6).contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
