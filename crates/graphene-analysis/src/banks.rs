@@ -2,91 +2,112 @@
 //!
 //! For every shared-memory operand of every atomic access site, one
 //! representative warp's addresses are evaluated exactly (via
-//! [`graphene_sim::sample_conflicts`], the same sampling the simulator's
-//! counter analysis uses) and the measured conflict factor — actual
-//! transactions over the conflict-free minimum — grades the finding:
-//! a factor of ≥2× warns, anything above 1× is informational. This is
-//! the lint that distinguishes Figure 9's swizzled layouts from naive
-//! row-major staging.
+//! [`graphene_sim::sample_conflicts_cached`], the same sampling the
+//! simulator's counter analysis uses, over compiled address plans and a
+//! reusable fixed-size bank tally) and the measured conflict factor —
+//! actual transactions over the conflict-free minimum — grades the
+//! finding: a factor of ≥2× warns, anything above 1× is informational.
+//! This is the lint that distinguishes Figure 9's swizzled layouts from
+//! naive row-major staging.
 
 use graphene_ir::atomic::{match_atomic, registry};
 use graphene_ir::body::Stmt;
 use graphene_ir::printer::render_spec_header;
 use graphene_ir::threads::ThreadLevel;
 use graphene_ir::{Arch, Diagnostic, Kernel, MemSpace, Module};
-use graphene_sim::sample_conflicts;
+use graphene_sim::{sample_conflicts_cached, BankTally, PlanCache};
 use std::collections::{HashMap, HashSet};
 
 /// Grades every shared-memory access site by its measured bank-conflict
 /// factor.
 pub fn check_bank_conflicts(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
-    let reg = registry(arch);
-    let module = &kernel.module;
-    let mut env: HashMap<String, i64> = HashMap::from([("blockIdx.x".to_string(), 0)]);
-    let mut seen: HashSet<(graphene_ir::TensorId, String)> = HashSet::new();
-    let mut diags = Vec::new();
-    walk(&kernel.body.stmts, module, &reg, &mut env, &mut seen, &mut diags);
-    diags
+    let mut cx = BankCx {
+        module: &kernel.module,
+        reg: registry(arch),
+        plans: PlanCache::new(),
+        tally: BankTally::new(),
+        env: HashMap::from([("blockIdx.x".to_string(), 0)]),
+        seen: HashSet::new(),
+        diags: Vec::new(),
+    };
+    cx.walk(&kernel.body.stmts);
+    cx.diags
 }
 
-fn walk(
-    stmts: &[Stmt],
-    module: &Module,
-    reg: &[graphene_ir::AtomicSpec],
-    env: &mut HashMap<String, i64>,
-    seen: &mut HashSet<(graphene_ir::TensorId, String)>,
-    diags: &mut Vec<Diagnostic>,
-) {
-    for s in stmts {
-        match s {
-            Stmt::For { var, body, .. } => {
-                env.insert(var.clone(), 0);
-                walk(body, module, reg, env, seen, diags);
-                env.remove(var);
-            }
-            Stmt::If { then, .. } => walk(then, module, reg, env, seen, diags),
-            Stmt::Spec(spec) => match &spec.body {
-                Some(body) => walk(&body.stmts, module, reg, env, seen, diags),
-                None => {
-                    let Some(&exec) = spec.exec.last() else { continue };
-                    let tt = &module[exec];
-                    if tt.level != ThreadLevel::Thread || match_atomic(spec, module, reg).is_none()
-                    {
-                        continue;
-                    }
-                    for &id in spec.ins.iter().chain(spec.outs.iter()) {
-                        let root = module.root_of(id);
-                        if module[root].mem != MemSpace::Shared {
-                            continue;
-                        }
-                        let bytes_per = module[id].ty.scalar_type().bytes();
-                        let Ok((ideal, actual)) = sample_conflicts(id, module, tt, env, bytes_per)
-                        else {
-                            continue;
-                        };
-                        if ideal == 0 || actual <= ideal {
-                            continue;
-                        }
-                        let header = render_spec_header(module, spec);
-                        if !seen.insert((root, header.clone())) {
-                            continue;
-                        }
-                        let factor = actual as f64 / ideal as f64;
-                        let msg = format!(
-                            "%{} access in `{header}` has a {factor:.1}x bank-conflict \
-                             factor ({actual} transactions, {ideal} conflict-free); \
-                             consider a swizzled layout",
-                            module[root].name,
-                        );
-                        diags.push(if factor >= 2.0 {
-                            Diagnostic::warn("GRA014", msg)
-                        } else {
-                            Diagnostic::info("GRA014", msg)
-                        });
-                    }
+struct BankCx<'m> {
+    module: &'m Module,
+    reg: Vec<graphene_ir::AtomicSpec>,
+    /// Compiled address plans, shared across every access site.
+    plans: PlanCache,
+    /// Reusable fixed 32-entry conflict tally.
+    tally: BankTally,
+    env: HashMap<String, i64>,
+    seen: HashSet<(graphene_ir::TensorId, String)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl BankCx<'_> {
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::For { var, body, .. } => {
+                    self.env.insert(var.clone(), 0);
+                    self.walk(body);
+                    self.env.remove(var);
                 }
-            },
-            _ => {}
+                Stmt::If { then, .. } => self.walk(then),
+                Stmt::Spec(spec) => match &spec.body {
+                    Some(body) => self.walk(&body.stmts),
+                    None => self.grade_spec(spec),
+                },
+                _ => {}
+            }
+        }
+    }
+
+    fn grade_spec(&mut self, spec: &graphene_ir::Spec) {
+        let module = self.module;
+        let Some(&exec) = spec.exec.last() else { return };
+        let tt = &module[exec];
+        if tt.level != ThreadLevel::Thread || match_atomic(spec, module, &self.reg).is_none() {
+            return;
+        }
+        for &id in spec.ins.iter().chain(spec.outs.iter()) {
+            let root = module.root_of(id);
+            if module[root].mem != MemSpace::Shared {
+                continue;
+            }
+            let bytes_per = module[id].ty.scalar_type().bytes();
+            let Ok((ideal, actual)) = sample_conflicts_cached(
+                &mut self.plans,
+                &mut self.tally,
+                id,
+                module,
+                tt,
+                &self.env,
+                bytes_per,
+            ) else {
+                continue;
+            };
+            if ideal == 0 || actual <= ideal {
+                continue;
+            }
+            let header = render_spec_header(module, spec);
+            if !self.seen.insert((root, header.clone())) {
+                continue;
+            }
+            let factor = actual as f64 / ideal as f64;
+            let msg = format!(
+                "%{} access in `{header}` has a {factor:.1}x bank-conflict \
+                 factor ({actual} transactions, {ideal} conflict-free); \
+                 consider a swizzled layout",
+                module[root].name,
+            );
+            self.diags.push(if factor >= 2.0 {
+                Diagnostic::warn("GRA014", msg)
+            } else {
+                Diagnostic::info("GRA014", msg)
+            });
         }
     }
 }

@@ -31,6 +31,7 @@ use graphene_ir::atomic::{registry, AtomicSpec};
 use graphene_ir::body::{Predicate, Stmt, SyncScope};
 use graphene_ir::tensor::TensorId;
 use graphene_ir::{Arch, Diagnostic, Kernel, MemSpace, Module};
+use graphene_sim::PlanCache;
 use std::collections::{HashMap, HashSet};
 
 /// Detects shared-memory races in a kernel.
@@ -38,6 +39,7 @@ pub fn check_races(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
     let mut cx = RaceCx {
         module: &kernel.module,
         reg: registry(arch),
+        plans: PlanCache::new(),
         env: HashMap::from([("blockIdx.x".to_string(), 0)]),
         path: vec!["body".into()],
         guards: Vec::new(),
@@ -58,6 +60,9 @@ struct PendingAccess {
 struct RaceCx<'m> {
     module: &'m Module,
     reg: Vec<AtomicSpec>,
+    /// Compiled address plans, shared across every access site of the
+    /// walk (and with the simulator's representation of addressing).
+    plans: PlanCache,
     env: HashMap<String, i64>,
     path: Vec<String>,
     guards: Vec<Predicate>,
@@ -105,6 +110,7 @@ impl RaceCx<'_> {
                             spec,
                             self.module,
                             &self.reg,
+                            &mut self.plans,
                             &mut self.env,
                             &self.guards,
                             &self.path,

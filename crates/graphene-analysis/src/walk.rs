@@ -7,7 +7,7 @@ use graphene_ir::spec::Spec;
 use graphene_ir::tensor::TensorId;
 use graphene_ir::threads::ThreadLevel;
 use graphene_ir::{MemSpace, Module};
-use graphene_sim::{exec_lanes, lane_addresses};
+use graphene_sim::{exec_lanes, lane_addresses_cached, PlanCache};
 use std::collections::HashMap;
 
 /// One shared-memory operand access of one undecomposed spec, with the
@@ -48,7 +48,9 @@ pub fn eval_guard(cond: &Predicate, env: &HashMap<String, i64>) -> Option<bool> 
 
 /// Collects the shared-memory accesses of one undecomposed spec, with
 /// per-thread addresses evaluated under `env` and lanes filtered by the
-/// active thread-dependent guards.
+/// active thread-dependent guards. Address plans are compiled at most
+/// once per view through `plans` — the same compiled layer the
+/// simulator executes on — and reused across every call site of a pass.
 ///
 /// Returns nothing when the spec matches no atomic spec (reported
 /// separately as `GRA002`), has no thread-level execution config, or
@@ -57,6 +59,7 @@ pub fn shared_accesses(
     spec: &Spec,
     module: &Module,
     reg: &[AtomicSpec],
+    plans: &mut PlanCache,
     env: &mut HashMap<String, i64>,
     guards: &[Predicate],
     path: &[String],
@@ -93,7 +96,7 @@ pub fn shared_accesses(
         if module[root].mem != MemSpace::Shared {
             continue;
         }
-        let Ok(per_lane) = lane_addresses(id, module, &lanes, env) else { continue };
+        let Ok(per_lane) = lane_addresses_cached(plans, id, module, &lanes, env) else { continue };
         let mut lanes_at: HashMap<i64, Vec<i64>> = HashMap::new();
         for (t, addrs) in per_lane {
             for a in addrs {

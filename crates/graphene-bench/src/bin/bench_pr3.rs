@@ -1,0 +1,234 @@
+//! Interpreter throughput benchmark: compiled address plans + parallel
+//! CTA execution vs the original reference interpreter.
+//!
+//! Runs the tiled GEMM, FMHA, and layernorm kernels through all three
+//! engines — the pre-optimization reference interpreter, sequential
+//! plan execution, and parallel plan execution — verifying bit-identical
+//! outputs and counters, then emits `BENCH_PR3.json` with per-kernel
+//! wall time, throughput (output elements per second), and measured
+//! speedups, alongside the timing model's predicted kernel time for the
+//! same counters.
+//!
+//! Usage: `cargo run --release -p graphene-bench --bin bench_pr3 [--fast] [out.json]`
+//! (`--fast` runs one timing iteration per engine — the CI smoke mode).
+
+use graphene_ir::{Arch, Kernel, TensorId};
+use graphene_kernels::fmha::{build_fused_fmha, FmhaConfig};
+use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
+use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
+use graphene_sim::{
+    execute_reference, execute_with, machine_for, time_kernel, ExecMode, ExecOutcome, HostTensor,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct BenchCase {
+    name: &'static str,
+    kernel: Kernel,
+    arch: Arch,
+    inputs: HashMap<TensorId, Vec<f32>>,
+    /// Output elements produced (throughput denominator).
+    elements: u64,
+}
+
+struct BenchResult {
+    name: &'static str,
+    blocks: i64,
+    elements: u64,
+    reference_s: f64,
+    sequential_s: f64,
+    parallel_s: f64,
+    bit_identical: bool,
+    counters_identical: bool,
+    flops_tc: u64,
+    global_read_bytes: u64,
+    smem_transactions: u64,
+    modeled_time_s: f64,
+}
+
+fn gemm_case() -> BenchCase {
+    // 16 independent CTAs of the paper's tiled-GEMM schedule.
+    let cfg =
+        GemmConfig { m: 128, n: 128, k: 64, bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, swizzle: true };
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    let (m, n, k) = (cfg.m as usize, cfg.n as usize, cfg.k as usize);
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[m, k], 41).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[k, n], 42).as_slice().to_vec());
+    BenchCase {
+        name: "gemm_tiled_sm86",
+        kernel,
+        arch: Arch::Sm86,
+        inputs,
+        elements: (m * n) as u64,
+    }
+}
+
+fn fmha_case() -> BenchCase {
+    let cfg = FmhaConfig { heads: 4, seq: 64, d: 32, bq: 64, wm: 32 };
+    let kernel = build_fused_fmha(Arch::Sm86, &cfg);
+    let rows = (cfg.heads * cfg.seq) as usize;
+    let d = cfg.d as usize;
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[rows, d], 51).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[rows, d], 52).as_slice().to_vec());
+    inputs.insert(kernel.params[2], HostTensor::random(&[rows, d], 53).as_slice().to_vec());
+    BenchCase { name: "fmha_sm86", kernel, arch: Arch::Sm86, inputs, elements: (rows * d) as u64 }
+}
+
+fn layernorm_case() -> BenchCase {
+    let cfg = LayernormConfig::new(64, 256);
+    let kernel = build_layernorm(Arch::Sm86, &cfg);
+    let (rows, hidden) = (cfg.rows as usize, cfg.hidden as usize);
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[rows, hidden], 61).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[hidden], 62).as_slice().to_vec());
+    inputs.insert(kernel.params[2], HostTensor::random(&[hidden], 63).as_slice().to_vec());
+    BenchCase {
+        name: "layernorm_sm86",
+        kernel,
+        arch: Arch::Sm86,
+        inputs,
+        elements: (rows * hidden) as u64,
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, returning the last outcome.
+fn time_best<F: FnMut() -> ExecOutcome>(iters: u32, mut f: F) -> (f64, ExecOutcome) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..iters {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn bits(globals: &HashMap<TensorId, Vec<f32>>) -> Vec<(TensorId, Vec<u32>)> {
+    let mut v: Vec<_> =
+        globals.iter().map(|(id, buf)| (*id, buf.iter().map(|x| x.to_bits()).collect())).collect();
+    v.sort_by_key(|(id, _)| *id);
+    v
+}
+
+fn run_case(case: &BenchCase, iters: u32) -> BenchResult {
+    let BenchCase { name, kernel, arch, inputs, elements } = case;
+    let bindings = HashMap::new();
+    let (reference_s, ref_out) =
+        time_best(iters, || execute_reference(kernel, *arch, inputs).expect("reference"));
+    let (sequential_s, seq_out) = time_best(iters, || {
+        execute_with(kernel, *arch, inputs, &bindings, ExecMode::Sequential).expect("sequential")
+    });
+    let (parallel_s, par_out) = time_best(iters, || {
+        execute_with(kernel, *arch, inputs, &bindings, ExecMode::Parallel).expect("parallel")
+    });
+    let bit_identical = bits(&ref_out.globals) == bits(&seq_out.globals)
+        && bits(&ref_out.globals) == bits(&par_out.globals);
+    let counters_identical =
+        ref_out.counters == seq_out.counters && ref_out.counters == par_out.counters;
+    let blocks = kernel.grid_size();
+    let profile = time_kernel(&ref_out.counters, machine_for(*arch), blocks);
+    BenchResult {
+        name,
+        blocks,
+        elements: *elements,
+        reference_s,
+        sequential_s,
+        parallel_s,
+        bit_identical,
+        counters_identical,
+        flops_tc: ref_out.counters.flops_tc,
+        global_read_bytes: ref_out.counters.global_read_bytes,
+        smem_transactions: ref_out.counters.smem_transactions,
+        modeled_time_s: profile.time_s,
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+fn render_json(results: &[BenchResult], iters: u32) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"interpreter-throughput\",\n");
+    s.push_str(&format!("  \"iterations_per_engine\": {iters},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let tput = |secs: f64| json_f(r.elements as f64 / secs);
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"grid_blocks\": {},\n", r.blocks));
+        s.push_str(&format!("      \"output_elements\": {},\n", r.elements));
+        s.push_str(&format!("      \"reference_wall_s\": {},\n", json_f(r.reference_s)));
+        s.push_str(&format!("      \"sequential_wall_s\": {},\n", json_f(r.sequential_s)));
+        s.push_str(&format!("      \"parallel_wall_s\": {},\n", json_f(r.parallel_s)));
+        s.push_str(&format!("      \"elements_per_s_reference\": {},\n", tput(r.reference_s)));
+        s.push_str(&format!("      \"elements_per_s_sequential\": {},\n", tput(r.sequential_s)));
+        s.push_str(&format!("      \"elements_per_s_parallel\": {},\n", tput(r.parallel_s)));
+        s.push_str(&format!(
+            "      \"speedup_sequential\": {},\n",
+            json_f(r.reference_s / r.sequential_s)
+        ));
+        s.push_str(&format!(
+            "      \"speedup_parallel\": {},\n",
+            json_f(r.reference_s / r.parallel_s)
+        ));
+        s.push_str(&format!("      \"bit_identical_outputs\": {},\n", r.bit_identical));
+        s.push_str(&format!("      \"identical_counters\": {},\n", r.counters_identical));
+        s.push_str("      \"counters\": {\n");
+        s.push_str(&format!("        \"flops_tc\": {},\n", r.flops_tc));
+        s.push_str(&format!("        \"global_read_bytes\": {},\n", r.global_read_bytes));
+        s.push_str(&format!("        \"smem_transactions\": {}\n", r.smem_transactions));
+        s.push_str("      },\n");
+        s.push_str(&format!("      \"modeled_gpu_time_s\": {}\n", json_f(r.modeled_time_s)));
+        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".into());
+    let iters: u32 = if fast { 1 } else { 5 };
+
+    let cases = [gemm_case(), fmha_case(), layernorm_case()];
+    let mut results = Vec::new();
+    println!("interpreter throughput ({iters} timed iterations per engine, best-of)\n");
+    println!(
+        "{:<16} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9}  identical",
+        "kernel", "blocks", "reference", "sequential", "parallel", "seq x", "par x"
+    );
+    for case in &cases {
+        let r = run_case(case, iters);
+        println!(
+            "{:<16} {:>7} {:>11.3}ms {:>11.3}ms {:>11.3}ms {:>8.1}x {:>8.1}x  {}",
+            r.name,
+            r.blocks,
+            r.reference_s * 1e3,
+            r.sequential_s * 1e3,
+            r.parallel_s * 1e3,
+            r.reference_s / r.sequential_s,
+            r.reference_s / r.parallel_s,
+            if r.bit_identical && r.counters_identical { "yes" } else { "NO" },
+        );
+        assert!(r.bit_identical, "{}: outputs diverged between engines", r.name);
+        assert!(r.counters_identical, "{}: counters diverged between engines", r.name);
+        results.push(r);
+    }
+
+    let json = render_json(&results, iters);
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

@@ -23,7 +23,10 @@ use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
 use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
 use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
 use graphene_kernels::softmax::{build_softmax, SoftmaxConfig};
-use graphene_sim::{analyze, machine_for, time_kernel};
+use graphene_sim::{
+    analyze, execute_plan, execute_reference, machine_for, time_kernel, ExecMode, HostTensor,
+    KernelPlan,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -132,6 +135,7 @@ pub fn usage() -> String {
        layernorm  --rows --hidden [--emit ...]\n\
        softmax    --rows --cols [--emit ...]\n\
        fmha       --heads --seq --d [--emit ...]   (Ampere only)\n\
+       run        <kernel> [--arch ...] [--exec reference|sequential|parallel] [sizes]  (execute on the functional simulator)\n\
        tune       --arch ... --m --n --k [--top N]  (GEMM tile search)\n\
        lint       <kernel> [--arch ...] [--emit text|json]  (static analysis; kernel = gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha)\n\
        table2     --arch sm70|sm86\n"
@@ -152,6 +156,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             render(cli.emit()?, arch, &kernel)
         }
         "lint" => lint(&cli),
+        "run" => exec_run(&cli),
         "tune" => {
             let arch = cli.arch()?;
             let (m, n, k) = (cli.int("m", 4096)?, cli.int("n", 4096)?, cli.int("k", 1024)?);
@@ -337,6 +342,69 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
     }
 }
 
+/// The `run` sub-command: execute a kernel on the functional simulator
+/// with seeded random inputs and report wall time, counters, and an
+/// output checksum (identical across all three engines by construction).
+fn exec_run(cli: &Cli) -> Result<String, CliError> {
+    let Some(name) = cli.positional.first() else {
+        return Err(CliError(
+            "run needs a kernel name: run <gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha>".into(),
+        ));
+    };
+    let (arch, kernel) = build_named_kernel(cli, name)?;
+    let mode = match cli.options.get("exec").map(String::as_str) {
+        None | Some("parallel") => Some(ExecMode::Parallel),
+        Some("sequential") => Some(ExecMode::Sequential),
+        Some("reference") => None,
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown exec mode `{other}` (reference|sequential|parallel)"
+            )))
+        }
+    };
+    let plan = KernelPlan::compile(&kernel, arch).map_err(|e| CliError(e.to_string()))?;
+    let mut inputs = HashMap::new();
+    for (i, (id, _, len)) in plan.params().iter().enumerate() {
+        inputs.insert(*id, HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec());
+    }
+    let bindings = HashMap::new();
+    let start = std::time::Instant::now();
+    let outcome = match mode {
+        Some(m) => execute_plan(&plan, &inputs, &bindings, m),
+        None => execute_reference(&kernel, arch, &inputs),
+    }
+    .map_err(|e| CliError(e.to_string()))?;
+    let wall = start.elapsed().as_secs_f64();
+    let checksum: f64 =
+        outcome.globals.values().flat_map(|buf| buf.iter()).map(|&x| f64::from(x)).sum();
+    let c = &outcome.counters;
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel   : {}", kernel.name);
+    let _ = writeln!(
+        out,
+        "engine   : {} interpreter",
+        match mode {
+            None => "reference",
+            Some(ExecMode::Sequential) => "compiled (sequential)",
+            Some(_) => "compiled (parallel)",
+        }
+    );
+    let _ = writeln!(out, "launch   : {} blocks x {} threads", plan.grid_size(), plan.block_size());
+    let _ = writeln!(out, "wall     : {:.3} ms", wall * 1e3);
+    let _ = writeln!(
+        out,
+        "counters : {} instructions, {} TC flops, {} FMA flops, {} syncs",
+        c.instructions, c.flops_tc, c.flops_fma, c.syncs
+    );
+    let _ = writeln!(
+        out,
+        "traffic  : {} B global read, {} B global written, {} smem transactions",
+        c.global_read_bytes, c.global_write_bytes, c.smem_transactions
+    );
+    let _ = writeln!(out, "checksum : {checksum:.6}");
+    Ok(out)
+}
+
 fn render(emit: Emit, arch: Arch, kernel: &Kernel) -> Result<String, CliError> {
     graphene_ir::validate::validate(kernel, arch)
         .map_err(|ds| CliError(format!("kernel does not validate: {}", ds[0])))?;
@@ -500,6 +568,41 @@ mod lint_tests {
         let a = Cli::parse(&["gemm".into(), "--m".into(), "512".into()]).unwrap();
         let b = Cli::parse(&["gemm".into(), "--m=512".into()]).unwrap();
         assert_eq!(a.options.get("m"), b.options.get("m"));
+    }
+}
+
+#[cfg(test)]
+mod run_tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn run_executes_all_modes_with_matching_checksums() {
+        let checksum = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("checksum : "))
+                .map(str::to_owned)
+                .expect("checksum line")
+        };
+        let base = "run gemm --m 128 --n 128 --k 32";
+        let par = run_str(&format!("{base} --exec parallel")).unwrap();
+        let seq = run_str(&format!("{base} --exec sequential")).unwrap();
+        let reference = run_str(&format!("{base} --exec reference")).unwrap();
+        assert!(par.contains("compiled (parallel)"), "{par}");
+        assert!(seq.contains("compiled (sequential)"), "{seq}");
+        assert!(reference.contains("reference interpreter"), "{reference}");
+        assert_eq!(checksum(&par), checksum(&seq));
+        assert_eq!(checksum(&par), checksum(&reference));
+    }
+
+    #[test]
+    fn run_rejects_bad_mode_and_missing_kernel() {
+        assert!(run_str("run gemm --exec warp-speed").unwrap_err().0.contains("exec mode"));
+        assert!(run_str("run").unwrap_err().0.contains("kernel name"));
     }
 }
 

@@ -10,7 +10,7 @@
 //! the same arithmetic the hardware performs.
 
 use crate::counters::Counters;
-use crate::exec::rel_offsets;
+use crate::plan::{BankTally, PlanCache};
 use graphene_ir::atomic::{match_atomic, registry, AtomicSpec};
 use graphene_ir::body::Stmt;
 use graphene_ir::printer::render_spec_header;
@@ -65,7 +65,8 @@ pub fn analyze_bound(
     let mut env: HashMap<String, i64> = bindings.clone();
     env.insert("blockIdx.x".into(), 0);
     let mut c = Counters::default();
-    walk(&kernel.body.stmts, module, &reg, &mut env, 1, &mut c)?;
+    let mut cx = SampleCx::default();
+    walk(&kernel.body.stmts, module, &reg, &mut env, 1, &mut c, &mut cx)?;
     // Whole-kernel scaling: every block executes the body.
     let mut total = c.scaled(kernel.grid_size() as u64);
 
@@ -100,6 +101,15 @@ pub fn analyze_bound(
     Ok(total)
 }
 
+/// Reusable sampling state threaded through the analysis walk: compiled
+/// address plans and a fixed bank-conflict tally shared across every
+/// access site instead of rebuilt per access.
+#[derive(Default)]
+struct SampleCx {
+    plans: PlanCache,
+    tally: BankTally,
+}
+
 fn walk(
     stmts: &[Stmt],
     module: &Module,
@@ -107,26 +117,27 @@ fn walk(
     env: &mut HashMap<String, i64>,
     mult: u64,
     c: &mut Counters,
+    cx: &mut SampleCx,
 ) -> Result<(), AnalyzeError> {
     for s in stmts {
         match s {
             Stmt::For { var, extent, body, .. } => {
                 env.insert(var.clone(), 0);
-                walk(body, module, reg, env, mult * *extent as u64, c)?;
+                walk(body, module, reg, env, mult * *extent as u64, c, cx)?;
                 env.remove(var);
             }
             Stmt::If { then, .. } => {
                 // Conservative: count the guarded block fully (partial
                 // tiles over-approximate, paper §3.4).
-                walk(then, module, reg, env, mult, c)?;
+                walk(then, module, reg, env, mult, c, cx)?;
             }
             Stmt::Spec(spec) => match &spec.body {
-                Some(body) => walk(&body.stmts, module, reg, env, mult, c)?,
+                Some(body) => walk(&body.stmts, module, reg, env, mult, c, cx)?,
                 None => {
                     let atomic = match_atomic(spec, module, reg).ok_or_else(|| {
                         AnalyzeError::NoAtomicMatch(render_spec_header(module, spec))
                     })?;
-                    spec_counters(spec, atomic, module, env, mult, c)?;
+                    spec_counters(spec, atomic, module, env, mult, c, cx)?;
                 }
             },
             Stmt::Sync(graphene_ir::SyncScope::Block) => c.syncs += mult,
@@ -143,6 +154,7 @@ fn spec_counters(
     env: &mut HashMap<String, i64>,
     mult: u64,
     c: &mut Counters,
+    cx: &mut SampleCx,
 ) -> Result<(), AnalyzeError> {
     let exec = *spec.exec.last().expect("spec has an exec config");
     let tt = &module[exec];
@@ -191,7 +203,15 @@ fn spec_counters(
                     c.smem_write_bytes += total_bytes;
                 }
                 // Sample one warp's conflict factor exactly.
-                let (accesses, transactions) = sample_conflicts(id, module, tt, env, bytes_per)?;
+                let (accesses, transactions) = sample_conflicts_cached(
+                    &mut cx.plans,
+                    &mut cx.tally,
+                    id,
+                    module,
+                    tt,
+                    env,
+                    bytes_per,
+                )?;
                 let chunk = 32.min(lanes_total).max(1);
                 let instances = (lanes_total * mult).div_ceil(chunk);
                 c.smem_accesses += accesses * instances;
@@ -247,23 +267,25 @@ pub fn lane_addresses(
     lanes: &[i64],
     env: &mut HashMap<String, i64>,
 ) -> Result<Vec<(i64, Vec<i64>)>, AnalyzeError> {
-    let d = &module[id];
-    let root = module.root_of(id);
-    let sw = module[root].ty.swizzle;
-    let offs = rel_offsets(&d.ty);
-    let mut out = Vec::with_capacity(lanes.len());
-    for &t in lanes {
-        env.insert("threadIdx.x".into(), t);
-        let base = d.offset.eval(env).map_err(|e| AnalyzeError::Eval(e.to_string()))?;
-        out.push((
-            t,
-            offs.iter()
-                .map(|&o| if sw.is_identity() { base + o } else { sw.apply(base + o) })
-                .collect(),
-        ));
-    }
-    env.remove("threadIdx.x");
-    Ok(out)
+    lane_addresses_cached(&mut PlanCache::new(), id, module, lanes, env)
+}
+
+/// Like [`lane_addresses`], but compiling the view's address plan at
+/// most once through a shared [`PlanCache`] — the form the race and
+/// bank-conflict passes use, where the same views are evaluated at many
+/// sites.
+///
+/// # Errors
+///
+/// See [`lane_addresses`].
+pub fn lane_addresses_cached(
+    plans: &mut PlanCache,
+    id: TensorId,
+    module: &Module,
+    lanes: &[i64],
+    env: &HashMap<String, i64>,
+) -> Result<Vec<(i64, Vec<i64>)>, AnalyzeError> {
+    plans.lane_addresses(id, module, lanes, env).map_err(|e| AnalyzeError::Eval(e.to_string()))
 }
 
 /// Evaluates one representative warp's addresses for a shared-memory
@@ -280,6 +302,34 @@ pub fn sample_conflicts(
     env: &mut HashMap<String, i64>,
     bytes_per: u64,
 ) -> Result<(u64, u64), AnalyzeError> {
+    sample_conflicts_cached(
+        &mut PlanCache::new(),
+        &mut BankTally::new(),
+        id,
+        module,
+        tt,
+        env,
+        bytes_per,
+    )
+}
+
+/// Like [`sample_conflicts`], reusing a compiled [`PlanCache`] and a
+/// fixed 32-entry [`BankTally`] across access sites instead of building
+/// a fresh hash map per access.
+///
+/// # Errors
+///
+/// See [`AnalyzeError`].
+#[allow(clippy::too_many_arguments)]
+pub fn sample_conflicts_cached(
+    plans: &mut PlanCache,
+    tally: &mut BankTally,
+    id: TensorId,
+    module: &Module,
+    tt: &graphene_ir::ThreadTensor,
+    env: &HashMap<String, i64>,
+    bytes_per: u64,
+) -> Result<(u64, u64), AnalyzeError> {
     // Representative lanes: the first warp's worth of threads covered by
     // the exec tensor.
     let lanes: Vec<i64> = if tt.group_size() == 1 {
@@ -288,22 +338,13 @@ pub fn sample_conflicts(
         let base = tt.group.value(0);
         (0..tt.group_size().min(32)).map(|j| base + tt.local.value(j)).collect()
     };
-    let per_lane = lane_addresses(id, module, &lanes, env)?;
-
-    let mut per_bank: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
+    let per_lane = lane_addresses_cached(plans, id, module, &lanes, env)?;
     for (_, lane) in &per_lane {
         for &a in lane {
-            let word = a * bytes_per as i64 / 4;
-            per_bank.entry(word % 32).or_default().insert(word);
+            tally.add_addr(a, bytes_per);
         }
     }
-    let distinct: usize = per_bank.values().map(|w| w.len()).sum();
-    if distinct == 0 {
-        return Ok((0, 0));
-    }
-    let ideal = distinct.div_ceil(32) as u64;
-    let cycles = per_bank.values().map(|w| w.len()).max().unwrap_or(1) as u64;
-    Ok((ideal, cycles.max(ideal)))
+    Ok(tally.grade())
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! pipe) which drive the timing model.
 
 use crate::counters::Counters;
+use crate::plan::KernelPlan;
+use crate::run::{execute_plan, ExecMode};
 use graphene_ir::atomic::{match_atomic, registry, AtomicSemantics, AtomicSpec};
 use graphene_ir::body::{Stmt, SyncScope};
 use graphene_ir::printer::render_spec_header;
@@ -72,6 +74,11 @@ pub struct ExecOutcome {
 /// `inputs` maps kernel parameters to their physical buffers (row-major
 /// for row-major-layout params). Missing params are zero-initialised.
 ///
+/// The kernel is lowered to a [`crate::plan::KernelPlan`] and
+/// interpreted through the compiled engine, with independent CTAs
+/// executing concurrently ([`ExecMode::Parallel`]); results and
+/// counters are bit-identical to sequential execution.
+///
 /// # Errors
 ///
 /// See [`ExecError`].
@@ -91,6 +98,53 @@ pub fn execute(
 ///
 /// See [`ExecError`].
 pub fn execute_bound(
+    kernel: &Kernel,
+    arch: Arch,
+    inputs: &HashMap<TensorId, Vec<f32>>,
+    bindings: &HashMap<String, i64>,
+) -> Result<ExecOutcome, ExecError> {
+    execute_with(kernel, arch, inputs, bindings, ExecMode::Parallel)
+}
+
+/// Like [`execute_bound`], with an explicit [`ExecMode`] selecting
+/// sequential or parallel CTA interpretation.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn execute_with(
+    kernel: &Kernel,
+    arch: Arch,
+    inputs: &HashMap<TensorId, Vec<f32>>,
+    bindings: &HashMap<String, i64>,
+    mode: ExecMode,
+) -> Result<ExecOutcome, ExecError> {
+    let plan = KernelPlan::compile(kernel, arch)?;
+    execute_plan(&plan, inputs, bindings, mode)
+}
+
+/// Executes a kernel through the original statement-tree interpreter
+/// (no compiled plans, sequential CTAs). Retained as the reference for
+/// the golden equivalence tests and as the pre-optimization baseline
+/// the interpreter benchmarks measure speedup against.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn execute_reference(
+    kernel: &Kernel,
+    arch: Arch,
+    inputs: &HashMap<TensorId, Vec<f32>>,
+) -> Result<ExecOutcome, ExecError> {
+    execute_reference_bound(kernel, arch, inputs, &HashMap::new())
+}
+
+/// Like [`execute_reference`], with dynamic-parameter bindings.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn execute_reference_bound(
     kernel: &Kernel,
     arch: Arch,
     inputs: &HashMap<TensorId, Vec<f32>>,
@@ -438,8 +492,9 @@ impl<'k> Interp<'k> {
 
     /// Accounts the traffic of one per-lane access batch to a memory
     /// space, including shared-memory bank conflicts. `per_lane` holds
-    /// each lane's addresses (same length per lane).
-    fn account(&mut self, root: TensorId, per_lane: &[Vec<i64>], is_read: bool) {
+    /// each lane's addresses (same length per lane), borrowed from the
+    /// resolved lane addresses rather than copied.
+    fn account(&mut self, root: TensorId, per_lane: &[&[i64]], is_read: bool) {
         let d = &self.module[root];
         let bytes_per = d.ty.scalar_type().bytes();
         let total: u64 = per_lane.iter().map(|a| a.len() as u64).sum::<u64>() * bytes_per;
@@ -463,7 +518,7 @@ impl<'k> Interp<'k> {
                 // conflict-free ideal is ceil(distinct words / 32).
                 let mut per_bank: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
                 for lane in per_lane {
-                    for &a in lane {
+                    for &a in *lane {
                         let word = a * bytes_per as i64 / 4;
                         per_bank.entry(word % 32).or_default().insert(word);
                     }
@@ -503,17 +558,18 @@ impl<'k> Interp<'k> {
         }
         env.remove("threadIdx.x");
 
-        // Traffic accounting per operand.
+        // Traffic accounting per operand (borrowing the resolved
+        // addresses; no per-operand re-clone of every lane's vector).
         for (oi, _) in spec.ins.iter().enumerate() {
             let root = lane_addrs[0].0[oi].0;
-            let per_lane: Vec<Vec<i64>> =
-                lane_addrs.iter().map(|(ins, _)| ins[oi].1.clone()).collect();
+            let per_lane: Vec<&[i64]> =
+                lane_addrs.iter().map(|(ins, _)| ins[oi].1.as_slice()).collect();
             self.account(root, &per_lane, true);
         }
         for (oi, _) in spec.outs.iter().enumerate() {
             let root = lane_addrs[0].1[oi].0;
-            let per_lane: Vec<Vec<i64>> =
-                lane_addrs.iter().map(|(_, outs)| outs[oi].1.clone()).collect();
+            let per_lane: Vec<&[i64]> =
+                lane_addrs.iter().map(|(_, outs)| outs[oi].1.as_slice()).collect();
             self.account(root, &per_lane, false);
         }
         if atomic.cost.tensor_core {

@@ -18,6 +18,15 @@
 //!   ([`VOLTA_V100`], [`AMPERE_A6000`]). This scales to the paper's
 //!   evaluation sizes and produces the Nsight-Compute-style utilisation
 //!   percentages of Figure 9.
+//!
+//! Execution is compile-once/execute-many: [`KernelPlan::compile`]
+//! lowers a kernel to slot-indexed address plans and precomputed lane
+//! tables ([`plan`]), and [`execute_plan`] interprets the plan — with
+//! independent CTAs running concurrently under [`ExecMode::Parallel`]
+//! while staying bit-identical to sequential execution ([`run`]). The
+//! original statement-tree interpreter is retained as
+//! [`execute_reference`] for equivalence testing and as the benchmark
+//! baseline.
 
 #![warn(missing_docs)]
 
@@ -26,13 +35,21 @@ pub mod counters;
 pub mod exec;
 pub mod host;
 pub mod machine;
+pub mod plan;
+pub mod run;
 pub mod timing;
 
 pub use analyze::{
-    analyze, analyze_bound, exec_lanes, lane_addresses, sample_conflicts, AnalyzeError,
+    analyze, analyze_bound, exec_lanes, lane_addresses, lane_addresses_cached, sample_conflicts,
+    sample_conflicts_cached, AnalyzeError,
 };
 pub use counters::Counters;
-pub use exec::{execute, execute_bound, rel_offsets, ExecError, ExecOutcome};
+pub use exec::{
+    execute, execute_bound, execute_reference, execute_reference_bound, execute_with, rel_offsets,
+    ExecError, ExecOutcome,
+};
 pub use host::HostTensor;
 pub use machine::{machine_for, MachineDesc, AMPERE_A6000, VOLTA_V100};
+pub use plan::{AddressPlan, BankTally, KernelPlan, PlanCache, RelOffsetsMemo};
+pub use run::{execute_plan, ExecMode};
 pub use timing::{time_kernel, time_sequence, KernelProfile};

@@ -1,0 +1,457 @@
+//! Compile-once/execute-many lowering of [`IntExpr`]s.
+//!
+//! Graphene layouts make data-to-thread mappings *statically
+//! analyzable* (paper §3–§5): the index expressions code generation
+//! produces are closed-form — overwhelmingly affine — maps over
+//! hierarchical coordinates (`blockIdx.x`, `threadIdx.x`, loop
+//! variables, dynamic shape parameters). Interpreting the expression
+//! tree against a `HashMap<String, i64>` environment re-pays string
+//! hashing and tree walking on every evaluation, which dominates the
+//! simulator's hot loop.
+//!
+//! This module lowers an [`IntExpr`] *once* into a [`CompiledExpr`]
+//! over a flat slot array: variables are resolved to dense slot indices
+//! through a [`SlotMap`] at compile time, and evaluation reads
+//! `slots[i]` directly. Two forms exist:
+//!
+//! - [`AffineExpr`] — `base + Σ coefᵢ · slotᵢ`, the closed form for the
+//!   affine maps layouts produce (CuTe's "layouts are affine functions"
+//!   observation). Like terms are combined at compile time.
+//! - a post-order bytecode program for the residual non-affine cases
+//!   (`/`, `%`, `min`, `max` over non-constant operands), evaluated on
+//!   a small value stack without allocation.
+
+use crate::expr::{BinOp, EvalError, IntExpr};
+use std::collections::HashMap;
+
+/// Interns variable names to dense slot indices, once per kernel.
+///
+/// Every expression compiled against the same `SlotMap` shares the
+/// same slot numbering, so a single [`SlotEnv`] value array serves all
+/// of them.
+#[derive(Debug, Default, Clone)]
+pub struct SlotMap {
+    by_name: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl SlotMap {
+    /// An empty slot map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the slot for `name`, interning it on first use.
+    pub fn slot(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = self.names.len();
+        self.by_name.insert(name.to_string(), s);
+        self.names.push(name.to_string());
+        s
+    }
+
+    /// Returns the slot for `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The interned names, in slot order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of interned slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Creates a value environment sized for this map (all slots
+    /// unbound).
+    pub fn env(&self) -> SlotEnv {
+        SlotEnv { values: vec![0; self.names.len()], bound: vec![false; self.names.len()] }
+    }
+}
+
+/// A flat variable-value environment indexed by [`SlotMap`] slots.
+#[derive(Debug, Clone)]
+pub struct SlotEnv {
+    values: Vec<i64>,
+    bound: Vec<bool>,
+}
+
+impl SlotEnv {
+    /// Binds `slot` to `v`.
+    #[inline]
+    pub fn set(&mut self, slot: usize, v: i64) {
+        self.values[slot] = v;
+        self.bound[slot] = true;
+    }
+
+    /// Unbinds `slot`.
+    #[inline]
+    pub fn clear(&mut self, slot: usize) {
+        self.bound[slot] = false;
+    }
+
+    /// The value of `slot`, if bound.
+    #[inline]
+    pub fn get(&self, slot: usize) -> Option<i64> {
+        if self.bound[slot] {
+            Some(self.values[slot])
+        } else {
+            None
+        }
+    }
+
+    /// Grows the environment to accommodate slots interned after it was
+    /// created (new slots are unbound).
+    pub fn grow(&mut self, map: &SlotMap) {
+        self.values.resize(map.len(), 0);
+        self.bound.resize(map.len(), false);
+    }
+
+    /// Copies bindings from a string-keyed environment, for slots the
+    /// map knows. Slots absent from `env` are left untouched.
+    pub fn bind_from(&mut self, map: &SlotMap, env: &HashMap<String, i64>) {
+        for (name, &v) in env {
+            if let Some(s) = map.lookup(name) {
+                if s < self.values.len() {
+                    self.set(s, v);
+                }
+            }
+        }
+    }
+}
+
+/// The affine closed form `base + Σ coefᵢ · slotᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineExpr {
+    /// Constant term.
+    pub base: i64,
+    /// `(coefficient, slot)` pairs with like terms combined and
+    /// zero-coefficient terms dropped.
+    pub terms: Vec<(i64, usize)>,
+}
+
+impl AffineExpr {
+    #[inline]
+    fn eval(&self, env: &SlotEnv) -> Result<i64, usize> {
+        let mut acc = self.base;
+        for &(c, s) in &self.terms {
+            if !env.bound[s] {
+                return Err(s);
+            }
+            acc += c * env.values[s];
+        }
+        Ok(acc)
+    }
+}
+
+/// One post-order bytecode operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push a constant.
+    Const(i64),
+    /// Push the value of a slot.
+    Slot(usize),
+    /// Pop two values, push the operator result.
+    Bin(BinOp),
+}
+
+/// An [`IntExpr`] lowered against a [`SlotMap`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Closed-form affine map — the common case for layout offsets.
+    Affine(AffineExpr),
+    /// Stack-machine program for non-affine expressions.
+    Bytecode(Vec<Op>),
+}
+
+impl CompiledExpr {
+    /// Lowers `expr`, interning its variables into `slots`.
+    ///
+    /// Affine subtrees collapse into [`AffineExpr`]; anything touched
+    /// by a non-affine operator compiles to bytecode.
+    pub fn compile(expr: &IntExpr, slots: &mut SlotMap) -> CompiledExpr {
+        if let Some(aff) = try_affine(expr, slots) {
+            return CompiledExpr::Affine(aff);
+        }
+        let mut code = Vec::with_capacity(expr.node_count());
+        emit(expr, slots, &mut code);
+        CompiledExpr::Bytecode(code)
+    }
+
+    /// A compiled constant.
+    pub fn constant(v: i64) -> CompiledExpr {
+        CompiledExpr::Affine(AffineExpr { base: v, terms: Vec::new() })
+    }
+
+    /// The constant value, if this is one.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            CompiledExpr::Affine(a) if a.terms.is_empty() => Some(a.base),
+            _ => None,
+        }
+    }
+
+    /// Evaluates against a slot environment.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnboundVar`] when a referenced slot is unbound
+    /// (reported with its interned name via `names`, see
+    /// [`CompiledExpr::eval_named`]), [`EvalError::DivisionByZero`] on
+    /// `/ 0` or `% 0`.
+    #[inline]
+    pub fn eval(&self, env: &SlotEnv) -> Result<i64, CompiledEvalError> {
+        match self {
+            CompiledExpr::Affine(a) => a.eval(env).map_err(CompiledEvalError::Unbound),
+            CompiledExpr::Bytecode(code) => eval_bytecode(code, env),
+        }
+    }
+
+    /// Like [`eval`](Self::eval), mapping unbound slots back to their
+    /// names for a user-facing [`EvalError`].
+    pub fn eval_named(&self, env: &SlotEnv, slots: &SlotMap) -> Result<i64, EvalError> {
+        self.eval(env).map_err(|e| match e {
+            CompiledEvalError::Unbound(s) => EvalError::UnboundVar(
+                slots.names().get(s).cloned().unwrap_or_else(|| format!("slot{s}")),
+            ),
+            CompiledEvalError::DivisionByZero => EvalError::DivisionByZero,
+        })
+    }
+
+    /// The slots this expression reads.
+    pub fn slots_used(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        match self {
+            CompiledExpr::Affine(a) => out.extend(a.terms.iter().map(|&(_, s)| s)),
+            CompiledExpr::Bytecode(code) => {
+                for op in code {
+                    if let Op::Slot(s) = op {
+                        if !out.contains(s) {
+                            out.push(*s);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Errors from [`CompiledExpr::eval`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledEvalError {
+    /// A referenced slot was unbound (the payload is the slot index).
+    Unbound(usize),
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+fn eval_bytecode(code: &[Op], env: &SlotEnv) -> Result<i64, CompiledEvalError> {
+    // Expression trees are shallow; 16 covers every kernel in the repo
+    // without reallocating.
+    let mut stack: Vec<i64> = Vec::with_capacity(16);
+    for op in code {
+        match *op {
+            Op::Const(v) => stack.push(v),
+            Op::Slot(s) => {
+                if !env.bound[s] {
+                    return Err(CompiledEvalError::Unbound(s));
+                }
+                stack.push(env.values[s]);
+            }
+            Op::Bin(b) => {
+                let rhs = stack.pop().expect("bytecode invariant: binary rhs");
+                let lhs = stack.pop().expect("bytecode invariant: binary lhs");
+                if matches!(b, BinOp::Div | BinOp::Mod) && rhs == 0 {
+                    return Err(CompiledEvalError::DivisionByZero);
+                }
+                stack.push(b.apply(lhs, rhs));
+            }
+        }
+    }
+    Ok(stack.pop().expect("bytecode invariant: result"))
+}
+
+fn emit(expr: &IntExpr, slots: &mut SlotMap, code: &mut Vec<Op>) {
+    match expr {
+        IntExpr::Const(v) => code.push(Op::Const(*v)),
+        IntExpr::Var(info) => {
+            let s = slots.slot(&info.name);
+            code.push(Op::Slot(s));
+        }
+        IntExpr::Bin(op, a, b) => {
+            emit(a, slots, code);
+            emit(b, slots, code);
+            code.push(Op::Bin(*op));
+        }
+    }
+}
+
+/// Attempts the affine lowering: returns `None` as soon as a non-affine
+/// operator over non-constant operands appears.
+fn try_affine(expr: &IntExpr, slots: &mut SlotMap) -> Option<AffineExpr> {
+    let mut base = 0i64;
+    let mut terms: Vec<(i64, usize)> = Vec::new();
+    collect_affine(expr, 1, slots, &mut base, &mut terms)?;
+    // Combine like terms deterministically (slot order).
+    terms.sort_unstable_by_key(|&(_, s)| s);
+    terms.dedup_by(|b, a| {
+        if a.1 == b.1 {
+            a.0 += b.0;
+            true
+        } else {
+            false
+        }
+    });
+    terms.retain(|&(c, _)| c != 0);
+    Some(AffineExpr { base, terms })
+}
+
+fn collect_affine(
+    expr: &IntExpr,
+    scale: i64,
+    slots: &mut SlotMap,
+    base: &mut i64,
+    terms: &mut Vec<(i64, usize)>,
+) -> Option<()> {
+    match expr {
+        IntExpr::Const(v) => {
+            *base += scale * v;
+            Some(())
+        }
+        IntExpr::Var(info) => {
+            let s = slots.slot(&info.name);
+            terms.push((scale, s));
+            Some(())
+        }
+        IntExpr::Bin(op, a, b) => match op {
+            BinOp::Add => {
+                collect_affine(a, scale, slots, base, terms)?;
+                collect_affine(b, scale, slots, base, terms)
+            }
+            BinOp::Sub => {
+                collect_affine(a, scale, slots, base, terms)?;
+                collect_affine(b, -scale, slots, base, terms)
+            }
+            BinOp::Mul => {
+                if let Some(c) = b.as_const() {
+                    collect_affine(a, scale * c, slots, base, terms)
+                } else if let Some(c) = a.as_const() {
+                    collect_affine(b, scale * c, slots, base, terms)
+                } else {
+                    None
+                }
+            }
+            // Non-affine over non-constant operands; constant subtrees
+            // were already folded by `IntExpr::bin`.
+            BinOp::Div | BinOp::Mod | BinOp::Min | BinOp::Max => None,
+        },
+    }
+}
+
+impl IntExpr {
+    /// Lowers this expression against `slots`; see
+    /// [`CompiledExpr::compile`].
+    pub fn compile(&self, slots: &mut SlotMap) -> CompiledExpr {
+        CompiledExpr::compile(self, slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_env(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn affine_lowering_combines_terms() {
+        let t = IntExpr::var("t");
+        let e = t.clone() * 3 + (t.clone() * 5 - 2) + IntExpr::var("u");
+        let mut slots = SlotMap::new();
+        let c = e.compile(&mut slots);
+        let CompiledExpr::Affine(a) = &c else { panic!("expected affine, got {c:?}") };
+        assert_eq!(a.base, -2);
+        assert_eq!(a.terms, vec![(8, slots.lookup("t").unwrap()), (1, slots.lookup("u").unwrap())]);
+    }
+
+    #[test]
+    fn nonaffine_falls_back_to_bytecode() {
+        let t = IntExpr::var("t");
+        let e = (t.clone() / 8) * 32 + t.clone() % 8;
+        let mut slots = SlotMap::new();
+        let c = e.compile(&mut slots);
+        assert!(matches!(c, CompiledExpr::Bytecode(_)));
+        let mut env = slots.env();
+        env.set(slots.lookup("t").unwrap(), 13);
+        let t = 13i64;
+        assert_eq!(c.eval(&env), Ok((t / 8) * 32 + t % 8));
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let t = IntExpr::var("threadIdx.x");
+        let b = IntExpr::var("blockIdx.x");
+        let k = IntExpr::var("k");
+        let exprs = [
+            t.clone() * 4 + b.clone() * 128 + k.clone() * 16,
+            (t.clone() / 32) * 256 + (t.clone() % 32) * 8 + 3,
+            (t.clone() % 16).min(b.clone() * 2) + (k.clone() - t.clone()) * 7,
+            IntExpr::constant(42),
+        ];
+        let mut slots = SlotMap::new();
+        let compiled: Vec<_> = exprs.iter().map(|e| e.compile(&mut slots)).collect();
+        let mut env = slots.env();
+        for tv in [0i64, 1, 31, 77] {
+            let h = hash_env(&[("threadIdx.x", tv), ("blockIdx.x", 3), ("k", 9)]);
+            env.bind_from(&slots, &h);
+            for (e, c) in exprs.iter().zip(&compiled) {
+                assert_eq!(c.eval_named(&env, &slots), e.eval(&h), "expr {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbound_slot_reports_name() {
+        let e = IntExpr::var("M") + 1;
+        let mut slots = SlotMap::new();
+        let c = e.compile(&mut slots);
+        let env = slots.env();
+        assert_eq!(c.eval_named(&env, &slots), Err(EvalError::UnboundVar("M".into())));
+    }
+
+    #[test]
+    fn division_by_zero_detected_at_eval() {
+        let e = IntExpr::var("x") / IntExpr::var("y");
+        let mut slots = SlotMap::new();
+        let c = e.compile(&mut slots);
+        let mut env = slots.env();
+        env.set(slots.lookup("x").unwrap(), 4);
+        env.set(slots.lookup("y").unwrap(), 0);
+        assert_eq!(c.eval(&env), Err(CompiledEvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn env_grows_for_late_slots() {
+        let mut slots = SlotMap::new();
+        let c1 = IntExpr::var("a").compile(&mut slots);
+        let mut env = slots.env();
+        let c2 = IntExpr::var("b").compile(&mut slots);
+        env.grow(&slots);
+        env.set(slots.lookup("a").unwrap(), 1);
+        env.set(slots.lookup("b").unwrap(), 2);
+        assert_eq!(c1.eval(&env), Ok(1));
+        assert_eq!(c2.eval(&env), Ok(2));
+    }
+}

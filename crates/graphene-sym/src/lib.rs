@@ -12,7 +12,10 @@
 //!   overloading, evaluation, and bound inference;
 //! - [`simplify`] — the algebraic simplifier, including the paper's
 //!   example rule `(M % 256) → M iff M < 256` plus linear-term collection
-//!   and div/mod recombination.
+//!   and div/mod recombination;
+//! - [`compiled`] — compile-once/execute-many lowering of expressions
+//!   to slot-indexed affine/bytecode form ([`CompiledExpr`]), the fast
+//!   evaluation path the simulator's address plans are built on.
 //!
 //! ```
 //! use graphene_sym::{simplify, IntExpr};
@@ -24,8 +27,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compiled;
 mod expr;
 mod simplify;
 
+pub use compiled::{AffineExpr, CompiledEvalError, CompiledExpr, SlotEnv, SlotMap};
 pub use expr::{BinOp, EvalError, IntExpr, VarInfo};
 pub use simplify::simplify;

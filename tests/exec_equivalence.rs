@@ -1,0 +1,137 @@
+//! Golden equivalence tests for the compiled interpreter: for every
+//! paper kernel, sequential plan execution, parallel plan execution,
+//! and the original reference interpreter must produce bit-identical
+//! global buffers and identical counters.
+
+use graphene::ir::{Arch, Kernel};
+use graphene::kernels::fmha::{build_fused_fmha, FmhaConfig};
+use graphene::kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
+use graphene::kernels::layernorm::{build_layernorm, LayernormConfig};
+use graphene::sim::host::HostTensor;
+use graphene::sim::{execute_reference, execute_with, ExecMode};
+use std::collections::HashMap;
+
+/// Runs `kernel` through all three engines and asserts bit-identical
+/// globals and identical counters.
+fn assert_equivalent(
+    name: &str,
+    kernel: &Kernel,
+    arch: Arch,
+    inputs: &HashMap<graphene::ir::TensorId, Vec<f32>>,
+) {
+    let bindings = HashMap::new();
+    let seq = execute_with(kernel, arch, inputs, &bindings, ExecMode::Sequential)
+        .unwrap_or_else(|e| panic!("{name}: sequential execution failed: {e}"));
+    let par = execute_with(kernel, arch, inputs, &bindings, ExecMode::Parallel)
+        .unwrap_or_else(|e| panic!("{name}: parallel execution failed: {e}"));
+    // Explicit worker counts force the threaded write-log merge even on
+    // machines that report a single core, including uneven block/worker
+    // chunking.
+    let forced = execute_with(kernel, arch, inputs, &bindings, ExecMode::Workers(3))
+        .unwrap_or_else(|e| panic!("{name}: 3-worker execution failed: {e}"));
+    let reference = execute_reference(kernel, arch, inputs)
+        .unwrap_or_else(|e| panic!("{name}: reference execution failed: {e}"));
+
+    for (id, want) in &reference.globals {
+        let pname = &kernel.module[*id].name;
+        for (mode, got) in [
+            ("sequential", &seq.globals[id]),
+            ("parallel", &par.globals[id]),
+            ("3 workers", &forced.globals[id]),
+        ] {
+            assert_eq!(want.len(), got.len(), "{name}: %{pname} length ({mode})");
+            for (i, (w, g)) in want.iter().zip(got).enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    g.to_bits(),
+                    "{name}: %{pname}[{i}] differs ({mode}): {w} vs {g}"
+                );
+            }
+        }
+    }
+    assert_eq!(seq.counters, reference.counters, "{name}: sequential counters");
+    assert_eq!(par.counters, reference.counters, "{name}: parallel counters");
+    assert_eq!(forced.counters, reference.counters, "{name}: 3-worker counters");
+}
+
+fn gemm_inputs(kernel: &Kernel, cfg: &GemmConfig) -> HashMap<graphene::ir::TensorId, Vec<f32>> {
+    let (m, n, k) = (cfg.m as usize, cfg.n as usize, cfg.k as usize);
+    let a = HostTensor::random(&[m, k], 301);
+    let b = HostTensor::random(&[k, n], 302);
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], a.as_slice().to_vec());
+    inputs.insert(kernel.params[1], b.as_slice().to_vec());
+    inputs
+}
+
+#[test]
+fn gemm_ampere_small_equivalent() {
+    let cfg = GemmConfig::small(32, 32, 32);
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    assert_equivalent("gemm-sm86-small", &kernel, Arch::Sm86, &gemm_inputs(&kernel, &cfg));
+}
+
+#[test]
+fn gemm_ampere_multiblock_equivalent() {
+    // Several independent CTAs: this is the case parallel execution
+    // actually fans out.
+    let cfg =
+        GemmConfig { m: 64, n: 64, k: 32, bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, swizzle: true };
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    assert_equivalent("gemm-sm86-multiblock", &kernel, Arch::Sm86, &gemm_inputs(&kernel, &cfg));
+}
+
+#[test]
+fn gemm_volta_equivalent() {
+    let cfg =
+        GemmConfig { m: 32, n: 32, k: 16, bm: 32, bn: 32, bk: 8, wm: 32, wn: 32, swizzle: true };
+    let kernel = build_gemm(Arch::Sm70, &cfg, Epilogue::None);
+    assert_equivalent("gemm-sm70", &kernel, Arch::Sm70, &gemm_inputs(&kernel, &cfg));
+}
+
+#[test]
+fn gemm_double_buffered_equivalent() {
+    let cfg =
+        GemmConfig { m: 64, n: 64, k: 64, bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, swizzle: true };
+    let kernel = build_gemm_double_buffered(&cfg, Epilogue::None);
+    assert_equivalent("gemm-db-sm86", &kernel, Arch::Sm86, &gemm_inputs(&kernel, &cfg));
+}
+
+#[test]
+fn gemm_bias_relu_equivalent() {
+    let cfg = GemmConfig::small(32, 32, 16);
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::BiasRelu);
+    let mut inputs = gemm_inputs(&kernel, &cfg);
+    let bias = HostTensor::random(&[32], 303);
+    inputs.insert(*kernel.params.last().unwrap(), bias.as_slice().to_vec());
+    assert_equivalent("gemm-sm86-bias-relu", &kernel, Arch::Sm86, &inputs);
+}
+
+#[test]
+fn fmha_equivalent() {
+    // Two heads -> two independent CTAs.
+    let cfg = FmhaConfig { heads: 2, seq: 64, d: 32, bq: 64, wm: 32 };
+    let kernel = build_fused_fmha(Arch::Sm86, &cfg);
+    let rows = (cfg.heads * cfg.seq) as usize;
+    let d = cfg.d as usize;
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[rows, d], 311).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[rows, d], 312).as_slice().to_vec());
+    inputs.insert(kernel.params[2], HostTensor::random(&[rows, d], 313).as_slice().to_vec());
+    assert_equivalent("fmha-sm86", &kernel, Arch::Sm86, &inputs);
+}
+
+#[test]
+fn layernorm_equivalent() {
+    for arch in [Arch::Sm70, Arch::Sm86] {
+        let cfg = LayernormConfig::new(8, 256);
+        let kernel = build_layernorm(arch, &cfg);
+        let (rows, hidden) = (cfg.rows as usize, cfg.hidden as usize);
+        let mut inputs = HashMap::new();
+        inputs
+            .insert(kernel.params[0], HostTensor::random(&[rows, hidden], 321).as_slice().to_vec());
+        inputs.insert(kernel.params[1], HostTensor::random(&[hidden], 322).as_slice().to_vec());
+        inputs.insert(kernel.params[2], HostTensor::random(&[hidden], 323).as_slice().to_vec());
+        assert_equivalent("layernorm", &kernel, arch, &inputs);
+    }
+}
