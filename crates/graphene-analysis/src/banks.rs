@@ -21,10 +21,21 @@ use std::collections::{HashMap, HashSet};
 /// Grades every shared-memory access site by its measured bank-conflict
 /// factor.
 pub fn check_bank_conflicts(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
+    check_bank_conflicts_cached(kernel, arch, &mut PlanCache::new())
+}
+
+/// Like [`check_bank_conflicts`], reusing an externally owned
+/// [`PlanCache`] (keyed by tensor id — share it only between passes
+/// over this same kernel).
+pub fn check_bank_conflicts_cached(
+    kernel: &Kernel,
+    arch: Arch,
+    plans: &mut PlanCache,
+) -> Vec<Diagnostic> {
     let mut cx = BankCx {
         module: &kernel.module,
         reg: registry(arch),
-        plans: PlanCache::new(),
+        plans,
         tally: BankTally::new(),
         env: HashMap::from([("blockIdx.x".to_string(), 0)]),
         seen: HashSet::new(),
@@ -34,11 +45,11 @@ pub fn check_bank_conflicts(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
     cx.diags
 }
 
-struct BankCx<'m> {
+struct BankCx<'m, 'p> {
     module: &'m Module,
     reg: Vec<graphene_ir::AtomicSpec>,
     /// Compiled address plans, shared across every access site.
-    plans: PlanCache,
+    plans: &'p mut PlanCache,
     /// Reusable fixed 32-entry conflict tally.
     tally: BankTally,
     env: HashMap<String, i64>,
@@ -46,7 +57,7 @@ struct BankCx<'m> {
     diags: Vec<Diagnostic>,
 }
 
-impl BankCx<'_> {
+impl BankCx<'_, '_> {
     fn walk(&mut self, stmts: &[Stmt]) {
         for s in stmts {
             match s {
@@ -79,7 +90,7 @@ impl BankCx<'_> {
             }
             let bytes_per = module[id].ty.scalar_type().bytes();
             let Ok((ideal, actual)) = sample_conflicts_cached(
-                &mut self.plans,
+                self.plans,
                 &mut self.tally,
                 id,
                 module,

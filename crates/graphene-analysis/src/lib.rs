@@ -40,16 +40,33 @@ mod walk;
 
 pub use graphene_ir::diag::{render_json, Diagnostic, Severity};
 use graphene_ir::{Arch, Kernel};
+use graphene_sim::PlanCache;
 
 /// Runs every analysis pass over a kernel and returns the combined
 /// diagnostics, most severe first.
 pub fn analyze_kernel(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
+    analyze_kernel_cached(kernel, arch, &mut PlanCache::new())
+}
+
+/// Like [`analyze_kernel`], reusing an externally owned [`PlanCache`]
+/// so every address-evaluating pass (races, bank grading) compiles each
+/// tensor's address plan once — and so callers that go on to run
+/// `graphene_sim::analyze_cached` over the same kernel (the autotuner's
+/// prune-then-cost pipeline) reuse those plans again.
+///
+/// The cache is keyed by tensor id: share it only between passes over
+/// this same kernel, never across kernels.
+pub fn analyze_kernel_cached(
+    kernel: &Kernel,
+    arch: Arch,
+    plans: &mut PlanCache,
+) -> Vec<Diagnostic> {
     let mut diags = graphene_ir::validate::check(kernel, arch);
-    diags.extend(races::check_races(kernel, arch));
+    diags.extend(races::check_races_cached(kernel, arch, plans));
     diags.extend(races::check_redundant_barriers(kernel, arch));
     diags.extend(memspace::check_memspace(kernel, arch));
     diags.extend(uninit::check_uninit(kernel, arch));
-    diags.extend(banks::check_bank_conflicts(kernel, arch));
+    diags.extend(banks::check_bank_conflicts_cached(kernel, arch, plans));
     diags.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
     diags
 }

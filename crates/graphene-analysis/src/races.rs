@@ -36,10 +36,18 @@ use std::collections::{HashMap, HashSet};
 
 /// Detects shared-memory races in a kernel.
 pub fn check_races(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
+    check_races_cached(kernel, arch, &mut PlanCache::new())
+}
+
+/// Like [`check_races`], reusing an externally owned [`PlanCache`]
+/// (keyed by tensor id — share it only between passes over this same
+/// kernel, e.g. with [`crate::banks::check_bank_conflicts_cached`] and
+/// `graphene_sim::analyze_cached`).
+pub fn check_races_cached(kernel: &Kernel, arch: Arch, plans: &mut PlanCache) -> Vec<Diagnostic> {
     let mut cx = RaceCx {
         module: &kernel.module,
         reg: registry(arch),
-        plans: PlanCache::new(),
+        plans,
         env: HashMap::from([("blockIdx.x".to_string(), 0)]),
         path: vec!["body".into()],
         guards: Vec::new(),
@@ -57,12 +65,12 @@ struct PendingAccess {
     warp_synced: bool,
 }
 
-struct RaceCx<'m> {
+struct RaceCx<'m, 'p> {
     module: &'m Module,
     reg: Vec<AtomicSpec>,
     /// Compiled address plans, shared across every access site of the
     /// walk (and with the simulator's representation of addressing).
-    plans: PlanCache,
+    plans: &'p mut PlanCache,
     env: HashMap<String, i64>,
     path: Vec<String>,
     guards: Vec<Predicate>,
@@ -71,7 +79,7 @@ struct RaceCx<'m> {
     diags: Vec<Diagnostic>,
 }
 
-impl RaceCx<'_> {
+impl RaceCx<'_, '_> {
     fn walk(&mut self, stmts: &[Stmt]) {
         for s in stmts {
             match s {
@@ -110,7 +118,7 @@ impl RaceCx<'_> {
                             spec,
                             self.module,
                             &self.reg,
-                            &mut self.plans,
+                            self.plans,
                             &mut self.env,
                             &self.guards,
                             &self.path,

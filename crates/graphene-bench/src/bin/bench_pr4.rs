@@ -1,0 +1,218 @@
+//! Autotuner benchmark: hand-picked defaults vs tuned schedules, and
+//! exhaustive vs beam search cost.
+//!
+//! For the GEMM, FMHA, and layernorm search spaces this runs the
+//! `graphene-tune` pipeline twice — once exhaustively and once with the
+//! beam hill-climb — and emits `BENCH_PR4.json` with the default
+//! schedule's simulated time, each strategy's best simulated time and
+//! speedup over the default, the prune/simulate accounting, and the
+//! search wall-clock so the beam's evaluation savings are visible next
+//! to any quality it gives up.
+//!
+//! Usage: `cargo run --release -p graphene-bench --bin bench_pr4 [--fast] [out.json]`
+//! (`--fast` budget-caps both searches — the CI smoke mode).
+
+use graphene_ir::Arch;
+use graphene_kernels::gemm::Epilogue;
+use graphene_sim::{analyze, machine_for, time_kernel};
+use graphene_tune::{
+    tune, FmhaSpace, GemmSpace, LayernormSpace, Search, SearchSpace, TuneOptions, TuneReport,
+};
+use std::time::Instant;
+
+struct BenchCase {
+    name: &'static str,
+    space: Box<dyn SearchSpace>,
+}
+
+struct StrategyResult {
+    best_time_s: f64,
+    best_desc: String,
+    wall_s: f64,
+    proposed: usize,
+    pruned: usize,
+    simulated: usize,
+}
+
+struct BenchResult {
+    name: &'static str,
+    space: String,
+    problem: String,
+    total_points: usize,
+    default_time_s: f64,
+    exhaustive: StrategyResult,
+    beam: StrategyResult,
+}
+
+fn cases() -> Vec<BenchCase> {
+    vec![
+        BenchCase {
+            name: "gemm_sm86",
+            space: Box::new(GemmSpace::new(Arch::Sm86, 1024, 1024, 512, Epilogue::None)),
+        },
+        BenchCase { name: "fmha_sm86", space: Box::new(FmhaSpace::new(8, 128, 64)) },
+        BenchCase {
+            name: "layernorm_sm86",
+            space: Box::new(LayernormSpace::new(Arch::Sm86, 4096, 1024)),
+        },
+    ]
+}
+
+/// Simulated time of the space's hand-picked default schedule.
+fn default_time(space: &dyn SearchSpace) -> f64 {
+    let kernel = space.build(&space.default_point());
+    let counters = analyze(&kernel, space.arch()).expect("default schedule analyzes");
+    time_kernel(&counters, machine_for(space.arch()), kernel.grid_size()).time_s
+}
+
+fn run_strategy(
+    space: &dyn SearchSpace,
+    search: Search,
+    budget: Option<usize>,
+) -> (StrategyResult, TuneReport) {
+    let opts = TuneOptions { search, budget, ..TuneOptions::default() };
+    let start = Instant::now();
+    let report = tune(space, &opts, None).expect("search finds a legal schedule");
+    let wall_s = start.elapsed().as_secs_f64();
+    let s = &report.stats;
+    let result = StrategyResult {
+        best_time_s: report.best_time_s,
+        best_desc: report.best_desc.clone(),
+        wall_s,
+        proposed: s.proposed,
+        pruned: s.pruned_constraint + s.pruned_analysis,
+        simulated: s.simulated,
+    };
+    (result, report)
+}
+
+fn run_case(case: &BenchCase, budget: Option<usize>) -> BenchResult {
+    let space = case.space.as_ref();
+    let default_time_s = default_time(space);
+    let (exhaustive, report) = run_strategy(space, Search::Exhaustive, budget);
+    let (beam, _) = run_strategy(space, Search::Beam { seed: 7, width: 4, patience: 2 }, budget);
+    BenchResult {
+        name: case.name,
+        space: report.space,
+        problem: report.problem,
+        total_points: space.total_points(),
+        default_time_s,
+        exhaustive,
+        beam,
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+fn strategy_json(s: &mut String, key: &str, default_s: f64, r: &StrategyResult, last: bool) {
+    s.push_str(&format!("      \"{key}\": {{\n"));
+    s.push_str(&format!("        \"best_time_s\": {},\n", json_f(r.best_time_s)));
+    s.push_str(&format!("        \"best_schedule\": \"{}\",\n", r.best_desc));
+    s.push_str(&format!(
+        "        \"speedup_vs_default\": {},\n",
+        json_f(default_s / r.best_time_s)
+    ));
+    s.push_str(&format!("        \"search_wall_s\": {},\n", json_f(r.wall_s)));
+    s.push_str(&format!("        \"proposed\": {},\n", r.proposed));
+    s.push_str(&format!("        \"pruned\": {},\n", r.pruned));
+    s.push_str(&format!("        \"simulated\": {}\n", r.simulated));
+    s.push_str(if last { "      }\n" } else { "      },\n" });
+}
+
+fn render_json(results: &[BenchResult], budget: Option<usize>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"autotuner-default-vs-tuned\",\n");
+    match budget {
+        Some(b) => s.push_str(&format!("  \"simulation_budget\": {b},\n")),
+        None => s.push_str("  \"simulation_budget\": null,\n"),
+    }
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"space\": \"{}\",\n", r.space));
+        s.push_str(&format!("      \"problem\": \"{}\",\n", r.problem));
+        s.push_str(&format!("      \"total_points\": {},\n", r.total_points));
+        s.push_str(&format!("      \"default_time_s\": {},\n", json_f(r.default_time_s)));
+        strategy_json(&mut s, "exhaustive", r.default_time_s, &r.exhaustive, false);
+        strategy_json(&mut s, "beam", r.default_time_s, &r.beam, false);
+        s.push_str(&format!(
+            "      \"beam_wall_speedup\": {},\n",
+            json_f(r.exhaustive.wall_s / r.beam.wall_s)
+        ));
+        s.push_str(&format!(
+            "      \"beam_matches_exhaustive\": {}\n",
+            r.beam.best_time_s <= r.exhaustive.best_time_s * 1.000001
+        ));
+        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".into());
+    // The budget caps *simulated* candidates; the default is always
+    // evaluated first, so even the capped smoke run preserves the
+    // "tuned never loses to the default" guarantee.
+    let budget = if fast { Some(24) } else { None };
+
+    let mut results = Vec::new();
+    match budget {
+        Some(b) => println!("autotuner benchmark (budget {b} simulations per search)\n"),
+        None => println!("autotuner benchmark (unbounded searches)\n"),
+    }
+    println!(
+        "{:<16} {:>7} {:>11} {:>11} {:>8} {:>11} {:>8} {:>9}",
+        "kernel", "points", "default", "exhaustive", "speedup", "beam", "speedup", "beam wall"
+    );
+    for case in cases() {
+        let r = run_case(&case, budget);
+        println!(
+            "{:<16} {:>7} {:>9.2}us {:>9.2}us {:>7.2}x {:>9.2}us {:>7.2}x {:>8.0}ms",
+            r.name,
+            r.total_points,
+            r.default_time_s * 1e6,
+            r.exhaustive.best_time_s * 1e6,
+            r.default_time_s / r.exhaustive.best_time_s,
+            r.beam.best_time_s * 1e6,
+            r.default_time_s / r.beam.best_time_s,
+            r.beam.wall_s * 1e3,
+        );
+        assert!(
+            r.exhaustive.best_time_s <= r.default_time_s,
+            "{}: exhaustive winner lost to the default",
+            r.name
+        );
+        assert!(
+            r.beam.best_time_s <= r.default_time_s,
+            "{}: beam winner lost to the default",
+            r.name
+        );
+        // A budgeted exhaustive run only sees an enumeration-order
+        // prefix of the space, so beam may legitimately beat it there.
+        assert!(
+            budget.is_some() || r.exhaustive.best_time_s <= r.beam.best_time_s * 1.000001,
+            "{}: beam reported a better time than exhaustive",
+            r.name
+        );
+        results.push(r);
+    }
+
+    let json = render_json(&results, budget);
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

@@ -136,7 +136,9 @@ pub fn usage() -> String {
        softmax    --rows --cols [--emit ...]\n\
        fmha       --heads --seq --d [--emit ...]   (Ampere only)\n\
        run        <kernel> [--arch ...] [--exec reference|sequential|parallel] [sizes]  (execute on the functional simulator)\n\
-       tune       --arch ... --m --n --k [--top N]  (GEMM tile search)\n\
+       tune       [--kernel gemm|fmha|layernorm|mlp] [--arch ...] [sizes] [--search exhaustive|random|beam]\n\
+                  [--budget N] [--seed N] [--samples N] [--width N] [--patience N]\n\
+                  [--cache tune-cache.json] [--top N] [--emit text|json]  (schedule search)\n\
        lint       <kernel> [--arch ...] [--emit text|json]  (static analysis; kernel = gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha)\n\
        table2     --arch sm70|sm86\n"
         .to_string()
@@ -157,32 +159,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "lint" => lint(&cli),
         "run" => exec_run(&cli),
-        "tune" => {
-            let arch = cli.arch()?;
-            let (m, n, k) = (cli.int("m", 4096)?, cli.int("n", 4096)?, cli.int("k", 1024)?);
-            let top = cli.int("top", 5)?;
-            if top < 1 {
-                return Err(CliError(format!("--top must be at least 1, got {top}")));
-            }
-            let top = top as usize;
-            let results = graphene_kernels::tune::tune_gemm(m, n, k, arch);
-            let mut out = String::new();
-            let _ =
-                writeln!(out, "tuned {}x{}x{} on {arch} ({} candidates):", m, n, k, results.len());
-            for c in results.iter().take(top) {
-                let _ = writeln!(
-                    out,
-                    "  {:9.1} us  tile {}x{}x{} warps {}x{}",
-                    c.profile.time_s * 1e6,
-                    c.cfg.bm,
-                    c.cfg.bn,
-                    c.cfg.bk,
-                    c.cfg.bm / c.cfg.wm,
-                    c.cfg.bn / c.cfg.wn
-                );
-            }
-            Ok(out)
-        }
+        "tune" => tune_cmd(&cli),
         "table2" => {
             let arch = cli.arch()?;
             let mut out = String::new();
@@ -405,6 +382,198 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `tune` sub-command: a thin veneer over the `graphene-tune`
+/// subsystem. Builds the requested [`SearchSpace`], runs the chosen
+/// strategy through the prune → cost pipeline (consulting the
+/// persistent tuning database when `--cache` is given), and renders the
+/// winner with its pipeline accounting.
+fn tune_cmd(cli: &Cli) -> Result<String, CliError> {
+    use graphene_tune::{Search, SearchSpace, TuneDb, TuneOptions};
+
+    let arch = cli.arch()?;
+    let kernel = cli
+        .options
+        .get("kernel")
+        .map(String::as_str)
+        .or_else(|| cli.positional.first().map(String::as_str))
+        .unwrap_or("gemm");
+    let space: Box<dyn SearchSpace> = match kernel {
+        "gemm" => {
+            let (m, n, k) = (cli.int("m", 4096)?, cli.int("n", 4096)?, cli.int("k", 1024)?);
+            let epilogue = match cli.options.get("epilogue").map(String::as_str) {
+                None | Some("none") => Epilogue::None,
+                Some("bias") => Epilogue::Bias,
+                Some("relu") => Epilogue::Relu,
+                Some("bias+relu") => Epilogue::BiasRelu,
+                Some("bias+gelu") => Epilogue::BiasGelu,
+                Some(other) => return Err(CliError(format!("unknown epilogue `{other}`"))),
+            };
+            Box::new(graphene_tune::GemmSpace::new(arch, m, n, k, epilogue))
+        }
+        "fmha" => {
+            let base = FmhaConfig::mlperf_bert();
+            Box::new(graphene_tune::FmhaSpace::new(
+                cli.int("heads", base.heads)?,
+                cli.int("seq", base.seq)?,
+                cli.int("d", base.d)?,
+            ))
+        }
+        "layernorm" => Box::new(graphene_tune::LayernormSpace::new(
+            arch,
+            cli.int("rows", 4096)?,
+            cli.int("hidden", 1024)?,
+        )),
+        "mlp" => Box::new(graphene_tune::MlpSpace::new(
+            arch,
+            cli.int("m", 4096)?,
+            cli.int("hidden", 128)?,
+            cli.int("layers", 4)?,
+        )),
+        other => {
+            return Err(CliError(format!(
+                "unknown tunable kernel `{other}` (gemm|fmha|layernorm|mlp)"
+            )))
+        }
+    };
+
+    let seed = cli.int("seed", 0)? as u64;
+    let search = match cli.options.get("search").map(String::as_str) {
+        None | Some("exhaustive") => Search::Exhaustive,
+        Some("random") => Search::Random { seed, samples: cli.int("samples", 64)? as usize },
+        Some("beam") => Search::Beam {
+            seed,
+            width: cli.int("width", 4)?.max(1) as usize,
+            patience: cli.int("patience", 3)?.max(1) as usize,
+        },
+        Some(other) => {
+            return Err(CliError(format!("unknown search `{other}` (exhaustive|random|beam)")))
+        }
+    };
+    let top = cli.int("top", 5)?;
+    if top < 1 {
+        return Err(CliError(format!("--top must be at least 1, got {top}")));
+    }
+    let budget = match cli.int("budget", 0)? {
+        0 => None,
+        b if b > 0 => Some(b as usize),
+        b => return Err(CliError(format!("--budget must be non-negative, got {b}"))),
+    };
+    let opts = TuneOptions { search, budget, threads: 0, top: top as usize };
+
+    let mut db = cli.options.get("cache").map(TuneDb::load);
+    let report = graphene_tune::tune(space.as_ref(), &opts, db.as_mut())
+        .map_err(|e| CliError(e.to_string()))?;
+    // The hand-picked default, for the speedup line. Skipped on a cache
+    // hit: a warm run performs zero simulations, which is the point.
+    let default_time_s = if report.stats.db_hit {
+        None
+    } else {
+        let d = space.build(&space.default_point());
+        analyze(&d, space.arch())
+            .ok()
+            .map(|c| time_kernel(&c, machine_for(space.arch()), d.grid_size()).time_s)
+    };
+
+    match cli.options.get("emit").map(String::as_str) {
+        None | Some("text") => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "tuned {} {} on {arch} ({})",
+                report.space,
+                report.problem,
+                match opts.search {
+                    Search::Exhaustive => "exhaustive".to_string(),
+                    Search::Random { samples, .. } => format!("random, {samples} samples"),
+                    Search::Beam { width, .. } => format!("beam, width {width}"),
+                },
+            );
+            let _ = writeln!(out, "winner   : {}", report.best_desc);
+            match default_time_s {
+                Some(d) if d > 0.0 => {
+                    let _ = writeln!(
+                        out,
+                        "time     : {:.3} us (default {:.3} us, {:.2}x)",
+                        report.best_time_s * 1e6,
+                        d * 1e6,
+                        d / report.best_time_s
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "time     : {:.3} us", report.best_time_s * 1e6);
+                }
+            }
+            let s = &report.stats;
+            let _ = writeln!(
+                out,
+                "pipeline : {} proposed, {} pruned (constraint), {} pruned (analysis), {} simulated",
+                s.proposed, s.pruned_constraint, s.pruned_analysis, s.simulated
+            );
+            if db.is_some() {
+                let _ = writeln!(out, "cache    : {}", if s.db_hit { "hit" } else { "miss" });
+            }
+            if !report.leaderboard.is_empty() {
+                let _ = writeln!(out, "leaderboard:");
+                for c in &report.leaderboard {
+                    let _ = writeln!(
+                        out,
+                        "  {:9.3} us  {}",
+                        c.profile.time_s * 1e6,
+                        space.describe(&c.point)
+                    );
+                }
+            }
+            Ok(out)
+        }
+        Some("json") => {
+            let point_json = |p: &graphene_tune::Point| {
+                space
+                    .params()
+                    .iter()
+                    .zip(&p.0)
+                    .map(|(d, v)| format!("\"{}\":{v}", d.name))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let s = &report.stats;
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{{\"kernel\":\"{}\",\"problem\":\"{}\",\"arch\":\"{arch:?}\",\
+                 \"winner\":{{\"point\":{{{}}},\"time_s\":{}}},",
+                report.space,
+                report.problem,
+                point_json(&report.best_point),
+                report.best_time_s,
+            );
+            if let Some(d) = default_time_s {
+                let _ = write!(out, "\"default_time_s\":{d},");
+            }
+            let _ = write!(
+                out,
+                "\"stats\":{{\"proposed\":{},\"pruned_constraint\":{},\"pruned_analysis\":{},\
+                 \"simulated\":{},\"db_hit\":{}}},",
+                s.proposed, s.pruned_constraint, s.pruned_analysis, s.simulated, s.db_hit
+            );
+            let lb = report
+                .leaderboard
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"point\":{{{}}},\"time_s\":{}}}",
+                        point_json(&c.point),
+                        c.profile.time_s
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(out, "\"leaderboard\":[{lb}]}}");
+            Ok(out)
+        }
+        Some(other) => Err(CliError(format!("unknown emit `{other}` (text|json)"))),
+    }
+}
+
 fn render(emit: Emit, arch: Arch, kernel: &Kernel) -> Result<String, CliError> {
     graphene_ir::validate::validate(kernel, arch)
         .map_err(|ds| CliError(format!("kernel does not validate: {}", ds[0])))?;
@@ -608,13 +777,56 @@ mod run_tests {
 
 #[cfg(test)]
 mod tune_tests {
+    fn run_str(s: &str) -> Result<String, super::CliError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        super::run(&args)
+    }
+
     #[test]
-    fn tune_command() {
-        let args: Vec<String> =
-            "tune --m 1024 --n 1024 --k 512 --top 3".split_whitespace().map(String::from).collect();
-        let out = super::run(&args).unwrap();
-        assert!(out.contains("tuned 1024x1024x512"));
-        assert!(out.lines().count() >= 4);
+    fn tune_gemm_defaults_to_gemm_and_reports_pipeline() {
+        let out =
+            run_str("tune --m 512 --n 512 --k 256 --search random --samples 12 --top 3").unwrap();
+        assert!(out.contains("tuned gemm m512_n512_k256_gemm"), "{out}");
+        assert!(out.contains("winner   : bm="), "{out}");
+        assert!(out.contains("pipeline :"), "{out}");
+        assert!(out.contains("leaderboard:"), "{out}");
+    }
+
+    #[test]
+    fn tune_layernorm_emits_json() {
+        let out = run_str("tune --kernel layernorm --rows 512 --hidden 1024 --emit json").unwrap();
+        assert!(out.contains("\"kernel\":\"layernorm\""), "{out}");
+        assert!(out.contains("\"rows_per_block\":"), "{out}");
+        assert!(out.contains("\"db_hit\":false"), "{out}");
+        assert!(out.contains("\"default_time_s\":"), "{out}");
+    }
+
+    #[test]
+    fn tune_cache_round_trip_serves_second_run_without_simulation() {
+        let path = std::env::temp_dir()
+            .join(format!("graphene-cli-tune-test-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let cmd = format!(
+            "tune --kernel layernorm --rows 512 --hidden 1024 --cache {} --emit json",
+            path.display()
+        );
+        let cold = run_str(&cmd).unwrap();
+        assert!(cold.contains("\"db_hit\":false"), "{cold}");
+        let warm = run_str(&cmd).unwrap();
+        assert!(warm.contains("\"db_hit\":true"), "{warm}");
+        assert!(warm.contains("\"simulated\":0"), "{warm}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tune_failures_are_errors_not_panics() {
+        // Untileable problem: every candidate pruned -> nonzero exit.
+        let err = run_str("tune --m 17 --n 17 --k 17").unwrap_err();
+        assert!(err.0.contains("no legal candidate"), "{}", err.0);
+        assert!(run_str("tune --kernel frobnicate").unwrap_err().0.contains("unknown tunable"));
+        assert!(run_str("tune --search quantum").unwrap_err().0.contains("unknown search"));
+        assert!(run_str("tune --budget -3").unwrap_err().0.contains("non-negative"));
+        assert!(run_str("tune --top 0").unwrap_err().0.contains("--top"));
     }
 }
 

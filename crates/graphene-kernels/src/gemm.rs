@@ -122,24 +122,81 @@ impl GemmConfig {
         (self.m / self.bm) * (self.n / self.bn)
     }
 
-    /// Validates divisibility requirements.
+    /// Single-buffered shared-memory footprint in bytes (two fp16
+    /// stages: `As:[bm,bk]` and `Bs:[bk,bn]`).
+    pub fn smem_bytes(&self) -> u64 {
+        2 * (self.bm * self.bk + self.bk * self.bn) as u64
+    }
+
+    /// Checks every validity rule a GEMM schedule must satisfy on
+    /// `arch` — tiling divisibility, warp-tile vs tensor-instruction
+    /// shape, warp count, staging granularity, and the shared-memory
+    /// budget. This is the *single* source of truth shared by the
+    /// kernel builders (which panic on violation) and the tuner's
+    /// candidate filters (which skip the point).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the configuration is not well-formed.
-    pub fn validate(&self, arch: Arch) {
-        assert!(self.m % self.bm == 0 && self.n % self.bn == 0, "partial block tiles");
-        assert!(self.bm % self.wm == 0 && self.bn % self.wn == 0, "warp tiling");
+    /// Returns the first violated rule as a human-readable message.
+    pub fn validate(&self, arch: Arch) -> Result<(), String> {
+        if self.m % self.bm != 0 || self.n % self.bn != 0 {
+            return Err(format!(
+                "partial block tiles: {}x{} does not tile by {}x{}",
+                self.m, self.n, self.bm, self.bn
+            ));
+        }
+        if self.bm % self.wm != 0 || self.bn % self.wn != 0 {
+            return Err(format!(
+                "warp tiling: {}x{} block tile does not tile by {}x{} warp tiles",
+                self.bm, self.bn, self.wm, self.wn
+            ));
+        }
+        if self.k % self.bk != 0 {
+            return Err(format!("K tiling: k={} does not tile by bk={}", self.k, self.bk));
+        }
         match arch {
             Arch::Sm86 => {
-                assert!(self.k % self.bk == 0 && self.bk % 16 == 0, "K tiling (Ampere)");
-                assert!(self.wm % 16 == 0 && self.wn % 8 == 0, "warp tile vs mma.m16n8k16");
+                if self.bk % 16 != 0 {
+                    return Err(format!("K tiling (Ampere): bk={} not a multiple of 16", self.bk));
+                }
+                if self.wm % 16 != 0 || self.wn % 8 != 0 {
+                    return Err(format!(
+                        "warp tile {}x{} vs mma.m16n8k16 (wm%16, wn%8)",
+                        self.wm, self.wn
+                    ));
+                }
             }
             Arch::Sm70 => {
-                assert!(self.k % self.bk == 0 && self.bk % 4 == 0, "K tiling (Volta)");
-                assert!(self.wm % 16 == 0 && self.wn % 16 == 0, "warp tile vs quad-pairs");
+                if self.bk % 4 != 0 {
+                    return Err(format!("K tiling (Volta): bk={} not a multiple of 4", self.bk));
+                }
+                if self.wm % 16 != 0 || self.wn % 16 != 0 {
+                    return Err(format!(
+                        "warp tile {}x{} vs quad-pairs (wm%16, wn%16)",
+                        self.wm, self.wn
+                    ));
+                }
             }
         }
+        let warps = self.warps();
+        if !(1..=8).contains(&warps) {
+            return Err(format!("{warps} warps per block (1..=8 supported)"));
+        }
+        let threads = self.threads();
+        if (self.bm * self.bk) % threads != 0 || (self.bk * self.bn) % threads != 0 {
+            return Err(format!(
+                "staging granularity: {}x{} / {}x{} tiles not divisible by {} threads",
+                self.bm, self.bk, self.bk, self.bn, threads
+            ));
+        }
+        let limit = arch.smem_limit_bytes();
+        if self.smem_bytes() > limit {
+            return Err(format!(
+                "shared-memory budget: {} B single-buffered stages exceed the {arch} limit {limit} B",
+                self.smem_bytes()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -150,7 +207,7 @@ impl GemmConfig {
 /// Returned kernel parameters: `A, B, C` and, when the epilogue needs
 /// it, `bias:[n]`.
 pub fn build_gemm(arch: Arch, cfg: &GemmConfig, epilogue: Epilogue) -> Kernel {
-    cfg.validate(arch);
+    cfg.validate(arch).unwrap_or_else(|e| panic!("invalid GEMM configuration: {e}"));
     let name = format!(
         "graphene_gemm_{}_{}",
         match arch {
@@ -412,7 +469,7 @@ fn build_gemm_predicated_m(
     let arch = Arch::Sm86;
     let grid_m = (cfg.m + cfg.bm - 1) / cfg.bm;
     let padded = GemmConfig { m: grid_m * cfg.bm, ..*cfg };
-    padded.validate(arch);
+    padded.validate(arch).unwrap_or_else(|e| panic!("invalid GEMM configuration: {e}"));
     let geom = MmaGeom { bm: cfg.bm, bn: cfg.bn, wm: cfg.wm, wn: cfg.wn, k_cols: cfg.bk };
     let (mi_cnt, ni_cnt) = (cfg.wm / 16, cfg.wn / 8);
 
@@ -542,7 +599,7 @@ fn build_gemm_predicated_m(
 /// performance; the `ldmatrix_ablation` bench measures our equivalent.
 pub fn build_gemm_no_ldmatrix(cfg: &GemmConfig, epilogue: Epilogue) -> Kernel {
     let arch = Arch::Sm86;
-    cfg.validate(arch);
+    cfg.validate(arch).unwrap_or_else(|e| panic!("invalid GEMM configuration: {e}"));
     let mut kb = KernelBuilder::new(
         "graphene_gemm_sm86_no_ldmatrix",
         &[cfg.m / cfg.bm, cfg.n / cfg.bn],
@@ -627,7 +684,7 @@ pub fn build_gemm_no_ldmatrix(cfg: &GemmConfig, epilogue: Epilogue) -> Kernel {
 ///
 /// Parameters: `A:[batch*m, k]`, `B:[batch*k, n]`, `C:[batch*m, n]`.
 pub fn build_batched_gemm(arch: Arch, cfg: &GemmConfig, batch: i64) -> Kernel {
-    cfg.validate(arch);
+    cfg.validate(arch).unwrap_or_else(|e| panic!("invalid GEMM configuration: {e}"));
     assert!(batch >= 1, "batch must be positive");
     assert_eq!(arch, Arch::Sm86, "the batched schedule targets Ampere");
     let name = format!("graphene_batched_gemm_sm86_x{batch}");
@@ -723,7 +780,7 @@ pub fn build_batched_gemm(arch: Arch, cfg: &GemmConfig, batch: i64) -> Kernel {
 /// footprint, which [`graphene_ir::validate::validate`] checks).
 pub fn build_gemm_double_buffered(cfg: &GemmConfig, epilogue: Epilogue) -> Kernel {
     let arch = Arch::Sm86;
-    cfg.validate(arch);
+    cfg.validate(arch).unwrap_or_else(|e| panic!("invalid GEMM configuration: {e}"));
     let t = cfg.k / cfg.bk; // K slices
     let mut kb = KernelBuilder::new(
         "graphene_gemm_sm86_double_buffered",
@@ -931,10 +988,28 @@ mod tests {
     #[test]
     fn cublas_like_config_is_valid() {
         let cfg = GemmConfig::cublas_like(5376, 5376, 2048);
-        cfg.validate(Arch::Sm86);
+        cfg.validate(Arch::Sm86).expect("cublas-like config is valid");
         assert_eq!(cfg.warps(), 4);
         assert_eq!(cfg.threads(), 128);
         assert_eq!(cfg.blocks(), 42 * 42);
+    }
+
+    #[test]
+    fn validate_names_the_violated_rule() {
+        let ok = GemmConfig::cublas_like(1024, 1024, 512);
+        assert_eq!(ok.validate(Arch::Sm86), Ok(()));
+        let partial = GemmConfig { m: 100, ..ok };
+        assert!(partial.validate(Arch::Sm86).unwrap_err().contains("partial block tiles"));
+        let warp = GemmConfig { wn: 48, ..ok };
+        assert!(warp.validate(Arch::Sm86).unwrap_err().contains("warp tiling"));
+        let mma = GemmConfig { wn: 4, ..ok };
+        assert!(mma.validate(Arch::Sm86).unwrap_err().contains("mma.m16n8k16"));
+        let too_many = GemmConfig { wm: 16, wn: 8, ..ok };
+        assert!(too_many.validate(Arch::Sm86).unwrap_err().contains("warps per block"));
+        let smem = GemmConfig { bm: 256, bn: 256, bk: 128, wm: 64, wn: 128, ..ok };
+        assert!(smem.validate(Arch::Sm86).unwrap_err().contains("shared-memory budget"));
+        let volta_bk = GemmConfig { bk: 6, ..ok };
+        assert!(volta_bk.validate(Arch::Sm70).unwrap_err().contains("K tiling"));
     }
 }
 

@@ -1,14 +1,17 @@
-//! Systematic schedule search — the paper's future-work direction.
+//! GEMM tile search — **compatibility shim**.
 //!
-//! "Graphene therefore provides the foundation for novel ML compiler
-//! research including systematically deriving optimized tensor
-//! computations" (§8), and §6 notes that related work beating cuBLAS
-//! "often simply finds better tile sizes than the ones chosen by cuBLAS
-//! runtime heuristics". This module does exactly that: enumerate
-//! well-formed GEMM tile configurations, *statically analyse* each
-//! candidate schedule's IR on the machine model, and return the fastest
-//! — an autotuner whose cost model is the simulator instead of hardware
-//! runs.
+//! The real autotuning subsystem lives in the `graphene-tune` crate
+//! (search spaces for every paper kernel, pluggable strategies, static
+//! legality pruning, parallel costing, and a persistent tuning
+//! database). This module keeps the original GEMM-only exhaustive API
+//! (`candidate_configs` / `tune_gemm` / `best_gemm_config`) for callers
+//! that predate it; `graphene-tune` cannot be referenced from here
+//! without a dependency cycle (it builds kernels from this crate), so
+//! the shim re-implements the trivial exhaustive loop over the shared
+//! pieces: [`GemmConfig::validate`] is the single source of candidate
+//! legality, and the cost model is the same
+//! [`analyze`](graphene_sim::analyze) + [`time_kernel`] pair the
+//! subsystem uses.
 
 use crate::gemm::{build_gemm, Epilogue, GemmConfig};
 use graphene_ir::Arch;
@@ -23,7 +26,8 @@ pub struct Candidate {
     pub profile: KernelProfile,
 }
 
-/// The candidate tile space: thread-block tiles × warp tiles × K steps.
+/// The candidate tile space: thread-block tiles × warp tiles × K steps,
+/// filtered to the configurations [`GemmConfig::validate`] accepts.
 /// Mirrors the shapes real GEMM libraries instantiate.
 pub fn candidate_configs(m: i64, n: i64, k: i64, arch: Arch) -> Vec<GemmConfig> {
     let block_tiles: &[(i64, i64)] =
@@ -38,41 +42,13 @@ pub fn candidate_configs(m: i64, n: i64, k: i64, arch: Arch) -> Vec<GemmConfig> 
         for &(wm, wn) in warp_tiles {
             for &bk in bks {
                 let cfg = GemmConfig { m, n, k, bm, bn, bk, wm, wn, swizzle: true };
-                if !divides(m, bm) || !divides(n, bn) || !divides(k, bk) {
-                    continue;
+                if cfg.validate(arch).is_ok() {
+                    out.push(cfg);
                 }
-                if bm % wm != 0 || bn % wn != 0 {
-                    continue;
-                }
-                let ok_arch = match arch {
-                    Arch::Sm86 => wm % 16 == 0 && wn % 8 == 0 && bk % 16 == 0,
-                    Arch::Sm70 => wm % 16 == 0 && wn % 16 == 0 && bk % 4 == 0,
-                };
-                if !ok_arch {
-                    continue;
-                }
-                // Resource sanity: <= 8 warps, staging divisibility.
-                let warps = (bm / wm) * (bn / wn);
-                if !(1..=8).contains(&warps) {
-                    continue;
-                }
-                let threads = warps * 32;
-                if (bm * bk) % threads != 0 || (bk * bn) % threads != 0 {
-                    continue;
-                }
-                // Shared-memory budget (single-buffered stages).
-                if 2 * (bm * bk + bk * bn) > 96 * 1024 {
-                    continue;
-                }
-                out.push(cfg);
             }
         }
     }
     out
-}
-
-fn divides(x: i64, by: i64) -> bool {
-    by > 0 && x % by == 0
 }
 
 /// Exhaustively evaluates the candidate space and returns all profiles,
@@ -112,7 +88,7 @@ mod tests {
             let cands = candidate_configs(1024, 1024, 512, arch);
             assert!(cands.len() >= 8, "{arch}: only {} candidates", cands.len());
             for c in &cands {
-                c.validate(arch); // panics when ill-formed
+                c.validate(arch).expect("enumerated candidates are valid");
             }
         }
     }

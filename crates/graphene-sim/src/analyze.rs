@@ -60,12 +60,33 @@ pub fn analyze_bound(
     arch: Arch,
     bindings: &HashMap<String, i64>,
 ) -> Result<Counters, AnalyzeError> {
+    analyze_cached(kernel, arch, bindings, &mut PlanCache::new())
+}
+
+/// Like [`analyze_bound`], reusing an externally owned [`PlanCache`] so
+/// callers that run several passes over the *same kernel* (e.g. the
+/// autotuner's prune-then-cost pipeline, or `graphene-analysis`
+/// followed by counter analysis) compile each tensor's address plan
+/// once instead of once per pass.
+///
+/// The cache is keyed by [`TensorId`], so it must only ever be shared
+/// between passes over one kernel's module — never across kernels.
+///
+/// # Errors
+///
+/// See [`AnalyzeError`].
+pub fn analyze_cached(
+    kernel: &Kernel,
+    arch: Arch,
+    bindings: &HashMap<String, i64>,
+    plans: &mut PlanCache,
+) -> Result<Counters, AnalyzeError> {
     let reg = registry(arch);
     let module = &kernel.module;
     let mut env: HashMap<String, i64> = bindings.clone();
     env.insert("blockIdx.x".into(), 0);
     let mut c = Counters::default();
-    let mut cx = SampleCx::default();
+    let mut cx = SampleCx { plans, tally: BankTally::new() };
     walk(&kernel.body.stmts, module, &reg, &mut env, 1, &mut c, &mut cx)?;
     // Whole-kernel scaling: every block executes the body.
     let mut total = c.scaled(kernel.grid_size() as u64);
@@ -104,9 +125,8 @@ pub fn analyze_bound(
 /// Reusable sampling state threaded through the analysis walk: compiled
 /// address plans and a fixed bank-conflict tally shared across every
 /// access site instead of rebuilt per access.
-#[derive(Default)]
-struct SampleCx {
-    plans: PlanCache,
+struct SampleCx<'p> {
+    plans: &'p mut PlanCache,
     tally: BankTally,
 }
 
@@ -117,7 +137,7 @@ fn walk(
     env: &mut HashMap<String, i64>,
     mult: u64,
     c: &mut Counters,
-    cx: &mut SampleCx,
+    cx: &mut SampleCx<'_>,
 ) -> Result<(), AnalyzeError> {
     for s in stmts {
         match s {
@@ -154,7 +174,7 @@ fn spec_counters(
     env: &mut HashMap<String, i64>,
     mult: u64,
     c: &mut Counters,
-    cx: &mut SampleCx,
+    cx: &mut SampleCx<'_>,
 ) -> Result<(), AnalyzeError> {
     let exec = *spec.exec.last().expect("spec has an exec config");
     let tt = &module[exec];
@@ -204,7 +224,7 @@ fn spec_counters(
                 }
                 // Sample one warp's conflict factor exactly.
                 let (accesses, transactions) = sample_conflicts_cached(
-                    &mut cx.plans,
+                    cx.plans,
                     &mut cx.tally,
                     id,
                     module,

@@ -40,8 +40,8 @@ pub mod run;
 pub mod timing;
 
 pub use analyze::{
-    analyze, analyze_bound, exec_lanes, lane_addresses, lane_addresses_cached, sample_conflicts,
-    sample_conflicts_cached, AnalyzeError,
+    analyze, analyze_bound, analyze_cached, exec_lanes, lane_addresses, lane_addresses_cached,
+    sample_conflicts, sample_conflicts_cached, AnalyzeError,
 };
 pub use counters::Counters;
 pub use exec::{

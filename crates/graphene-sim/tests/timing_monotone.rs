@@ -1,0 +1,105 @@
+//! Property-based tests of the roofline timing model.
+//!
+//! The autotuner ranks schedules by [`time_kernel`]'s `time_s`, so the
+//! model must be *monotone* in the costs the tuner trades off: a
+//! schedule that serialises more shared-memory transactions (bank
+//! conflicts) or moves more DRAM bytes can never be modelled as
+//! faster, all else equal. Without these laws a search could "improve"
+//! a kernel by adding conflicts.
+
+use graphene_sim::{time_kernel, Counters, AMPERE_A6000, VOLTA_V100};
+use proptest::prelude::*;
+
+/// Strategy: plausible kernel counters spanning launch-bound tiny
+/// kernels to compute/memory-bound large ones.
+fn counters() -> impl Strategy<Value = Counters> {
+    (
+        0u64..1 << 40, // flops_tc
+        0u64..1 << 34, // flops_fma
+        0u64..1 << 32, // unique global read bytes
+        0u64..1 << 30, // unique global write bytes
+        1u64..16,      // L2 re-read amplification
+        0u64..1 << 26, // smem accesses
+        1u64..32,      // conflict multiplier
+    )
+        .prop_map(|(tc, fma, ur, uw, amp, acc, conf)| Counters {
+            flops_tc: tc,
+            flops_fma: fma,
+            unique_global_read_bytes: ur,
+            unique_global_write_bytes: uw,
+            global_read_bytes: ur.saturating_mul(amp),
+            global_write_bytes: uw,
+            smem_read_bytes: acc.saturating_mul(128),
+            smem_accesses: acc,
+            smem_transactions: acc.saturating_mul(conf),
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// More bank-conflict serialisation (more shared-memory
+    /// transactions for the same accesses) never makes the model
+    /// faster.
+    #[test]
+    fn time_is_monotone_in_smem_transactions(
+        c in counters(),
+        extra in 0u64..1 << 24,
+        blocks in 0i64..4096,
+    ) {
+        let worse = Counters {
+            smem_transactions: c.smem_transactions.saturating_add(extra),
+            ..c
+        };
+        for m in [&AMPERE_A6000, &VOLTA_V100] {
+            let base = time_kernel(&c, m, blocks);
+            let conflicted = time_kernel(&worse, m, blocks);
+            prop_assert!(
+                conflicted.time_s >= base.time_s,
+                "{} < {} on {} (+{extra} transactions)",
+                conflicted.time_s, base.time_s, m.name
+            );
+            prop_assert!(conflicted.smem_time_s >= base.smem_time_s);
+        }
+    }
+
+    /// More DRAM traffic never makes the model faster.
+    #[test]
+    fn time_is_monotone_in_dram_bytes(
+        c in counters(),
+        extra_r in 0u64..1 << 28,
+        extra_w in 0u64..1 << 28,
+        blocks in 0i64..4096,
+    ) {
+        // `dram_bytes()` is the *unique* traffic; grow the L2-visible
+        // totals alongside so the counters stay self-consistent.
+        let worse = Counters {
+            unique_global_read_bytes: c.unique_global_read_bytes.saturating_add(extra_r),
+            unique_global_write_bytes: c.unique_global_write_bytes.saturating_add(extra_w),
+            global_read_bytes: c.global_read_bytes.saturating_add(extra_r),
+            global_write_bytes: c.global_write_bytes.saturating_add(extra_w),
+            ..c
+        };
+        for m in [&AMPERE_A6000, &VOLTA_V100] {
+            let base = time_kernel(&c, m, blocks);
+            let heavier = time_kernel(&worse, m, blocks);
+            prop_assert!(
+                heavier.time_s >= base.time_s,
+                "{} < {} on {} (+{extra_r}B read, +{extra_w}B written)",
+                heavier.time_s, base.time_s, m.name
+            );
+            prop_assert!(heavier.dram_time_s >= base.dram_time_s);
+        }
+    }
+
+    /// Time is always at least the launch overhead and always finite.
+    #[test]
+    fn time_is_bounded_below_by_launch(c in counters(), blocks in 0i64..4096) {
+        for m in [&AMPERE_A6000, &VOLTA_V100] {
+            let p = time_kernel(&c, m, blocks);
+            prop_assert!(p.time_s.is_finite());
+            prop_assert!(p.time_s >= p.launch_s);
+        }
+    }
+}

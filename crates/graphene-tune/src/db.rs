@@ -1,0 +1,280 @@
+//! The persistent tuning database (`tune-cache.json`).
+//!
+//! Winning schedules are expensive to find and cheap to store: the
+//! database maps `(kernel, problem, arch, space hash)` to the winning
+//! point so a later run of the same search is served *without a single
+//! candidate simulation*. The schema is versioned; a version or
+//! space-hash mismatch (the space's parameters changed since the entry
+//! was written) silently invalidates the entry — stale winners are
+//! re-searched, never trusted.
+//!
+//! Format (version 1):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     {
+//!       "kernel": "gemm",
+//!       "problem": "m1024_n1024_k512_gemm",
+//!       "arch": "Sm86",
+//!       "space_hash": "89ab…",
+//!       "point": {"bm": 128, "bn": 128, "bk": 32, "wm": 64, "wn": 64,
+//!                 "swizzle": 1, "stages": 2},
+//!       "time_s": 0.000123,
+//!       "simulated": 87
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Writes are atomic (temp file + rename), so a crashed run never
+//! leaves a torn cache.
+
+use crate::json::{self, Json};
+use crate::space::{Point, SearchSpace};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Current schema version.
+pub const TUNE_DB_VERSION: i64 = 1;
+
+/// One stored winner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbEntry {
+    /// Space name.
+    pub kernel: String,
+    /// Problem key.
+    pub problem: String,
+    /// `{:?}` of the [`graphene_ir::Arch`].
+    pub arch: String,
+    /// Hex [`SearchSpace::space_hash`] at write time.
+    pub space_hash: String,
+    /// Winning point as `(param, value)` pairs, parameter order.
+    pub point: Vec<(String, i64)>,
+    /// Simulated time of the winner, seconds.
+    pub time_s: f64,
+    /// How many candidates were simulated to find it (provenance).
+    pub simulated: i64,
+}
+
+/// A loaded tuning database.
+#[derive(Debug, Clone)]
+pub struct TuneDb {
+    path: PathBuf,
+    entries: Vec<DbEntry>,
+}
+
+impl TuneDb {
+    /// Loads the database at `path`. A missing, unparsable, or
+    /// wrong-version file yields an empty database (the cache is a pure
+    /// accelerator — never an error source).
+    pub fn load(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let entries = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_entries(&text))
+            .unwrap_or_default();
+        TuneDb { path, entries }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the stored winner for a space, validating the space
+    /// hash and resolving the stored pairs into a [`Point`] of the
+    /// *current* space. Any mismatch — absent entry, changed space,
+    /// value no longer enumerated — is a miss.
+    pub fn lookup(&self, space: &dyn SearchSpace) -> Option<(Point, &DbEntry)> {
+        let hash = format!("{:016x}", space.space_hash());
+        let arch = format!("{:?}", space.arch());
+        let entry = self.entries.iter().find(|e| {
+            e.kernel == space.name()
+                && e.problem == space.problem_key()
+                && e.arch == arch
+                && e.space_hash == hash
+        })?;
+        let point = space.point_from_pairs(&entry.point)?;
+        Some((point, entry))
+    }
+
+    /// Upserts the winner for a space (keyed by kernel/problem/arch;
+    /// a changed space hash overwrites the stale entry).
+    pub fn record(
+        &mut self,
+        space: &dyn SearchSpace,
+        point: &Point,
+        time_s: f64,
+        simulated: usize,
+    ) {
+        let arch = format!("{:?}", space.arch());
+        let entry = DbEntry {
+            kernel: space.name().to_string(),
+            problem: space.problem_key(),
+            arch: arch.clone(),
+            space_hash: format!("{:016x}", space.space_hash()),
+            point: space
+                .params()
+                .iter()
+                .zip(&point.0)
+                .map(|(d, &v)| (d.name.to_string(), v))
+                .collect(),
+            time_s,
+            simulated: simulated as i64,
+        };
+        match self.entries.iter_mut().find(|e| {
+            e.kernel == entry.kernel && e.problem == entry.problem && e.arch == entry.arch
+        }) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Writes the database atomically (temp file + rename).
+    pub fn save(&self) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("json.tmp");
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.render().as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// Renders the version-1 document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"version\": {TUNE_DB_VERSION},\n  \"entries\": [\n"));
+        for (i, e) in self.entries.iter().enumerate() {
+            let point = e
+                .point
+                .iter()
+                .map(|(n, v)| format!("\"{}\": {v}", json::escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"problem\": \"{}\", \"arch\": \"{}\", \
+                 \"space_hash\": \"{}\", \"point\": {{{point}}}, \"time_s\": {}, \
+                 \"simulated\": {}}}{}\n",
+                json::escape(&e.kernel),
+                json::escape(&e.problem),
+                json::escape(&e.arch),
+                json::escape(&e.space_hash),
+                e.time_s,
+                e.simulated,
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn parse_entries(text: &str) -> Option<Vec<DbEntry>> {
+    let doc = json::parse(text).ok()?;
+    if doc.get("version")?.as_i64()? != TUNE_DB_VERSION {
+        return None;
+    }
+    let mut out = Vec::new();
+    for e in doc.get("entries")?.as_arr()? {
+        let point = match e.get("point")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(n, v)| Some((n.clone(), v.as_i64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        out.push(DbEntry {
+            kernel: e.get("kernel")?.as_str()?.to_string(),
+            problem: e.get("problem")?.as_str()?.to_string(),
+            arch: e.get("arch")?.as_str()?.to_string(),
+            space_hash: e.get("space_hash")?.as_str()?.to_string(),
+            point,
+            time_s: e.get("time_s")?.as_f64()?,
+            simulated: e.get("simulated").and_then(Json::as_i64).unwrap_or(0),
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::LayernormSpace;
+    use graphene_ir::Arch;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join(format!("graphene-tune-dbtest-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = tmp("roundtrip");
+        let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let point = space.default_point();
+        let mut db = TuneDb::load(&path);
+        assert!(db.is_empty());
+        db.record(&space, &point, 1.25e-5, 7);
+        db.save().unwrap();
+
+        let reloaded = TuneDb::load(&path);
+        assert_eq!(reloaded.len(), 1);
+        let (p, entry) = reloaded.lookup(&space).expect("hit");
+        assert_eq!(p, point);
+        assert_eq!(entry.time_s, 1.25e-5);
+        assert_eq!(entry.simulated, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_and_garbage_yield_empty() {
+        let path = tmp("version");
+        std::fs::write(&path, "{\"version\": 999, \"entries\": []}").unwrap();
+        assert!(TuneDb::load(&path).is_empty());
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(TuneDb::load(&path).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn changed_space_shape_misses() {
+        let path = tmp("shape");
+        let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let mut db = TuneDb::load(&path);
+        db.record(&space, &space.default_point(), 1.0e-5, 3);
+        // Tamper with the stored hash, as if the space had changed.
+        db.entries[0].space_hash = "deadbeefdeadbeef".into();
+        assert!(db.lookup(&space).is_none());
+        // A different problem of the same kernel also misses.
+        let other = LayernormSpace::new(Arch::Sm86, 8192, 1024);
+        db.record(&space, &space.default_point(), 1.0e-5, 3);
+        assert!(db.lookup(&other).is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_same_key() {
+        let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let mut db = TuneDb::load(tmp("upsert"));
+        db.record(&space, &space.default_point(), 2.0e-5, 3);
+        db.record(&space, &space.default_point(), 1.0e-5, 9);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.lookup(&space).unwrap().1.time_s, 1.0e-5);
+    }
+}

@@ -1,0 +1,89 @@
+//! # graphene-tune
+//!
+//! Search-based schedule autotuning for Graphene kernels.
+//!
+//! The paper's schedules (GEMM tiles, FMHA query tiles, layernorm row
+//! grouping, fused-MLP warp tiles) are hand-picked; this crate turns
+//! that choice into a search problem over the same IR:
+//!
+//! - **[`space`]** — a [`SearchSpace`] names the tunable parameters of
+//!   a kernel family, constrains which combinations are buildable, and
+//!   builds the kernel for a point. Spaces ship for every paper kernel
+//!   with a meaningful schedule choice.
+//! - **[`tuner`]** — pluggable [`Search`] strategies (exhaustive,
+//!   seeded random, beam hill-climb) drive a candidate pipeline that
+//!   prunes illegal schedules *statically* with the full
+//!   `graphene-analysis` diagnostics before any costing, then costs
+//!   survivors in parallel with the simulator's counter analysis and
+//!   roofline timing model. Ranking is deterministic (time, then
+//!   counter tie-breaks).
+//! - **[`db`]** — a versioned persistent database (`tune-cache.json`)
+//!   keyed by `(kernel, problem, arch, space hash)`; a warm second run
+//!   of the same search is served without a single candidate
+//!   simulation.
+//!
+//! The `graphene-cli tune` subcommand is a thin veneer over [`tune`];
+//! the historical GEMM-only `graphene_kernels::tune` module remains as
+//! a compatibility shim.
+//!
+//! ```
+//! use graphene_ir::Arch;
+//! use graphene_kernels::gemm::Epilogue;
+//! use graphene_tune::{tune, GemmSpace, Search, TuneOptions};
+//!
+//! let space = GemmSpace::new(Arch::Sm86, 512, 512, 256, Epilogue::None);
+//! let opts = TuneOptions {
+//!     search: Search::Random { seed: 0, samples: 20 },
+//!     ..TuneOptions::default()
+//! };
+//! let report = tune(&space, &opts, None).unwrap();
+//! assert!(report.stats.simulated > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod json;
+pub mod space;
+pub mod tuner;
+
+pub use db::{DbEntry, TuneDb, TUNE_DB_VERSION};
+pub use space::{FmhaSpace, GemmSpace, LayernormSpace, MlpSpace, ParamDef, Point, SearchSpace};
+pub use tuner::{rank, Candidate, Search, TuneError, TuneOptions, TuneReport, TuneStats};
+
+/// Tunes a space: consult the database (if given), otherwise run the
+/// search and record the winner back.
+///
+/// On a database hit the returned report carries the stored point and
+/// time with `stats.db_hit = true` and **zero** simulations — the
+/// candidate pipeline never runs.
+///
+/// # Errors
+///
+/// [`TuneError::NoLegalCandidate`] when every proposed point is pruned;
+/// [`TuneError::Db`] when the winner cannot be persisted.
+pub fn tune(
+    space: &dyn SearchSpace,
+    opts: &TuneOptions,
+    mut db: Option<&mut TuneDb>,
+) -> Result<TuneReport, TuneError> {
+    if let Some(db) = db.as_deref_mut() {
+        if let Some((point, entry)) = db.lookup(space) {
+            return Ok(TuneReport {
+                space: space.name().to_string(),
+                problem: space.problem_key(),
+                best_desc: space.describe(&point),
+                best_point: point,
+                best_time_s: entry.time_s,
+                leaderboard: Vec::new(),
+                stats: TuneStats { db_hit: true, ..TuneStats::default() },
+            });
+        }
+    }
+    let report = tuner::run_search(space, opts)?;
+    if let Some(db) = db {
+        db.record(space, &report.best_point, report.best_time_s, report.stats.simulated);
+        db.save().map_err(|e| TuneError::Db(e.to_string()))?;
+    }
+    Ok(report)
+}

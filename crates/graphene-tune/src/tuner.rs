@@ -1,0 +1,430 @@
+//! The candidate pipeline: propose → prune → cost → rank.
+//!
+//! Every proposed [`Point`] flows through three gates:
+//!
+//! 1. **Constraint prune** — [`SearchSpace::constraint`], pure
+//!    arithmetic, rejects untileable/unbuildable combinations without
+//!    constructing anything.
+//! 2. **Static-analysis prune** — the candidate is built and run
+//!    through the full `graphene-analysis` pipeline
+//!    ([`analyze_kernel_cached`]); any *error* diagnostic (race,
+//!    shared-memory overflow, memory-space violation, …) rejects it.
+//!    Schedules that merely *warn* (e.g. `GRA014` bank conflicts)
+//!    survive — the timing model charges them for the conflicts
+//!    instead, which is exactly how an unswizzled stage loses to a
+//!    swizzled one.
+//! 3. **Costing** — the simulator's static counter analysis
+//!    ([`analyze_cached`]) plus the roofline timing model
+//!    ([`time_kernel`]). Both analysis and costing share one
+//!    per-candidate [`PlanCache`], so each tensor's address plan is
+//!    compiled once and reused across all passes (plans are keyed by
+//!    tensor id, which is only meaningful within one kernel — the
+//!    cache is deliberately *not* shared between candidates).
+//!
+//! Candidates are evaluated in parallel with `std::thread::scope`
+//! workers pulling from a shared index; results keep submission order,
+//! so reports are deterministic regardless of thread interleaving.
+//! Ranking is by simulated `time_s` with deterministic tie-breaks on
+//! counters (shared-memory transactions, DRAM bytes, instructions) and
+//! finally the point itself.
+
+use crate::space::{Point, SearchSpace};
+use graphene_analysis::{analyze_kernel_cached, error_count, Severity};
+use graphene_sim::{analyze_cached, machine_for, time_kernel, Counters, KernelProfile, PlanCache};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// A search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Search {
+    /// Enumerate the whole space (default point first).
+    Exhaustive,
+    /// `samples` seeded-random distinct points (plus the default).
+    Random {
+        /// RNG seed (deterministic across runs).
+        seed: u64,
+        /// Number of random points to propose.
+        samples: usize,
+    },
+    /// Beam hill-climb: keep the best `width` candidates, expand their
+    /// one-step parameter neighbourhoods, stop after `patience` rounds
+    /// without improving the global best.
+    Beam {
+        /// RNG seed for the initial frontier.
+        seed: u64,
+        /// Beam width (candidates kept per round).
+        width: usize,
+        /// Rounds without improvement before terminating early.
+        patience: usize,
+    },
+}
+
+/// Tuner options.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// The strategy.
+    pub search: Search,
+    /// Maximum number of candidates to *cost* (simulate). Pruned
+    /// candidates are free. Checked between parallel batches, so a
+    /// batch in flight may finish. `None` = unlimited.
+    pub budget: Option<usize>,
+    /// Worker threads for candidate evaluation (0 = one per available
+    /// core).
+    pub threads: usize,
+    /// Leaderboard length retained in the report.
+    pub top: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { search: Search::Exhaustive, budget: None, threads: 0, top: 5 }
+    }
+}
+
+/// One fully costed candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Its point in the space.
+    pub point: Point,
+    /// Simulated timing profile.
+    pub profile: KernelProfile,
+    /// The static counters behind the profile.
+    pub counters: Counters,
+    /// `GRA014` bank-conflict warnings the analysis pipeline issued.
+    pub conflict_warnings: usize,
+}
+
+/// What happened to the candidates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Points proposed by the strategy.
+    pub proposed: usize,
+    /// Rejected by [`SearchSpace::constraint`] (never built).
+    pub pruned_constraint: usize,
+    /// Built but rejected by static analysis (error diagnostics).
+    pub pruned_analysis: usize,
+    /// Candidates costed through the simulator.
+    pub simulated: usize,
+    /// Served from the tuning database without any simulation.
+    pub db_hit: bool,
+}
+
+/// The tuner's result.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Space name.
+    pub space: String,
+    /// Problem key.
+    pub problem: String,
+    /// `name=value` rendering of the winning point.
+    pub best_desc: String,
+    /// The winning point.
+    pub best_point: Point,
+    /// Simulated time of the winner, seconds.
+    pub best_time_s: f64,
+    /// Top candidates, best first (empty on a database hit).
+    pub leaderboard: Vec<Candidate>,
+    /// Pipeline accounting.
+    pub stats: TuneStats,
+}
+
+/// Why tuning produced nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// Every proposed point was pruned; carries the last prune reason.
+    NoLegalCandidate {
+        /// Points the strategy proposed.
+        proposed: usize,
+        /// The last rejection reason observed, if any.
+        last_reason: Option<String>,
+    },
+    /// The tuning database could not be written.
+    Db(String),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NoLegalCandidate { proposed, last_reason } => {
+                write!(f, "no legal candidate among {proposed} proposed points")?;
+                if let Some(r) = last_reason {
+                    write!(f, " (last rejection: {r})")?;
+                }
+                Ok(())
+            }
+            TuneError::Db(e) => write!(f, "tuning database: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Deterministic candidate ranking: simulated time, then cheaper
+/// counters, then the point itself.
+pub fn rank(a: &Candidate, b: &Candidate) -> Ordering {
+    a.profile
+        .time_s
+        .partial_cmp(&b.profile.time_s)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.counters.smem_transactions.cmp(&b.counters.smem_transactions))
+        .then_with(|| a.counters.dram_bytes().cmp(&b.counters.dram_bytes()))
+        .then_with(|| a.counters.instructions.cmp(&b.counters.instructions))
+        .then_with(|| a.point.cmp(&b.point))
+}
+
+enum Outcome {
+    Pruned(String),
+    Rejected(String),
+    Costed(Box<Candidate>),
+}
+
+/// Evaluates one point through the full pipeline.
+fn evaluate(space: &dyn SearchSpace, point: &Point) -> Outcome {
+    if let Err(reason) = space.constraint(point) {
+        return Outcome::Pruned(reason);
+    }
+    let kernel = match catch_unwind(AssertUnwindSafe(|| space.build(point))) {
+        Ok(k) => k,
+        // A panic here means the space's constraint is not conservative
+        // enough; treat it as a prune so the search survives.
+        Err(_) => return Outcome::Pruned("builder rejected the point (panic)".into()),
+    };
+    let arch = space.arch();
+    // One plan cache per candidate: analysis and costing reuse each
+    // tensor's compiled address plan.
+    let mut plans = PlanCache::new();
+    let diags = analyze_kernel_cached(&kernel, arch, &mut plans);
+    if error_count(&diags) > 0 {
+        let first = diags
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| format!("{}: {}", d.code, d.message))
+            .unwrap_or_default();
+        return Outcome::Rejected(first);
+    }
+    let conflict_warnings = diags.iter().filter(|d| d.code == "GRA014").count();
+    match analyze_cached(&kernel, arch, &HashMap::new(), &mut plans) {
+        Ok(counters) => {
+            let profile = time_kernel(&counters, machine_for(arch), kernel.grid_size());
+            Outcome::Costed(Box::new(Candidate {
+                point: point.clone(),
+                profile,
+                counters,
+                conflict_warnings,
+            }))
+        }
+        Err(e) => Outcome::Rejected(format!("counter analysis failed: {e:?}")),
+    }
+}
+
+/// Evaluates a batch in parallel, preserving input order.
+fn evaluate_batch(space: &dyn SearchSpace, points: &[Point], threads: usize) -> Vec<Outcome> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(points.len().max(1));
+    if workers <= 1 {
+        return points.iter().map(|p| evaluate(space, p)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Outcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let out = evaluate(space, &points[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().unwrap().expect("every slot evaluated")).collect()
+}
+
+/// Incremental accumulator over evaluated batches.
+struct Session<'s> {
+    space: &'s dyn SearchSpace,
+    opts: &'s TuneOptions,
+    stats: TuneStats,
+    costed: Vec<Candidate>,
+    last_reason: Option<String>,
+    seen: HashSet<Point>,
+}
+
+impl<'s> Session<'s> {
+    fn new(space: &'s dyn SearchSpace, opts: &'s TuneOptions) -> Self {
+        Session {
+            space,
+            opts,
+            stats: TuneStats::default(),
+            costed: Vec::new(),
+            last_reason: None,
+            seen: HashSet::new(),
+        }
+    }
+
+    fn budget_left(&self) -> bool {
+        self.opts.budget.is_none_or(|b| self.stats.simulated < b)
+    }
+
+    /// Proposes a batch (dropping points already seen), evaluates it,
+    /// and folds the outcomes in. Returns the candidates this batch
+    /// costed.
+    fn run_batch(&mut self, batch: Vec<Point>) -> Vec<Candidate> {
+        let fresh: Vec<Point> = batch.into_iter().filter(|p| self.seen.insert(p.clone())).collect();
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        self.stats.proposed += fresh.len();
+        let mut new = Vec::new();
+        for out in evaluate_batch(self.space, &fresh, self.opts.threads) {
+            match out {
+                Outcome::Pruned(r) => {
+                    self.stats.pruned_constraint += 1;
+                    self.last_reason = Some(r);
+                }
+                Outcome::Rejected(r) => {
+                    self.stats.pruned_analysis += 1;
+                    self.last_reason = Some(r);
+                }
+                Outcome::Costed(c) => {
+                    self.stats.simulated += 1;
+                    new.push((*c).clone());
+                    self.costed.push(*c);
+                }
+            }
+        }
+        new
+    }
+
+    fn finish(mut self) -> Result<TuneReport, TuneError> {
+        if self.costed.is_empty() {
+            return Err(TuneError::NoLegalCandidate {
+                proposed: self.stats.proposed,
+                last_reason: self.last_reason,
+            });
+        }
+        self.costed.sort_by(rank);
+        self.costed.truncate(self.opts.top.max(1));
+        let best = self.costed[0].clone();
+        Ok(TuneReport {
+            space: self.space.name().to_string(),
+            problem: self.space.problem_key(),
+            best_desc: self.space.describe(&best.point),
+            best_point: best.point.clone(),
+            best_time_s: best.profile.time_s,
+            leaderboard: self.costed,
+            stats: self.stats,
+        })
+    }
+}
+
+/// Batch size between budget checks: big enough to keep every worker
+/// busy, small enough that a budget overshoot stays bounded.
+const BATCH: usize = 64;
+
+/// Runs a search over a space. This is the strategy driver; the
+/// database-aware entry point is [`crate::tune`].
+pub fn run_search(space: &dyn SearchSpace, opts: &TuneOptions) -> Result<TuneReport, TuneError> {
+    let mut sess = Session::new(space, opts);
+    match opts.search {
+        Search::Exhaustive => {
+            // Default first so a budget-capped run still covers it.
+            sess.run_batch(vec![space.default_point()]);
+            let total = space.total_points();
+            let mut i = 0;
+            while i < total && sess.budget_left() {
+                let end = (i + BATCH).min(total);
+                sess.run_batch((i..end).map(|j| space.point_at(j)).collect());
+                i = end;
+            }
+        }
+        Search::Random { seed, samples } => {
+            sess.run_batch(vec![space.default_point()]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let total = space.total_points();
+            let mut proposed = 0;
+            // Distinct sampling with a bounded number of redraws.
+            let mut attempts = 0;
+            let mut batch = Vec::new();
+            while proposed < samples && attempts < samples * 20 && sess.budget_left() {
+                attempts += 1;
+                let p = space.point_at(rng.gen_range(0..total));
+                if sess.seen.contains(&p) || batch.contains(&p) {
+                    continue;
+                }
+                batch.push(p);
+                proposed += 1;
+                if batch.len() >= BATCH {
+                    sess.run_batch(std::mem::take(&mut batch));
+                }
+            }
+            sess.run_batch(batch);
+        }
+        Search::Beam { seed, width, patience } => {
+            let width = width.max(1);
+            // Initial frontier: the default plus random seeds.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let total = space.total_points();
+            let mut init = vec![space.default_point()];
+            for _ in 0..(width * 4).min(total) {
+                init.push(space.point_at(rng.gen_range(0..total)));
+            }
+            sess.run_batch(init);
+            let mut beam = sess.costed.clone();
+            beam.sort_by(rank);
+            beam.truncate(width);
+            let mut best_t = beam.first().map(|c| c.profile.time_s);
+            let mut stale = 0;
+            while stale < patience && sess.budget_left() && !beam.is_empty() {
+                let frontier: Vec<Point> = beam
+                    .iter()
+                    .flat_map(|c| neighbours(space, &c.point))
+                    .filter(|p| !sess.seen.contains(p))
+                    .collect();
+                if frontier.is_empty() {
+                    break;
+                }
+                let new = sess.run_batch(frontier);
+                beam.extend(new);
+                beam.sort_by(rank);
+                beam.dedup_by(|a, b| a.point == b.point);
+                beam.truncate(width);
+                let now = beam[0].profile.time_s;
+                if best_t.is_none_or(|t| now < t) {
+                    best_t = Some(now);
+                    stale = 0;
+                } else {
+                    stale += 1;
+                }
+            }
+        }
+    }
+    sess.finish()
+}
+
+/// One-step neighbourhood of a point: each parameter moved to its
+/// adjacent value (both directions), one at a time.
+fn neighbours(space: &dyn SearchSpace, p: &Point) -> Vec<Point> {
+    let defs = space.params();
+    let mut out = Vec::new();
+    for (i, d) in defs.iter().enumerate() {
+        let idx = d.values.iter().position(|&v| v == p.0[i]).expect("point value in space");
+        for j in [idx.wrapping_sub(1), idx + 1] {
+            if let Some(&v) = d.values.get(j) {
+                let mut q = p.clone();
+                q.0[i] = v;
+                out.push(q);
+            }
+        }
+    }
+    out
+}
