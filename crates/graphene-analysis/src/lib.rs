@@ -24,8 +24,21 @@
 //!   space (e.g. `ldmatrix` from global memory).
 //! - **[`uninit`] — uninitialised accumulators (`GRA013`)**: `MatMul`
 //!   specs whose accumulator is read before any `Init` or write.
-//! - **[`banks`] — bank-conflict grading (`GRA014`)**: measured conflict
-//!   factors per shared-memory access site, warning at ≥2×.
+//! - **[`banks`] — bank-conflict grading (`GRA014`)**: conflict factors
+//!   per shared-memory access site, warning at ≥2×, each carrying the
+//!   provenance of its grade (`proven-linear` / `proven-enumerated` /
+//!   `sampled`).
+//! - **[`prove`] — out-of-bounds detection (`GRA015`)**: shared/global
+//!   accesses proven inside their root allocation by symbolic bounds
+//!   propagation, with corner-environment witness enumeration as the
+//!   fallback; violations are errors.
+//!
+//! The symbolic core is the F₂ abstraction: [`linear`] proves
+//! race-pair disjointness by solving one XOR-linear system over the
+//! bits of the thread ids and vector indices, and [`prove`] aggregates
+//! every proof (conflicts, races, bounds) into a [`prove::ProofReport`]
+//! and synthesizes conflict-eliminating XOR swizzles
+//! ([`prove::synthesize_for_root`]).
 //!
 //! The structural checks of [`graphene_ir::validate`] (`GRA001`–`GRA005`)
 //! run first; [`analyze_kernel`] is the whole pipeline.
@@ -33,7 +46,9 @@
 #![warn(missing_docs)]
 
 pub mod banks;
+pub mod linear;
 pub mod memspace;
+pub mod prove;
 pub mod races;
 pub mod uninit;
 mod walk;
@@ -63,10 +78,11 @@ pub fn analyze_kernel_cached(
 ) -> Vec<Diagnostic> {
     let mut diags = graphene_ir::validate::check(kernel, arch);
     diags.extend(races::check_races_cached(kernel, arch, plans));
-    diags.extend(races::check_redundant_barriers(kernel, arch));
+    diags.extend(races::check_redundant_barriers(kernel));
     diags.extend(memspace::check_memspace(kernel, arch));
     diags.extend(uninit::check_uninit(kernel, arch));
     diags.extend(banks::check_bank_conflicts_cached(kernel, arch, plans));
+    diags.extend(prove::check_bounds_cached(kernel, arch, plans));
     diags.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(b.code)));
     diags
 }

@@ -1,0 +1,424 @@
+//! Kernel-level proof reporting: conflict-freedom, race-freedom, and
+//! in-bounds proofs (`GRA015`), plus F₂ swizzle synthesis.
+//!
+//! [`prove_kernel`] aggregates the three symbolic analyses into one
+//! [`ProofReport`]:
+//!
+//! - **Bank conflicts** — every shared-memory access site graded with
+//!   provenance ([`crate::banks::grade_sites_cached`]): `proven-linear`
+//!   (F₂ rank, all warps/iterations), `proven-enumerated` (complete
+//!   case analysis), or `sampled` (one warp — evidence, not proof).
+//! - **Races** — per-pair accounting from the race detector
+//!   ([`crate::races::check_races_summary`]): pairs proven disjoint by
+//!   the symbolic F₂ system, proven by exhaustive enumeration, or
+//!   merely sampled at two loop iterations.
+//! - **Bounds (`GRA015`)** — every shared- and global-memory access
+//!   proven inside its root allocation by symbolic bounds propagation
+//!   (`offset.is_nonneg()` and `offset.upper_bound()` against the
+//!   root's scalar length), or — when the offset is outside the
+//!   provable fragment — *witnessed* in-bounds by enumerating the
+//!   extreme environments (first/last block, first/last loop
+//!   iteration). Violations are `GRA015` errors.
+//!
+//! [`synthesize_for_root`] solves the F₂ system of every access site
+//! of one shared root for a single XOR swizzle making all of them
+//! conflict-free ([`graphene_layout::synthesize_swizzle`]) — the
+//! constructive counterpart of the rank proof, used by the autotuner to
+//! skip the swizzle search axis entirely.
+
+use crate::banks::{grade_sites_cached, SiteGrade};
+use crate::races::{check_races_summary, RaceSummary};
+use crate::walk::{eval_guard, thread_dependent};
+use graphene_ir::atomic::{match_atomic, registry, AtomicSpec};
+use graphene_ir::body::{Predicate, Stmt};
+use graphene_ir::printer::render_spec_header;
+use graphene_ir::threads::ThreadLevel;
+use graphene_ir::{Arch, Diagnostic, Kernel, MemSpace, Module, TensorId};
+use graphene_layout::{synthesize_swizzle, Swizzle};
+use graphene_sim::{exec_lanes, lane_addresses_cached, linear_site, root_len, PlanCache};
+use std::collections::{HashMap, HashSet};
+
+/// How an access site's in-bounds verdict was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundsStatus {
+    /// Proven: `0 <= addr < len` for every thread, block, and loop
+    /// iteration — by guard-aware bounds propagation over the offset
+    /// expression, or by exhaustively enumerating every value
+    /// combination of its variables (a complete case analysis).
+    Proven,
+    /// Checked by enumerating the extreme environments (first/last
+    /// block and loop iterations) — strong evidence, not a proof.
+    Witnessed,
+    /// An out-of-bounds address was found (reported as `GRA015`).
+    Violation,
+}
+
+impl BoundsStatus {
+    /// Stable lower-case label (used in diagnostics and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundsStatus::Proven => "proven",
+            BoundsStatus::Witnessed => "witnessed",
+            BoundsStatus::Violation => "violation",
+        }
+    }
+}
+
+/// One access site's in-bounds verdict.
+#[derive(Debug, Clone)]
+pub struct BoundsCheck {
+    /// Root tensor being accessed.
+    pub root: TensorId,
+    /// Root tensor name (for rendering).
+    pub tensor: String,
+    /// Rendered spec header of the access site.
+    pub spec: String,
+    /// Root allocation length in scalars.
+    pub len: i64,
+    /// The verdict.
+    pub status: BoundsStatus,
+    /// For violations: one offending `(thread, address)` witness.
+    pub witness: Option<(i64, i64)>,
+}
+
+/// The complete proof accounting for one kernel.
+#[derive(Debug, Clone)]
+pub struct ProofReport {
+    /// Every shared-memory access site's conflict grade + provenance.
+    pub conflicts: Vec<SiteGrade>,
+    /// Race-detector per-pair proof accounting.
+    pub races: RaceSummary,
+    /// Every shared/global access site's bounds verdict.
+    pub bounds: Vec<BoundsCheck>,
+}
+
+impl ProofReport {
+    /// Every shared-memory site is conflict-free with a *proof* (no
+    /// sampling fallback, no residual conflicts).
+    pub fn conflicts_proven_free(&self) -> bool {
+        self.conflicts.iter().all(|s| s.provenance.is_proven() && s.conflict_free())
+    }
+
+    /// No bounds violations were found.
+    pub fn bounds_clean(&self) -> bool {
+        self.bounds.iter().all(|b| b.status != BoundsStatus::Violation)
+    }
+}
+
+/// Runs every proof pass over a kernel.
+pub fn prove_kernel(kernel: &Kernel, arch: Arch) -> ProofReport {
+    prove_kernel_cached(kernel, arch, &mut PlanCache::new())
+}
+
+/// Like [`prove_kernel`], reusing an externally owned [`PlanCache`].
+pub fn prove_kernel_cached(kernel: &Kernel, arch: Arch, plans: &mut PlanCache) -> ProofReport {
+    ProofReport {
+        conflicts: grade_sites_cached(kernel, arch, plans),
+        races: check_races_summary(kernel, arch, plans).1,
+        bounds: bounds_checks_cached(kernel, arch, plans),
+    }
+}
+
+/// Checks every shared/global access against its root allocation,
+/// reporting out-of-bounds accesses as `GRA015` errors.
+pub fn check_bounds(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
+    check_bounds_cached(kernel, arch, &mut PlanCache::new())
+}
+
+/// Like [`check_bounds`], reusing an externally owned [`PlanCache`].
+pub fn check_bounds_cached(kernel: &Kernel, arch: Arch, plans: &mut PlanCache) -> Vec<Diagnostic> {
+    bounds_checks_cached(kernel, arch, plans)
+        .into_iter()
+        .filter(|b| b.status == BoundsStatus::Violation)
+        .map(|b| {
+            let at = b
+                .witness
+                .map(|(t, a)| format!(" (thread {t} reaches offset {a})"))
+                .unwrap_or_default();
+            Diagnostic::error(
+                "GRA015",
+                format!(
+                    "out-of-bounds access: %{} in `{}` escapes its allocation of {} \
+                     scalars{at}",
+                    b.tensor, b.spec, b.len,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The bounds verdict of every shared- and global-memory access site.
+pub fn bounds_checks_cached(
+    kernel: &Kernel,
+    arch: Arch,
+    plans: &mut PlanCache,
+) -> Vec<BoundsCheck> {
+    let mut cx = BoundsCx {
+        kernel,
+        module: &kernel.module,
+        reg: registry(arch),
+        plans,
+        loops: Vec::new(),
+        guards: Vec::new(),
+        seen: HashSet::new(),
+        checks: Vec::new(),
+    };
+    cx.walk(&kernel.body.stmts);
+    cx.checks
+}
+
+struct BoundsCx<'k, 'p> {
+    kernel: &'k Kernel,
+    module: &'k Module,
+    reg: Vec<AtomicSpec>,
+    plans: &'p mut PlanCache,
+    /// Enclosing `for` nesting as `(var, extent)`.
+    loops: Vec<(String, i64)>,
+    guards: Vec<Predicate>,
+    seen: HashSet<(TensorId, String)>,
+    checks: Vec<BoundsCheck>,
+}
+
+impl BoundsCx<'_, '_> {
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::For { var, extent, body, .. } => {
+                    self.loops.push((var.clone(), *extent));
+                    self.walk(body);
+                    self.loops.pop();
+                }
+                Stmt::If { cond, then } => {
+                    self.guards.push(cond.clone());
+                    self.walk(then);
+                    self.guards.pop();
+                }
+                Stmt::Spec(spec) => match &spec.body {
+                    Some(body) => self.walk(&body.stmts),
+                    None => self.check_spec(spec),
+                },
+                _ => {}
+            }
+        }
+    }
+
+    fn check_spec(&mut self, spec: &graphene_ir::Spec) {
+        let module = self.module;
+        let Some(&exec) = spec.exec.last() else { return };
+        let tt = &module[exec];
+        if tt.level != ThreadLevel::Thread || match_atomic(spec, module, &self.reg).is_none() {
+            return;
+        }
+        for &id in spec.ins.iter().chain(spec.outs.iter()) {
+            let root = module.root_of(id);
+            let mem = module[root].mem;
+            if mem != MemSpace::Shared && mem != MemSpace::Global {
+                continue;
+            }
+            let header = render_spec_header(module, spec);
+            if !self.seen.insert((id, header.clone())) {
+                continue;
+            }
+            let len = root_len(&module[root].ty) as i64;
+            let (status, witness) = self.verdict(id, exec, len);
+            self.checks.push(BoundsCheck {
+                root,
+                tensor: module[root].name.clone(),
+                spec: header,
+                len,
+                status,
+                witness,
+            });
+        }
+    }
+
+    /// Proof first, witness enumeration second.
+    ///
+    /// The proof ignores guards (they only shrink the accessed set) and
+    /// is swizzle-safe: the root length is rounded up to the swizzle
+    /// period and a swizzle permutes addresses within aligned
+    /// period-sized blocks, so pre-swizzle bounds imply post-swizzle
+    /// bounds.
+    fn verdict(
+        &mut self,
+        id: TensorId,
+        exec: graphene_ir::ThreadId,
+        len: i64,
+    ) -> (BoundsStatus, Option<(i64, i64)>) {
+        let module = self.module;
+        let offset = &module[id].offset;
+        let plan = self.plans.plan(id, module).clone();
+        let min_rel = plan.rel.iter().copied().min().unwrap_or(0);
+        let max_rel = plan.rel.iter().copied().max().unwrap_or(0);
+        // Dominating `var < c` guards tighten that variable's bound —
+        // sound for the proof because guards only shrink the accessed
+        // set (e.g. the tail-prefetch guard of a double-buffered loop).
+        let mut tighter = HashMap::new();
+        for g in &self.guards {
+            if let (graphene_sym::IntExpr::Var(info), Some(c)) = (&g.lhs, g.rhs.as_const()) {
+                let entry = tighter.entry(info.name.clone()).or_insert(c);
+                *entry = (*entry).min(c);
+            }
+        }
+        if offset.is_nonneg() && min_rel >= 0 {
+            if let Some(ub) = offset.upper_bound_with(&tighter) {
+                if (ub - 1).saturating_add(max_rel) < len {
+                    return (BoundsStatus::Proven, None);
+                }
+            }
+        }
+        // Interval arithmetic failed (typically on correlated `x%a` /
+        // `x/a` re-indexing terms it must over-approximate). Second
+        // route: when every variable of the offset besides the thread id
+        // is an enclosing loop counter or the block id, enumerating all
+        // their value combinations (within a budget) is a complete case
+        // analysis — a proof. Otherwise fall back to corner witnessing.
+        let tt = &module[exec];
+        let grid = self.kernel.grid_size();
+        let vars = offset.free_vars();
+        let mut domains: Vec<(String, i64)> = Vec::new();
+        let mut enumerable = true;
+        for v in &vars {
+            if v == "threadIdx.x" {
+                continue;
+            } else if v == "blockIdx.x" {
+                domains.push((v.clone(), grid.max(1)));
+            } else if let Some((_, e)) = self.loops.iter().find(|(lv, _)| lv == v) {
+                domains.push((v.clone(), (*e).max(1)));
+            } else {
+                enumerable = false; // dynamic parameter — value unknown
+                break;
+            }
+        }
+        let combos = domains
+            .iter()
+            .try_fold(1i64, |p, (_, e)| p.checked_mul(*e).filter(|&c| c <= MAX_BOUNDS_COMBOS));
+        let exhaustive = enumerable && combos.is_some();
+        let envs: Vec<HashMap<String, i64>> = if let (true, Some(combos)) = (exhaustive, combos) {
+            (0..combos)
+                .map(|c| {
+                    let mut env = HashMap::from([("blockIdx.x".to_string(), 0)]);
+                    let mut rem = c;
+                    for (v, e) in &domains {
+                        env.insert(v.clone(), rem % e);
+                        rem /= e;
+                    }
+                    env
+                })
+                .collect()
+        } else {
+            // Corner environments: every combination of {first, last}
+            // block and {first, last} value of each loop counter.
+            let corners = 1usize << (self.loops.len() + 1).min(12);
+            (0..corners)
+                .map(|corner| {
+                    let mut env = HashMap::new();
+                    env.insert(
+                        "blockIdx.x".to_string(),
+                        if corner & 1 == 0 { 0 } else { (grid - 1).max(0) },
+                    );
+                    for (k, (var, extent)) in self.loops.iter().enumerate() {
+                        let hi = (corner >> (k + 1)) & 1 == 1;
+                        env.insert(var.clone(), if hi { (extent - 1).max(0) } else { 0 });
+                    }
+                    env
+                })
+                .collect()
+        };
+        let all_lanes = exec_lanes(tt, tt.count() as usize);
+        let (thread_guards, block_guards): (Vec<_>, Vec<_>) =
+            self.guards.iter().partition(|g| thread_dependent(g));
+        for mut env in envs {
+            // Thread-independent guards false under this environment
+            // mean the access does not execute here; thread-dependent
+            // guards filter lanes.
+            if block_guards.iter().any(|g| eval_guard(g, &env) == Some(false)) {
+                continue;
+            }
+            let lanes: Vec<i64> = all_lanes
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    thread_guards.iter().all(|g| {
+                        env.insert("threadIdx.x".into(), t);
+                        let taken = eval_guard(g, &env).unwrap_or(true);
+                        env.remove("threadIdx.x");
+                        taken
+                    })
+                })
+                .collect();
+            let Ok(per_lane) = lane_addresses_cached(self.plans, id, module, &lanes, &env) else {
+                continue;
+            };
+            for (t, addrs) in per_lane {
+                for a in addrs {
+                    if a < 0 || a >= len {
+                        return (BoundsStatus::Violation, Some((t, a)));
+                    }
+                }
+            }
+        }
+        if exhaustive {
+            (BoundsStatus::Proven, None)
+        } else {
+            (BoundsStatus::Witnessed, None)
+        }
+    }
+}
+
+/// Enumeration budget for the exhaustive bounds proof: the largest
+/// variable-value cartesian product worth exhausting.
+const MAX_BOUNDS_COMBOS: i64 = 4096;
+
+/// Solves for one XOR swizzle making *every* access site of `root`
+/// bank-conflict-free, or `None` when some site is outside the F₂
+/// fragment or no swizzle works.
+///
+/// The sites are abstracted pre-swizzle, so this is meaningful on an
+/// unswizzled build: the tuner builds a candidate with the identity
+/// swizzle, synthesizes here, and applies the result — skipping the
+/// swizzle search axis and the conflict simulation entirely.
+pub fn synthesize_for_root(
+    kernel: &Kernel,
+    arch: Arch,
+    root: TensorId,
+    plans: &mut PlanCache,
+) -> Option<Swizzle> {
+    let module = &kernel.module;
+    let reg = registry(arch);
+    let mut sites = Vec::new();
+    let mut stack: Vec<&[Stmt]> = vec![&kernel.body.stmts];
+    while let Some(stmts) = stack.pop() {
+        for s in stmts {
+            match s {
+                Stmt::For { body, .. } => stack.push(body),
+                Stmt::If { then, .. } => stack.push(then),
+                Stmt::Spec(spec) => match &spec.body {
+                    Some(body) => stack.push(&body.stmts),
+                    None => {
+                        let Some(&exec) = spec.exec.last() else { continue };
+                        let tt = &module[exec];
+                        if tt.level != ThreadLevel::Thread
+                            || match_atomic(spec, module, &reg).is_none()
+                        {
+                            continue;
+                        }
+                        for &id in spec.ins.iter().chain(spec.outs.iter()) {
+                            if module.root_of(id) != root {
+                                continue;
+                            }
+                            let bytes = module[id].ty.scalar_type().bytes();
+                            let ls = linear_site(plans, id, module, tt, bytes)?;
+                            sites.push(ls.site);
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+    }
+    if sites.is_empty() {
+        return None;
+    }
+    synthesize_swizzle(&sites)
+}

@@ -26,6 +26,7 @@
 //! (symbolic guards are assumed taken); thread-dependent guards filter
 //! the active lanes per thread.
 
+use crate::linear::{prove_pair_disjoint, PairProof};
 use crate::walk::{eval_guard, shared_accesses, thread_dependent, SharedAccess};
 use graphene_ir::atomic::{registry, AtomicSpec};
 use graphene_ir::body::{Predicate, Stmt, SyncScope};
@@ -33,6 +34,37 @@ use graphene_ir::tensor::TensorId;
 use graphene_ir::{Arch, Diagnostic, Kernel, MemSpace, Module};
 use graphene_sim::PlanCache;
 use std::collections::{HashMap, HashSet};
+
+/// How the race check established each access pair's verdict.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RaceSummary {
+    /// Pairs proven disjoint (or same-thread-only) by the symbolic F₂
+    /// system — valid for every thread and every loop iteration.
+    pub pairs_proven_linear: usize,
+    /// Pairs decided by per-lane enumeration whose address sets are
+    /// exact for all iterations (both offsets and guards depend only on
+    /// `threadIdx.x`) — a complete case analysis.
+    pub pairs_proven_enumerated: usize,
+    /// Pairs decided by enumeration at loop iterations 0 and 1 only.
+    pub pairs_sampled: usize,
+    /// Conflicting pairs reported as `GRA010` diagnostics.
+    pub races_reported: usize,
+}
+
+impl RaceSummary {
+    /// Total write-involving pairs examined.
+    pub fn pairs(&self) -> usize {
+        self.pairs_proven_linear
+            + self.pairs_proven_enumerated
+            + self.pairs_sampled
+            + self.races_reported
+    }
+
+    /// Every clean pair carries a proof (no sampling fallback).
+    pub fn all_proven(&self) -> bool {
+        self.pairs_sampled == 0
+    }
+}
 
 /// Detects shared-memory races in a kernel.
 pub fn check_races(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
@@ -44,6 +76,17 @@ pub fn check_races(kernel: &Kernel, arch: Arch) -> Vec<Diagnostic> {
 /// kernel, e.g. with [`crate::banks::check_bank_conflicts_cached`] and
 /// `graphene_sim::analyze_cached`).
 pub fn check_races_cached(kernel: &Kernel, arch: Arch, plans: &mut PlanCache) -> Vec<Diagnostic> {
+    check_races_summary(kernel, arch, plans).0
+}
+
+/// Like [`check_races_cached`], also returning the per-pair proof
+/// accounting (how many pairs were proven symbolically, proven by
+/// exhaustive enumeration, or merely sampled at two loop iterations).
+pub fn check_races_summary(
+    kernel: &Kernel,
+    arch: Arch,
+    plans: &mut PlanCache,
+) -> (Vec<Diagnostic>, RaceSummary) {
     let mut cx = RaceCx {
         module: &kernel.module,
         reg: registry(arch),
@@ -54,9 +97,10 @@ pub fn check_races_cached(kernel: &Kernel, arch: Arch, plans: &mut PlanCache) ->
         pending: HashMap::new(),
         reported: HashSet::new(),
         diags: Vec::new(),
+        summary: RaceSummary::default(),
     };
     cx.walk(&kernel.body.stmts);
-    cx.diags
+    (cx.diags, cx.summary)
 }
 
 struct PendingAccess {
@@ -77,6 +121,7 @@ struct RaceCx<'m, 'p> {
     pending: HashMap<TensorId, Vec<PendingAccess>>,
     reported: HashSet<(TensorId, String, String)>,
     diags: Vec<Diagnostic>,
+    summary: RaceSummary,
 }
 
 impl RaceCx<'_, '_> {
@@ -140,12 +185,31 @@ impl RaceCx<'_, '_> {
         }
     }
 
+    /// Symbolic disjointness (the F₂ proof rule): `true` when the pair
+    /// is proven race-free for every thread, vector element, and loop
+    /// iteration — enumeration can be skipped entirely.
+    fn symbolically_disjoint(&mut self, a: &SharedAccess, b: &SharedAccess) -> bool {
+        let (Some(na), Some(nb)) = (a.lane_span, b.lane_span) else { return false };
+        if na != nb {
+            return false;
+        }
+        let module = self.module;
+        let rel_a = self.plans.plan(a.view, module).rel.clone();
+        let rel_b = self.plans.plan(b.view, module).rel.clone();
+        prove_pair_disjoint(&module[a.view].offset, &rel_a, &module[b.view].offset, &rel_b, na)
+            == PairProof::RaceFree
+    }
+
     fn record(&mut self, acc: SharedAccess) {
         let mut pend = self.pending.remove(&acc.root).unwrap_or_default();
         for prev in &pend {
             let p = &prev.access;
             if !(p.write || acc.write) {
                 continue; // read-read never conflicts
+            }
+            if self.symbolically_disjoint(p, &acc) {
+                self.summary.pairs_proven_linear += 1;
+                continue;
             }
             if let Some(conflict) = first_conflict(p, &acc) {
                 let async_write = p.cp_async || acc.cp_async;
@@ -158,8 +222,16 @@ impl RaceCx<'_, '_> {
                 if !self.reported.insert(key) {
                     continue;
                 }
+                self.summary.races_reported += 1;
                 let d = self.race_diag(prev, &acc, conflict);
                 self.diags.push(d);
+            } else if p.loop_free && acc.loop_free {
+                // Both address sets are iteration-independent, so the
+                // enumeration just performed was a complete case
+                // analysis over every lane.
+                self.summary.pairs_proven_enumerated += 1;
+            } else {
+                self.summary.pairs_sampled += 1;
             }
         }
         pend.push(PendingAccess { access: acc, warp_synced: false });
@@ -243,7 +315,7 @@ fn conflicts_within_one_warp(a: &SharedAccess, b: &SharedAccess) -> bool {
 /// The same-list restriction avoids false positives on loop-carried
 /// pipelines, where a barrier at the top of an iteration orders against
 /// traffic of the *previous* iteration.
-pub fn check_redundant_barriers(kernel: &Kernel, _arch: Arch) -> Vec<Diagnostic> {
+pub fn check_redundant_barriers(kernel: &Kernel) -> Vec<Diagnostic> {
     let module = &kernel.module;
     let mut diags = Vec::new();
     walk_lists(&kernel.body.stmts, &mut vec!["body".into()], &mut |stmts, path| {

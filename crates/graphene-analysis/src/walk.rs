@@ -16,6 +16,9 @@ use std::collections::HashMap;
 pub struct SharedAccess {
     /// Root shared tensor being accessed.
     pub root: TensorId,
+    /// The operand view whose offset expression addresses the root
+    /// (input to the symbolic disjointness prover).
+    pub view: TensorId,
     /// Rendered spec header (for diagnostics).
     pub desc: String,
     /// Statement path of the spec.
@@ -26,6 +29,15 @@ pub struct SharedAccess {
     /// completion is ordered only by a wait + block barrier, never by a
     /// warp-scope sync.
     pub cp_async: bool,
+    /// The offset and every active guard depend on nothing but
+    /// `threadIdx.x`: enumerating the lanes once covers every loop
+    /// iteration, so the per-lane address sets are *exact*, not sampled
+    /// at iterations 0 and 1.
+    pub loop_free: bool,
+    /// `Some(n)` when the executing lanes (after guard filtering) are
+    /// exactly `[0, 2^n)` — the precondition for the symbolic
+    /// disjointness proof, which models the thread id as `n` free bits.
+    pub lane_span: Option<u32>,
     /// `address -> threads touching it` for every scalar address.
     pub lanes_at: HashMap<i64, Vec<i64>>,
 }
@@ -86,6 +98,19 @@ pub fn shared_accesses(
     if lanes.is_empty() {
         return Vec::new();
     }
+    // Exact lane span [0, 2^n)? (The symbolic prover's tid model.)
+    let lane_span = {
+        let mut sorted = lanes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let contiguous = sorted.len() == lanes.len()
+            && sorted.len().is_power_of_two()
+            && sorted.first() == Some(&0)
+            && *sorted.last().expect("non-empty") == sorted.len() as i64 - 1;
+        contiguous.then(|| sorted.len().trailing_zeros())
+    };
+    let tid_only = |e: &graphene_sym::IntExpr| e.free_vars().iter().all(|v| v == "threadIdx.x");
+    let guards_tid_only = guards.iter().all(|g| tid_only(&g.lhs) && tid_only(&g.rhs));
 
     let desc = render_spec_header(module, spec);
     let mut out = Vec::new();
@@ -105,10 +130,13 @@ pub fn shared_accesses(
         }
         out.push(SharedAccess {
             root,
+            view: id,
             desc: desc.clone(),
             path: path.to_vec(),
             write,
             cp_async: cp_async && write,
+            loop_free: guards_tid_only && tid_only(&module[id].offset),
+            lane_span,
             lanes_at,
         });
     }

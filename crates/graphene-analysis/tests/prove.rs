@@ -1,0 +1,222 @@
+//! The F₂ proof engine over the paper kernels: every shipped schedule's
+//! shared-memory behaviour is *proven* — conflict grades carry proof
+//! provenance (no sampling fallback), every write-involving race pair is
+//! decided symbolically or by complete enumeration, and every
+//! shared/global access is proven inside its allocation. Planted
+//! out-of-bounds defects trip `GRA015`, and swizzle synthesis reproduces
+//! the builders' hand swizzle.
+
+use graphene_analysis::banks::grade_sites;
+use graphene_analysis::prove::{prove_kernel, synthesize_for_root, BoundsStatus};
+use graphene_analysis::{analyze_kernel, Severity};
+use graphene_ir::{Arch, Kernel, MemSpace, TensorId};
+use graphene_kernels::fmha::{build_fused_fmha, FmhaConfig};
+use graphene_kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
+use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
+use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
+use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
+use graphene_kernels::softmax::{build_softmax, SoftmaxConfig};
+use graphene_sim::PlanCache;
+use graphene_sym::{BinOp, IntExpr};
+
+fn paper_kernels() -> Vec<(Kernel, Arch)> {
+    let cfg = GemmConfig::cublas_like(256, 256, 64);
+    vec![
+        (build_gemm(Arch::Sm86, &cfg, Epilogue::None), Arch::Sm86),
+        (build_gemm_double_buffered(&cfg, Epilogue::None), Arch::Sm86),
+        (build_fused_mlp(Arch::Sm86, &MlpConfig::paper(256, 2)), Arch::Sm86),
+        (build_fused_lstm(Arch::Sm86, &LstmConfig::paper(128)), Arch::Sm86),
+        (build_fused_fmha(Arch::Sm86, &FmhaConfig::mlperf_bert()), Arch::Sm86),
+        (build_layernorm(Arch::Sm86, &LayernormConfig::new(64, 1024)), Arch::Sm86),
+        (build_softmax(Arch::Sm86, &SoftmaxConfig::new(64, 512)), Arch::Sm86),
+    ]
+}
+
+/// The headline acceptance criterion: for every paper kernel, the proof
+/// report contains no sampled conflict grade, no sampled race pair, and
+/// no merely-witnessed bounds verdict — every verdict is a proof, with
+/// no enumeration-at-two-iterations or one-warp-sampling fallback left
+/// anywhere.
+#[test]
+fn every_paper_kernel_is_fully_proven() {
+    let (mut total_sites, mut total_pairs) = (0usize, 0usize);
+    for (kernel, arch) in paper_kernels() {
+        let r = prove_kernel(&kernel, arch);
+        total_sites += r.conflicts.len();
+        total_pairs += r.races.pairs();
+        for s in &r.conflicts {
+            assert!(
+                s.provenance.is_proven(),
+                "{}: %{} in `{}` fell back to sampling",
+                kernel.name,
+                s.tensor,
+                s.spec
+            );
+        }
+        assert!(
+            r.races.all_proven() && r.races.races_reported == 0,
+            "{}: race pairs not fully proven: {:?}",
+            kernel.name,
+            r.races
+        );
+        for b in &r.bounds {
+            assert_eq!(
+                b.status,
+                BoundsStatus::Proven,
+                "{}: %{} in `{}` only {}",
+                kernel.name,
+                b.tensor,
+                b.spec,
+                b.status.label()
+            );
+        }
+        assert!(!r.bounds.is_empty() && r.bounds_clean(), "{}", kernel.name);
+    }
+    assert!(total_sites > 0 && total_pairs > 0, "suite exercised nothing");
+}
+
+/// The swizzled-staging kernels achieve *proven conflict-freedom* —
+/// every shared-memory access site provably needs zero extra
+/// transactions, for all warps and all loop iterations. (The fused MLP,
+/// LSTM, and FMHA schedules keep a few residual proven 2× sites by
+/// design; their grades are covered by the provenance test above.)
+#[test]
+fn swizzled_kernels_prove_conflict_freedom() {
+    let cfg = GemmConfig::cublas_like(256, 256, 64);
+    let kernels = vec![
+        (build_gemm(Arch::Sm86, &cfg, Epilogue::None), Arch::Sm86),
+        (build_gemm_double_buffered(&cfg, Epilogue::None), Arch::Sm86),
+        (build_layernorm(Arch::Sm86, &LayernormConfig::new(64, 1024)), Arch::Sm86),
+        (build_softmax(Arch::Sm86, &SoftmaxConfig::new(64, 512)), Arch::Sm86),
+    ];
+    for (kernel, arch) in kernels {
+        let r = prove_kernel(&kernel, arch);
+        assert!(
+            r.conflicts_proven_free(),
+            "{}: {:#?}",
+            kernel.name,
+            r.conflicts.iter().filter(|s| !s.conflict_free()).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The Volta register-staged GEMM keeps one residual 2× conflict on its
+/// `%Ast` staging at this tile shape — and the engine *proves* that
+/// grade rather than sampling it: a proven-conflicted verdict is just as
+/// much a proof as a proven-free one.
+#[test]
+fn volta_gemm_grades_are_proofs_even_when_conflicted() {
+    let kernel = build_gemm(Arch::Sm70, &GemmConfig::small(64, 64, 64), Epilogue::None);
+    let r = prove_kernel(&kernel, Arch::Sm70);
+    assert!(!r.conflicts.is_empty());
+    assert!(r.conflicts.iter().all(|s| s.provenance.is_proven()), "{:#?}", r.conflicts);
+    assert!(r.races.all_proven(), "{:?}", r.races);
+    assert!(r.bounds.iter().all(|b| b.status == BoundsStatus::Proven), "{:#?}", r.bounds);
+}
+
+/// Shifts every view of every root in the given memory space so the
+/// accesses escape their allocations, and returns the root names.
+fn plant_oob(kernel: &mut Kernel, space: MemSpace) -> Vec<String> {
+    let victims: Vec<TensorId> = kernel
+        .module
+        .tensors()
+        .filter(|(_, d)| d.base.is_some())
+        .map(|(id, _)| id)
+        .filter(|&id| {
+            let root = kernel.module.root_of(id);
+            kernel.module[root].mem == space
+        })
+        .collect();
+    assert!(!victims.is_empty(), "kernel has views in the target space");
+    let mut names = Vec::new();
+    for id in victims {
+        let root = kernel.module.root_of(id);
+        names.push(kernel.module[root].name.clone());
+        let off = kernel.module[id].offset.clone();
+        kernel.module.tensor_mut(id).offset =
+            IntExpr::bin(BinOp::Add, off, IntExpr::constant(1 << 20));
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// A doctored shared-memory view that escapes its allocation is caught
+/// by `GRA015` as an error naming the tensor.
+#[test]
+fn planted_shared_oob_trips_gra015() {
+    let mut kernel = build_gemm(Arch::Sm86, &GemmConfig::small(64, 64, 64), Epilogue::None);
+    let names = plant_oob(&mut kernel, MemSpace::Shared);
+    let diags = analyze_kernel(&kernel, Arch::Sm86);
+    let oob: Vec<_> = diags.iter().filter(|d| d.code == "GRA015").collect();
+    assert!(!oob.is_empty(), "expected GRA015, got: {diags:#?}");
+    assert!(oob.iter().all(|d| d.severity == Severity::Error));
+    assert!(
+        oob.iter().any(|d| names.iter().any(|n| d.message.contains(&format!("%{n}")))),
+        "GRA015 should name a doctored root {names:?}: {oob:#?}"
+    );
+    assert!(oob.iter().any(|d| d.message.contains("escapes its allocation")), "{oob:#?}");
+}
+
+/// Same for a global view: bounds proofs cover global roots too.
+#[test]
+fn planted_global_oob_trips_gra015() {
+    let mut kernel = build_gemm(Arch::Sm86, &GemmConfig::small(64, 64, 64), Epilogue::None);
+    plant_oob(&mut kernel, MemSpace::Global);
+    let diags = analyze_kernel(&kernel, Arch::Sm86);
+    assert!(
+        diags.iter().any(|d| d.code == "GRA015" && d.severity == Severity::Error),
+        "expected GRA015, got: {diags:#?}"
+    );
+}
+
+/// The un-doctored kernels carry no GRA015 at all (proven in-bounds),
+/// so the planted defects above are what trips the code.
+#[test]
+fn shipped_kernels_report_no_gra015() {
+    for (kernel, arch) in paper_kernels() {
+        let diags = analyze_kernel(&kernel, arch);
+        assert!(
+            diags.iter().all(|d| d.code != "GRA015"),
+            "{}: unexpected GRA015: {diags:#?}",
+            kernel.name
+        );
+    }
+}
+
+/// Swizzle synthesis closes the loop with the hand-swizzled builders:
+/// on the *unswizzled* GEMM, every conflicted shared staging root admits
+/// a synthesized non-identity swizzle, and the builder's own swizzled
+/// build — the schedule the tuner used to find by search — achieves
+/// exactly the conflict-freedom the synthesized swizzle proves. The
+/// synthesized swizzle therefore matches or beats every tuned swizzle
+/// candidate of the old two-point search axis.
+#[test]
+fn synthesis_reproduces_the_tuned_swizzle() {
+    let mut cfg = GemmConfig::small(64, 64, 64);
+    cfg.swizzle = false;
+    let naive = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    let naive_sites = grade_sites(&naive, Arch::Sm86);
+    let conflicted: Vec<TensorId> = {
+        let mut roots: Vec<TensorId> =
+            naive_sites.iter().filter(|s| !s.conflict_free()).map(|s| s.root).collect();
+        roots.sort();
+        roots.dedup();
+        roots
+    };
+    assert!(!conflicted.is_empty(), "naive staging should conflict");
+    let mut plans = PlanCache::new();
+    for root in conflicted {
+        let sw = synthesize_for_root(&naive, Arch::Sm86, root, &mut plans)
+            .unwrap_or_else(|| panic!("no swizzle synthesized for %{}", naive.module[root].name));
+        assert!(!sw.is_identity(), "%{} needs a real swizzle", naive.module[root].name);
+    }
+    // The builder's hand swizzle — the winning point of the old search
+    // axis — grades proven conflict-free, i.e. no better than what
+    // synthesis guarantees.
+    cfg.swizzle = true;
+    let tuned = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    let tuned_sites = grade_sites(&tuned, Arch::Sm86);
+    assert!(!tuned_sites.is_empty());
+    assert!(tuned_sites.iter().all(|s| s.conflict_free() && s.provenance.is_proven()));
+}

@@ -11,6 +11,7 @@
 //! graphene fmha --emit cuda
 //! graphene layernorm --rows 16384 --hidden 1024 --emit ir
 //! graphene lint gemm --emit=json
+//! graphene lint fmha --prove
 //! graphene table2 --arch sm86
 //! ```
 
@@ -84,14 +85,17 @@ impl Cli {
                 i += 1;
                 continue;
             };
-            // Both `--key value` and `--key=value` are accepted.
+            // Both `--key value` and `--key=value` are accepted; a
+            // bare `--flag` (at end of line or followed by another
+            // option) is a boolean flag and reads as `true`.
             if let Some((k, v)) = key.split_once('=') {
                 options.insert(k.to_string(), v.to_string());
                 i += 1;
+            } else if args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                options.insert(key.to_string(), "true".to_string());
+                i += 1;
             } else {
-                let value =
-                    args.get(i + 1).ok_or_else(|| CliError(format!("--{key} needs a value")))?;
-                options.insert(key.to_string(), value.clone());
+                options.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
             }
         }
@@ -113,6 +117,10 @@ impl Cli {
             Some("ir") => Ok(Emit::Ir),
             Some(other) => Err(CliError(format!("unknown emit `{other}` (ir|cuda|profile)"))),
         }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        matches!(self.options.get(key).map(String::as_str), Some("true" | "1" | "yes"))
     }
 
     fn int(&self, key: &str, default: i64) -> Result<i64, CliError> {
@@ -139,7 +147,8 @@ pub fn usage() -> String {
        tune       [--kernel gemm|fmha|layernorm|mlp] [--arch ...] [sizes] [--search exhaustive|random|beam]\n\
                   [--budget N] [--seed N] [--samples N] [--width N] [--patience N]\n\
                   [--cache tune-cache.json] [--top N] [--emit text|json]  (schedule search)\n\
-       lint       <kernel> [--arch ...] [--emit text|json]  (static analysis; kernel = gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha)\n\
+       lint       <kernel> [--arch ...] [--prove] [--emit text|json]  (static analysis; kernel = gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha;\n\
+                  --prove appends the F2 symbolic proof report: conflict/race/bounds provenance)\n\
        table2     --arch sm70|sm86\n"
         .to_string()
 }
@@ -293,8 +302,12 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
         ));
     };
     let (arch, kernel) = build_named_kernel(cli, name)?;
-    let diags = graphene_analysis::analyze_kernel(&kernel, arch);
+    let mut plans = graphene_sim::PlanCache::new();
+    let diags = graphene_analysis::analyze_kernel_cached(&kernel, arch, &mut plans);
     let errors = graphene_analysis::error_count(&diags);
+    let report = cli
+        .flag("prove")
+        .then(|| graphene_analysis::prove::prove_kernel_cached(&kernel, arch, &mut plans));
     let out = match cli.options.get("emit").map(String::as_str) {
         None | Some("text") => {
             let mut out = String::new();
@@ -307,9 +320,21 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
             for d in &diags {
                 let _ = writeln!(out, "  {d}");
             }
+            if let Some(r) = &report {
+                out.push_str(&render_proof_text(r));
+            }
             out
         }
-        Some("json") => graphene_analysis::render_json(&kernel.name, &diags),
+        Some("json") => {
+            let mut json = graphene_analysis::render_json(&kernel.name, &diags);
+            if let Some(r) = &report {
+                // Splice the proof object into the lint JSON document.
+                let trimmed = json.trim_end().strip_suffix('}').map(str::to_string);
+                json = trimmed.unwrap_or(json);
+                json.push_str(&format!(",\"proof\":{}}}\n", render_proof_json(r)));
+            }
+            json
+        }
         Some(other) => return Err(CliError(format!("unknown emit `{other}` (text|json)"))),
     };
     if errors > 0 {
@@ -317,6 +342,101 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
     } else {
         Ok(out)
     }
+}
+
+/// Renders a [`ProofReport`](graphene_analysis::prove::ProofReport) as
+/// the text block appended by `lint --prove`: per-site conflict grades
+/// with provenance, the race-pair proof accounting, and the bounds
+/// verdicts.
+fn render_proof_text(r: &graphene_analysis::prove::ProofReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "proof (F2 symbolic): conflicts {}, bounds {}",
+        if r.conflicts_proven_free() { "proven free" } else { "NOT proven free" },
+        if r.bounds_clean() { "proven in-bounds" } else { "NOT proven" },
+    );
+    for s in &r.conflicts {
+        let _ = writeln!(
+            out,
+            "  conflict %{} in `{}`: {}/{} transactions [{}]",
+            s.tensor,
+            s.spec,
+            s.actual,
+            s.ideal,
+            s.provenance.label()
+        );
+    }
+    let races = &r.races;
+    let _ = writeln!(
+        out,
+        "  races: {} pairs ({} proven-linear, {} proven-enumerated, {} sampled), {} reported",
+        races.pairs(),
+        races.pairs_proven_linear,
+        races.pairs_proven_enumerated,
+        races.pairs_sampled,
+        races.races_reported
+    );
+    for b in &r.bounds {
+        let _ = writeln!(
+            out,
+            "  bounds %{} in `{}`: len {} [{}]",
+            b.tensor,
+            b.spec,
+            b.len,
+            b.status.label()
+        );
+    }
+    out
+}
+
+/// Renders a proof report as the `"proof"` JSON object for
+/// `lint --prove --emit json`.
+fn render_proof_json(r: &graphene_analysis::prove::ProofReport) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let conflicts: Vec<String> = r
+        .conflicts
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"tensor\":\"{}\",\"spec\":\"{}\",\"ideal\":{},\"actual\":{},\"provenance\":\"{}\"}}",
+                esc(&s.tensor),
+                esc(&s.spec),
+                s.ideal,
+                s.actual,
+                s.provenance.label()
+            )
+        })
+        .collect();
+    let bounds: Vec<String> = r
+        .bounds
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"tensor\":\"{}\",\"spec\":\"{}\",\"len\":{},\"status\":\"{}\"}}",
+                esc(&b.tensor),
+                esc(&b.spec),
+                b.len,
+                b.status.label()
+            )
+        })
+        .collect();
+    let races = &r.races;
+    format!(
+        "{{\"conflicts\":[{}],\"conflicts_proven_free\":{},\
+         \"races\":{{\"pairs_proven_linear\":{},\"pairs_proven_enumerated\":{},\
+         \"pairs_sampled\":{},\"races_reported\":{},\"all_proven\":{}}},\
+         \"bounds\":[{}],\"bounds_clean\":{}}}",
+        conflicts.join(","),
+        r.conflicts_proven_free(),
+        races.pairs_proven_linear,
+        races.pairs_proven_enumerated,
+        races.pairs_sampled,
+        races.races_reported,
+        races.all_proven(),
+        bounds.join(","),
+        r.bounds_clean()
+    )
 }
 
 /// The `run` sub-command: execute a kernel on the functional simulator
@@ -723,6 +843,45 @@ mod lint_tests {
                 .unwrap_or_else(|e| panic!("lint {name} failed: {e}"));
             assert!(out.contains("0 errors"), "{name}: {out}");
         }
+    }
+
+    #[test]
+    fn lint_prove_reports_proven_provenance() {
+        let out = run_str("lint gemm --m 256 --n 256 --k 64 --prove").unwrap();
+        assert!(
+            out.contains("proof (F2 symbolic): conflicts proven free, bounds proven in-bounds"),
+            "{out}"
+        );
+        assert!(out.contains("proven"), "{out}");
+        assert!(!out.contains("[sampled]"), "{out}");
+        assert!(out.contains("races:"), "{out}");
+        assert!(out.contains("0 sampled"), "{out}");
+    }
+
+    #[test]
+    fn lint_prove_json_embeds_proof_object() {
+        let out = run_str("lint gemm --m 256 --n 256 --k 64 --prove --emit=json").unwrap();
+        assert!(out.contains("\"proof\":{"), "{out}");
+        assert!(out.contains("\"conflicts_proven_free\":true"), "{out}");
+        assert!(out.contains("\"all_proven\":true"), "{out}");
+        assert!(out.contains("\"bounds_clean\":true"), "{out}");
+        assert!(out.contains("\"provenance\":\"proven-"), "{out}");
+    }
+
+    #[test]
+    fn bare_flags_parse_at_end_and_before_options() {
+        let a = Cli::parse(&["lint".into(), "gemm".into(), "--prove".into()]).unwrap();
+        assert!(a.flag("prove"));
+        let b = Cli::parse(&[
+            "lint".into(),
+            "gemm".into(),
+            "--prove".into(),
+            "--m".into(),
+            "64".into(),
+        ])
+        .unwrap();
+        assert!(b.flag("prove"));
+        assert_eq!(b.options.get("m").map(String::as_str), Some("64"));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 mod algebra;
 mod int_tuple;
 mod layout;
+mod linear;
 mod swizzle;
 
 pub use algebra::{
@@ -50,4 +51,8 @@ pub use algebra::{
 };
 pub use int_tuple::IntTuple;
 pub use layout::Layout;
+pub use linear::{
+    prove_banks, rank_f2, solutions_force_equal, solve_f2, synthesize_swizzle, word_columns,
+    AccessSite, BankProof, SolutionSpace,
+};
 pub use swizzle::Swizzle;

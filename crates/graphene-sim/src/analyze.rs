@@ -222,16 +222,28 @@ fn spec_counters(
                 } else {
                     c.smem_write_bytes += total_bytes;
                 }
-                // Sample one warp's conflict factor exactly.
-                let (accesses, transactions) = sample_conflicts_cached(
-                    cx.plans,
-                    &mut cx.tally,
-                    id,
-                    module,
-                    tt,
-                    env,
-                    bytes_per,
-                )?;
+                // One warp's conflict factor: by the F₂ rank proof when
+                // its grade provably coincides with the sampled warp's
+                // (the representative lanes form one aligned hardware
+                // warp, so the proof's coset argument applies to exactly
+                // the lanes sampling would evaluate), else by sampling.
+                let proved = if crate::prove::sample_is_aligned_warp(tt) {
+                    crate::prove::prove_conflicts_linear(cx.plans, id, module, tt, bytes_per)
+                } else {
+                    None
+                };
+                let (accesses, transactions) = match proved {
+                    Some(g) => (g.ideal, g.actual),
+                    None => sample_conflicts_cached(
+                        cx.plans,
+                        &mut cx.tally,
+                        id,
+                        module,
+                        tt,
+                        env,
+                        bytes_per,
+                    )?,
+                };
                 let chunk = 32.min(lanes_total).max(1);
                 let instances = (lanes_total * mult).div_ceil(chunk);
                 c.smem_accesses += accesses * instances;

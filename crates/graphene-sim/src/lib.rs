@@ -36,6 +36,7 @@ pub mod exec;
 pub mod host;
 pub mod machine;
 pub mod plan;
+pub mod prove;
 pub mod run;
 pub mod timing;
 
@@ -50,6 +51,10 @@ pub use exec::{
 };
 pub use host::HostTensor;
 pub use machine::{machine_for, MachineDesc, AMPERE_A6000, VOLTA_V100};
-pub use plan::{AddressPlan, BankTally, KernelPlan, PlanCache, RelOffsetsMemo};
+pub use plan::{root_len, AddressPlan, BankTally, KernelPlan, PlanCache, RelOffsetsMemo};
+pub use prove::{
+    grade_conflicts_cached, linear_site, prove_conflicts_enumerated, prove_conflicts_linear,
+    sample_is_aligned_warp, ConflictGrade, ConflictProvenance, LinearSite,
+};
 pub use run::{execute_plan, ExecMode};
 pub use timing::{time_kernel, time_sequence, KernelProfile};

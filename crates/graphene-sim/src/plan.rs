@@ -35,7 +35,11 @@ use std::sync::Arc;
 
 /// Buffer length for a root tensor: its cosize, rounded up to a swizzle
 /// period so swizzled addresses stay in range.
-pub(crate) fn root_len(ty: &TensorType) -> usize {
+///
+/// Public because the out-of-bounds proof pass (`graphene-analysis`
+/// GRA015) checks addresses against exactly the buffer length the
+/// simulator would allocate.
+pub fn root_len(ty: &TensorType) -> usize {
     let mut n = ty.layout.cosize() * ty.elem.scalar_count();
     if !ty.swizzle.is_identity() {
         let p = ty.swizzle.period();

@@ -228,11 +228,24 @@ impl IntExpr {
     /// a bound, and bounds propagate through `+`, `*`, `%`, `/`, `min`.
     /// All variables are assumed to be non-negative.
     pub fn upper_bound(&self) -> Option<i64> {
+        self.upper_bound_with(&HashMap::new())
+    }
+
+    /// Like [`upper_bound`](Self::upper_bound), additionally tightening
+    /// variables with the *exclusive* bounds in `tighter` (e.g. derived
+    /// from dominating `var < c` guards); a variable's effective bound
+    /// is the minimum of its declared bound and its entry here.
+    pub fn upper_bound_with(&self, tighter: &HashMap<String, i64>) -> Option<i64> {
         match self {
             IntExpr::Const(v) => Some(v + 1),
-            IntExpr::Var(info) => info.bound,
+            IntExpr::Var(info) => match (info.bound, tighter.get(&info.name)) {
+                (Some(b), Some(&t)) => Some(b.min(t)),
+                (Some(b), None) => Some(b),
+                (None, Some(&t)) => Some(t),
+                (None, None) => None,
+            },
             IntExpr::Bin(op, a, b) => {
-                let (ba, bb) = (a.upper_bound(), b.upper_bound());
+                let (ba, bb) = (a.upper_bound_with(tighter), b.upper_bound_with(tighter));
                 match op {
                     BinOp::Add => Some(ba? + bb? - 1),
                     BinOp::Mul => {

@@ -29,8 +29,10 @@
 
 pub mod compiled;
 mod expr;
+mod linear;
 mod simplify;
 
 pub use compiled::{AffineExpr, CompiledEvalError, CompiledExpr, SlotEnv, SlotMap};
 pub use expr::{BinOp, EvalError, IntExpr, VarInfo};
+pub use linear::{linearize, XorForm, XorTerm};
 pub use simplify::simplify;

@@ -1,0 +1,386 @@
+//! Bit-level linearization of index expressions over F₂.
+//!
+//! The F₂ linear-layout view (see "Linear Layouts", PAPERS.md) treats an
+//! address expression as an XOR-affine function of the *bits* of its input
+//! variables: `addr = c ⊕ ⨁_k b_k·m_k`, where each `b_k` is a single bit of
+//! some bounded variable and `m_k` is the constant mask that bit contributes.
+//! Once an address is in this form, bank-conflict-freedom becomes a rank
+//! condition on the mask matrix and swizzle synthesis a solvable linear
+//! system (`graphene-layout::linear`).
+//!
+//! Not every integer expression is XOR-affine: `+` coincides with `⊕` only
+//! when the summands are *carry-free* (pairwise disjoint bit supports).
+//! [`linearize`] therefore works in an exact intermediate form — an integer
+//! sum `c + Σ m_k·b_k` — and only reinterprets it as XOR at the points where
+//! carry-freedom is required and verified:
+//!
+//! - `Div`/`Mod` by a power of two distribute over the sum *only* when the
+//!   constant and all masks have pairwise disjoint supports (counterexample:
+//!   `(x + 8) / 16` with `x = 8` carries into bit 4);
+//! - the final conversion to [`XorForm`] requires the same disjointness,
+//!   at which point integer sum, bitwise OR, and XOR all coincide.
+//!
+//! Expressions that fail these checks (e.g. `threadIdx.x * 3`, whose bit
+//! masks `3, 6, 12, …` overlap) return `None` and callers fall back to
+//! enumeration or sampling.
+
+use crate::expr::{BinOp, IntExpr};
+use std::collections::BTreeMap;
+
+/// One F₂ basis term: when bit `bit` of variable `var` is set, the address
+/// is XORed with `mask`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorTerm {
+    /// Source variable name (e.g. `threadIdx.x`).
+    pub var: String,
+    /// Bit index within the variable (0 = LSB).
+    pub bit: u32,
+    /// Constant contribution of this bit to the address.
+    pub mask: i64,
+}
+
+/// An XOR-affine address form: `value = constant ⊕ ⨁ {mask | bit set}`.
+///
+/// Invariant (established by [`linearize`]): the constant and all term
+/// masks have pairwise disjoint bit supports, so the XOR is simultaneously
+/// an integer sum and a bitwise OR. This makes shifts exact
+/// ([`XorForm::shr`], [`XorForm::shl`]) and the maximum value a simple OR
+/// ([`XorForm::max_value`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorForm {
+    /// Address when all variable bits are zero.
+    pub constant: i64,
+    /// Basis terms, ordered by (variable, bit).
+    pub terms: Vec<XorTerm>,
+}
+
+impl XorForm {
+    /// Evaluates the form under an assignment of variables to values.
+    /// Returns `None` if a term's variable is unbound.
+    pub fn eval(&self, env: &std::collections::HashMap<String, i64>) -> Option<i64> {
+        let mut v = self.constant;
+        for t in &self.terms {
+            let x = *env.get(&t.var)?;
+            if (x >> t.bit) & 1 == 1 {
+                v ^= t.mask;
+            }
+        }
+        Some(v)
+    }
+
+    /// The largest value the form can take (exact, by support disjointness).
+    pub fn max_value(&self) -> i64 {
+        self.terms.iter().fold(self.constant, |acc, t| acc | t.mask)
+    }
+
+    /// Right-shifts the whole form by `s` bits. Exact because the sum is
+    /// carry-free: `⌊(c | ⋁ m_k) / 2^s⌋ = (c >> s) | ⋁ (m_k >> s)`.
+    /// Terms whose mask vanishes are dropped.
+    #[must_use]
+    pub fn shr(&self, s: u32) -> XorForm {
+        XorForm {
+            constant: self.constant >> s,
+            terms: self
+                .terms
+                .iter()
+                .filter_map(|t| {
+                    let mask = t.mask >> s;
+                    (mask != 0).then(|| XorTerm { mask, ..t.clone() })
+                })
+                .collect(),
+        }
+    }
+
+    /// Left-shifts the whole form by `s` bits (exact; supports stay disjoint).
+    #[must_use]
+    pub fn shl(&self, s: u32) -> XorForm {
+        XorForm {
+            constant: self.constant << s,
+            terms: self.terms.iter().map(|t| XorTerm { mask: t.mask << s, ..t.clone() }).collect(),
+        }
+    }
+
+    /// The distinct variable names appearing in the terms, in term order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.terms {
+            if !out.contains(&t.var.as_str()) {
+                out.push(&t.var);
+            }
+        }
+        out
+    }
+}
+
+/// Exact intermediate form: `c + Σ m_k · b_k` over single-bit atoms.
+#[derive(Debug, Clone)]
+struct LinForm {
+    c: i64,
+    /// (var, bit) → integer coefficient contributed when that bit is 1.
+    atoms: BTreeMap<(String, u32), i64>,
+}
+
+impl LinForm {
+    fn constant(v: i64) -> Self {
+        LinForm { c: v, atoms: BTreeMap::new() }
+    }
+
+    /// True when the constant and all coefficients are non-negative with
+    /// pairwise disjoint bit supports — the sum is then carry-free.
+    fn carry_free(&self) -> bool {
+        if self.c < 0 {
+            return false;
+        }
+        let mut seen = self.c;
+        for &m in self.atoms.values() {
+            if m < 0 || seen & m != 0 {
+                return false;
+            }
+            seen |= m;
+        }
+        true
+    }
+
+    fn scale(mut self, k: i64) -> Option<Self> {
+        if k < 0 {
+            return None;
+        }
+        self.c = self.c.checked_mul(k)?;
+        for m in self.atoms.values_mut() {
+            *m = m.checked_mul(k)?;
+        }
+        self.atoms.retain(|_, m| *m != 0);
+        Some(self)
+    }
+
+    fn add(mut self, other: LinForm) -> Option<Self> {
+        self.c = self.c.checked_add(other.c)?;
+        for (key, m) in other.atoms {
+            let slot = self.atoms.entry(key).or_insert(0);
+            *slot = slot.checked_add(m)?;
+        }
+        self.atoms.retain(|_, m| *m != 0);
+        Some(self)
+    }
+
+    /// `self / 2^s` — sound only when carry-free (the sum is an OR, and OR
+    /// distributes over right shift).
+    fn div_pow2(mut self, s: u32) -> Option<Self> {
+        if !self.carry_free() {
+            return None;
+        }
+        self.c >>= s;
+        for m in self.atoms.values_mut() {
+            *m >>= s;
+        }
+        self.atoms.retain(|_, m| *m != 0);
+        Some(self)
+    }
+
+    /// `self % 2^s` — same precondition as [`Self::div_pow2`].
+    fn mod_pow2(mut self, s: u32) -> Option<Self> {
+        if !self.carry_free() {
+            return None;
+        }
+        let low = (1i64 << s) - 1;
+        self.c &= low;
+        for m in self.atoms.values_mut() {
+            *m &= low;
+        }
+        self.atoms.retain(|_, m| *m != 0);
+        Some(self)
+    }
+
+    fn into_xor(self) -> Option<XorForm> {
+        if !self.carry_free() {
+            return None;
+        }
+        Some(XorForm {
+            constant: self.c,
+            terms: self
+                .atoms
+                .into_iter()
+                .map(|((var, bit), mask)| XorTerm { var, bit, mask })
+                .collect(),
+        })
+    }
+}
+
+/// Number of bits needed to represent values in `0..bound` (exclusive bound).
+fn bits_for(bound: i64) -> u32 {
+    if bound <= 1 {
+        0
+    } else {
+        64 - (bound - 1).leading_zeros()
+    }
+}
+
+fn lin(e: &IntExpr) -> Option<LinForm> {
+    match e {
+        IntExpr::Const(v) => Some(LinForm::constant(*v)),
+        IntExpr::Var(info) => {
+            let bound = info.bound?;
+            if bound <= 0 {
+                return None;
+            }
+            let atoms = (0..bits_for(bound)).map(|b| ((info.name.clone(), b), 1i64 << b)).collect();
+            Some(LinForm { c: 0, atoms })
+        }
+        IntExpr::Bin(op, a, b) => match op {
+            BinOp::Add => lin(a)?.add(lin(b)?),
+            BinOp::Mul => {
+                if let Some(k) = b.as_const() {
+                    lin(a)?.scale(k)
+                } else if let Some(k) = a.as_const() {
+                    lin(b)?.scale(k)
+                } else {
+                    None
+                }
+            }
+            BinOp::Div => {
+                let k = b.as_const()?;
+                if k > 0 && k.count_ones() == 1 {
+                    lin(a)?.div_pow2(k.trailing_zeros())
+                } else {
+                    None
+                }
+            }
+            BinOp::Mod => {
+                let k = b.as_const()?;
+                if k > 0 && k.count_ones() == 1 {
+                    lin(a)?.mod_pow2(k.trailing_zeros())
+                } else {
+                    None
+                }
+            }
+            BinOp::Sub | BinOp::Min | BinOp::Max => None,
+        },
+    }
+}
+
+/// Abstracts an index expression into XOR-affine form over the bits of its
+/// bounded variables.
+///
+/// Returns `None` when the expression is not provably XOR-affine: unbounded
+/// variables, subtraction, min/max, division or remainder by a non-power of
+/// two, products of variables, or any point where carry-freedom cannot be
+/// established. A `Some` result is exact: [`XorForm::eval`] agrees with
+/// [`IntExpr::eval`] for every in-bounds assignment.
+///
+/// ```
+/// use graphene_sym::{linearize, IntExpr};
+/// let tid = IntExpr::var_bounded("threadIdx.x", 32);
+/// let form = linearize(&(tid.clone() % 8 * 16 + tid.clone() / 8 * 128)).unwrap();
+/// assert_eq!(form.constant, 0);
+/// assert!(linearize(&(tid * 3)).is_none()); // masks 3, 6, 12 overlap
+/// ```
+pub fn linearize(e: &IntExpr) -> Option<XorForm> {
+    lin(e)?.into_xor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tid(bound: i64) -> IntExpr {
+        IntExpr::var_bounded("threadIdx.x", bound)
+    }
+
+    /// Checks the form against direct evaluation for every in-bounds value.
+    fn assert_exact(e: &IntExpr, bound: i64) {
+        let form = linearize(e).unwrap_or_else(|| panic!("should linearize: {e}"));
+        for v in 0..bound {
+            let env: HashMap<String, i64> = [("threadIdx.x".to_string(), v)].into();
+            assert_eq!(form.eval(&env), Some(e.eval(&env).unwrap()), "at tid={v} for {e}");
+        }
+    }
+
+    #[test]
+    fn plain_scaled_var() {
+        assert_exact(&(tid(256) * 16), 256);
+    }
+
+    #[test]
+    fn disjoint_tile_offset() {
+        let t = tid(256);
+        assert_exact(&(t.clone() % 8 * 16 + t.clone() / 8 * 128), 256);
+    }
+
+    #[test]
+    fn carrying_tile_offset_fails() {
+        // Real shape from the GEMM kernels' shared-memory staging: the
+        // images of `t % 8 * 16` (bits 4–6) and `t / 16 * 8` (bits 3–6)
+        // overlap, so the integer sum carries (t = 33 → 16 + 16 = 32, not
+        // 16 ⊕ 16 = 0). Not XOR-affine; proven by warp enumeration instead.
+        let t = tid(256);
+        let e = t.clone() % 8 * 16 + t.clone() / 16 * 8 + t.clone() / 8 % 2 * 128;
+        assert!(linearize(&e).is_none());
+    }
+
+    #[test]
+    fn gemm_swizzled_vector_offset() {
+        // (tid*2 + 1)*8 % 16 / 8 * 8 + (tid*2 + 1)*8 / 16 * 16
+        let t = tid(128);
+        let v = (t.clone() * 2 + 1) * 8;
+        let e = v.clone() % 16 / 8 * 8 + v / 16 * 16;
+        assert_exact(&e, 128);
+    }
+
+    #[test]
+    fn doubled_var_is_a_shift() {
+        let t = tid(64);
+        assert_exact(&(t.clone() + t.clone()), 64);
+    }
+
+    #[test]
+    fn stride_three_fails() {
+        assert!(linearize(&(tid(32) * 3)).is_none());
+    }
+
+    #[test]
+    fn carried_constant_fails_division() {
+        // (x + 8) / 16 is not bit-linear: x = 8 carries into bit 4.
+        let x = tid(64);
+        assert!(linearize(&((x + 8) / 16)).is_none());
+    }
+
+    #[test]
+    fn unbounded_var_fails() {
+        assert!(linearize(&(IntExpr::var("m") * 4)).is_none());
+    }
+
+    #[test]
+    fn subtraction_fails() {
+        let t = tid(32);
+        assert!(linearize(&(t.clone() * 2 - t)).is_none());
+    }
+
+    #[test]
+    fn constant_only() {
+        let form = linearize(&IntExpr::constant(96)).unwrap();
+        assert_eq!(form.constant, 96);
+        assert!(form.terms.is_empty());
+        assert_eq!(form.max_value(), 96);
+    }
+
+    #[test]
+    fn max_value_and_shifts() {
+        let t = tid(32);
+        let form = linearize(&(t * 16 + 8)).unwrap();
+        assert_eq!(form.max_value(), 31 * 16 + 8);
+        // Halving (fp16 byte→word scaling) is exact.
+        let half = form.shr(1);
+        let env: HashMap<String, i64> = [("threadIdx.x".to_string(), 21)].into();
+        assert_eq!(half.eval(&env), Some((21 * 16 + 8) / 2));
+        assert_eq!(form.shl(2).eval(&env), Some((21 * 16 + 8) * 4));
+    }
+
+    #[test]
+    fn vars_listed_once() {
+        let t = tid(32);
+        let e = t.clone() % 8 + t / 8 * 64 + IntExpr::var_bounded("k", 4) * 8;
+        let form = linearize(&e).unwrap();
+        assert_eq!(form.vars(), vec!["k", "threadIdx.x"]);
+    }
+}

@@ -20,7 +20,7 @@
 //!       "arch": "Sm86",
 //!       "space_hash": "89ab…",
 //!       "point": {"bm": 128, "bn": 128, "bk": 32, "wm": 64, "wn": 64,
-//!                 "swizzle": 1, "stages": 2},
+//!                 "stages": 2},
 //!       "time_s": 0.000123,
 //!       "simulated": 87
 //!     }

@@ -156,9 +156,16 @@ fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
 // ---------------------------------------------------------------------
 
 /// The GEMM schedule space: thread-block tile (`bm`, `bn`), K step
-/// (`bk`), warp tile (`wm`, `wn`), shared-memory swizzling on/off, and
-/// pipeline depth (`stages`; 2 = double-buffered `cp.async` pipeline,
-/// Ampere only).
+/// (`bk`), warp tile (`wm`, `wn`), and pipeline depth (`stages`; 2 =
+/// double-buffered `cp.async` pipeline, Ampere only).
+///
+/// Shared-memory swizzling is **not** a searched axis: [`Self::build`]
+/// decides it by proof. The unswizzled candidate's staging layouts are
+/// graded symbolically ([`graphene_analysis::banks::grade_sites`]);
+/// only when some site is provably conflicted does the builder apply
+/// the swizzle. This halves the space versus searching a `swizzle`
+/// parameter and replaces per-candidate conflict simulation with one
+/// F₂ rank check.
 pub struct GemmSpace {
     arch: Arch,
     m: i64,
@@ -181,12 +188,13 @@ impl GemmSpace {
             ParamDef { name: "bk", values: bks },
             ParamDef { name: "wm", values: vec![16, 32, 64] },
             ParamDef { name: "wn", values: vec![16, 32, 64] },
-            ParamDef { name: "swizzle", values: vec![0, 1] },
             ParamDef { name: "stages", values: vec![1, 2] },
         ];
         GemmSpace { arch, m, n, k, epilogue, params }
     }
 
+    /// The config for a point, *before* the proof-driven swizzle
+    /// decision (swizzle off).
     fn config(&self, p: &Point) -> GemmConfig {
         GemmConfig {
             m: self.m,
@@ -197,7 +205,15 @@ impl GemmSpace {
             bk: self.get(p, "bk"),
             wm: self.get(p, "wm"),
             wn: self.get(p, "wn"),
-            swizzle: self.get(p, "swizzle") != 0,
+            swizzle: false,
+        }
+    }
+
+    fn build_config(&self, cfg: &GemmConfig, stages: i64) -> Kernel {
+        if stages == 2 {
+            build_gemm_double_buffered(cfg, self.epilogue)
+        } else {
+            build_gemm(self.arch, cfg, self.epilogue)
         }
     }
 }
@@ -223,7 +239,7 @@ impl SearchSpace for GemmSpace {
         // The paper's cuBLAS-matching hand pick (footnote 1), single
         // buffered.
         let d = GemmConfig::cublas_like(self.m, self.n, self.k);
-        Point(vec![d.bm, d.bn, d.bk, d.wm, d.wn, 1, 1])
+        Point(vec![d.bm, d.bn, d.bk, d.wm, d.wn, 1])
     }
 
     fn constraint(&self, p: &Point) -> Result<(), String> {
@@ -245,12 +261,20 @@ impl SearchSpace for GemmSpace {
     }
 
     fn build(&self, p: &Point) -> Kernel {
-        let cfg = self.config(p);
-        if self.get(p, "stages") == 2 {
-            build_gemm_double_buffered(&cfg, self.epilogue)
-        } else {
-            build_gemm(self.arch, &cfg, self.epilogue)
+        let mut cfg = self.config(p);
+        let stages = self.get(p, "stages");
+        // Proof-driven swizzle: grade the unswizzled candidate's
+        // shared-memory staging symbolically; swizzle only if some
+        // site is provably conflicted.
+        let candidate = self.build_config(&cfg, stages);
+        let clean = graphene_analysis::banks::grade_sites(&candidate, self.arch)
+            .iter()
+            .all(|s| s.conflict_free());
+        if clean {
+            return candidate;
         }
+        cfg.swizzle = true;
+        self.build_config(&cfg, stages)
     }
 }
 
@@ -564,13 +588,13 @@ mod tests {
     #[test]
     fn point_enumeration_round_trips() {
         let s = GemmSpace::new(Arch::Sm86, 512, 512, 256, Epilogue::None);
-        assert_eq!(s.total_points(), 4 * 4 * 3 * 3 * 3 * 2 * 2);
+        assert_eq!(s.total_points(), 4 * 4 * 3 * 3 * 3 * 2);
         // First point: every parameter at its first value.
         let first = s.point_at(0);
-        assert_eq!(first.0, vec![32, 32, 16, 16, 16, 0, 1]);
+        assert_eq!(first.0, vec![32, 32, 16, 16, 16, 1]);
         // Last point: every parameter at its last value.
         let last = s.point_at(s.total_points() - 1);
-        assert_eq!(last.0, vec![256, 256, 64, 64, 64, 1, 2]);
+        assert_eq!(last.0, vec![256, 256, 64, 64, 64, 2]);
         // All points distinct.
         let mut seen = std::collections::HashSet::new();
         for i in 0..s.total_points() {
@@ -608,7 +632,6 @@ mod tests {
         let s = GemmSpace::new(Arch::Sm86, 256, 256, 64, Epilogue::None);
         let d = s.default_point();
         assert_eq!(s.get(&d, "bm"), 128);
-        assert_eq!(s.get(&d, "swizzle"), 1);
         // Constraint must reject what the builder would reject: probe a
         // sample of the space and build every survivor.
         let mut built = 0;
@@ -621,5 +644,24 @@ mod tests {
             }
         }
         assert!(built > 0, "sampled space produced no legal point");
+    }
+
+    #[test]
+    fn gemm_build_swizzles_exactly_when_proof_demands_it() {
+        let s = GemmSpace::new(Arch::Sm86, 256, 256, 64, Epilogue::None);
+        let d = s.default_point();
+        // The unswizzled cublas-like build has provably conflicted
+        // shared-memory staging, so the proof-driven builder must
+        // apply the swizzle…
+        let built = s.build(&d);
+        let sites = graphene_analysis::banks::grade_sites(&built, Arch::Sm86);
+        assert!(!sites.is_empty());
+        assert!(
+            sites.iter().all(|site| site.conflict_free()),
+            "proof-driven build left a conflicted site"
+        );
+        // …and every grade of the shipped kernel is a proof, not a
+        // sample.
+        assert!(sites.iter().all(|site| site.provenance.is_proven()));
     }
 }

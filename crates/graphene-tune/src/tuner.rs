@@ -11,8 +11,8 @@
 //!    shared-memory overflow, memory-space violation, …) rejects it.
 //!    Schedules that merely *warn* (e.g. `GRA014` bank conflicts)
 //!    survive — the timing model charges them for the conflicts
-//!    instead, which is exactly how an unswizzled stage loses to a
-//!    swizzled one.
+//!    instead. (GEMM candidates rarely warn any more: the builder
+//!    resolves swizzling by proof before the candidate is graded.)
 //! 3. **Costing** — the simulator's static counter analysis
 //!    ([`analyze_cached`]) plus the roofline timing model
 //!    ([`time_kernel`]). Both analysis and costing share one
