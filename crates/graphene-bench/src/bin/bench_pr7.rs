@@ -1,0 +1,340 @@
+//! Trace-capture + replay benchmark.
+//!
+//! Two halves, mirroring where record-once/replay-many pays off:
+//!
+//! 1. **Engines** — the tiled GEMM, FMHA, and layernorm kernels run
+//!    through the reference interpreter, the compiled-plan executor
+//!    (sequential, plan precompiled outside the timed region), and
+//!    trace replay. The one-time recording cost is reported
+//!    separately; replayed outputs must stay bit-identical and replay
+//!    must beat the compiled-plan executor by at least `3x`.
+//! 2. **Tuner** — the exhaustive `m1024 n1024 k512` Sm86 GEMM tune of
+//!    `BENCH_PR6.json` runs cold with a `CostCache` recording every
+//!    candidate pipeline outcome, then warm with every outcome
+//!    replayed: zero fresh simulations, identical winner, and the
+//!    warm wall-clock shows what re-tuning costs once recordings
+//!    exist. The PR 6 reference winner is embedded so a schedule
+//!    regression is caught here, not downstream.
+//!
+//! Usage: `cargo run --release -p graphene-bench --bin bench_pr7 [--fast] [out.json]`
+//! (`--fast` runs one timing iteration and budget-caps the tune — the
+//! CI smoke mode; the 3x and winner assertions only apply to the full
+//! run).
+
+use graphene_ir::{Arch, Kernel, TensorId};
+use graphene_kernels::fmha::{build_fused_fmha, FmhaConfig};
+use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
+use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
+use graphene_sim::{
+    execute_plan, execute_reference, record_trace, replay, ExecMode, ExecOutcome, HostTensor,
+    KernelPlan,
+};
+use graphene_tune::{tuner::run_search_cached, CostCache, GemmSpace, Search, TuneOptions};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The exhaustive winner BENCH_PR6.json recorded for this problem; the
+/// full run asserts the replay-costed tune still finds it.
+const PR6_PROBLEM: (i64, i64, i64) = (1024, 1024, 512);
+const PR6_WINNER: &str = "bm=128 bn=128 bk=16 wm=64 wn=64 stages=1";
+const PR6_WALL_S: f64 = 33.590326043;
+
+struct BenchCase {
+    name: &'static str,
+    kernel: Kernel,
+    arch: Arch,
+    inputs: HashMap<TensorId, Vec<f32>>,
+}
+
+struct EngineResult {
+    name: &'static str,
+    blocks: i64,
+    steps: usize,
+    addrs: usize,
+    record_s: f64,
+    reference_s: f64,
+    plan_s: f64,
+    replay_s: f64,
+    bit_identical: bool,
+    counters_identical: bool,
+}
+
+fn gemm_case() -> BenchCase {
+    // 16 independent CTAs of the paper's tiled-GEMM schedule.
+    let cfg =
+        GemmConfig { m: 128, n: 128, k: 64, bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, swizzle: true };
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    let (m, n, k) = (cfg.m as usize, cfg.n as usize, cfg.k as usize);
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[m, k], 71).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[k, n], 72).as_slice().to_vec());
+    BenchCase { name: "gemm_tiled_sm86", kernel, arch: Arch::Sm86, inputs }
+}
+
+fn fmha_case() -> BenchCase {
+    let cfg = FmhaConfig { heads: 4, seq: 64, d: 32, bq: 64, wm: 32 };
+    let kernel = build_fused_fmha(Arch::Sm86, &cfg);
+    let rows = (cfg.heads * cfg.seq) as usize;
+    let d = cfg.d as usize;
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[rows, d], 81).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[rows, d], 82).as_slice().to_vec());
+    inputs.insert(kernel.params[2], HostTensor::random(&[rows, d], 83).as_slice().to_vec());
+    BenchCase { name: "fmha_sm86", kernel, arch: Arch::Sm86, inputs }
+}
+
+fn layernorm_case() -> BenchCase {
+    let cfg = LayernormConfig::new(64, 256);
+    let kernel = build_layernorm(Arch::Sm86, &cfg);
+    let (rows, hidden) = (cfg.rows as usize, cfg.hidden as usize);
+    let mut inputs = HashMap::new();
+    inputs.insert(kernel.params[0], HostTensor::random(&[rows, hidden], 91).as_slice().to_vec());
+    inputs.insert(kernel.params[1], HostTensor::random(&[hidden], 92).as_slice().to_vec());
+    inputs.insert(kernel.params[2], HostTensor::random(&[hidden], 93).as_slice().to_vec());
+    BenchCase { name: "layernorm_sm86", kernel, arch: Arch::Sm86, inputs }
+}
+
+/// Best-of-`iters` wall time of `f`, returning the last outcome.
+fn time_best<F: FnMut() -> ExecOutcome>(iters: u32, mut f: F) -> (f64, ExecOutcome) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..iters {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn bits(globals: &HashMap<TensorId, Vec<f32>>) -> Vec<(TensorId, Vec<u32>)> {
+    let mut v: Vec<_> =
+        globals.iter().map(|(id, buf)| (*id, buf.iter().map(|x| x.to_bits()).collect())).collect();
+    v.sort_by_key(|(id, _)| *id);
+    v
+}
+
+fn run_case(case: &BenchCase, iters: u32) -> EngineResult {
+    let BenchCase { name, kernel, arch, inputs } = case;
+    let bindings = HashMap::new();
+    // Plan compilation and trace recording are both one-time costs:
+    // hold them outside the per-execution timed regions.
+    let plan = KernelPlan::compile(kernel, *arch).expect("plan compiles");
+    let record_start = Instant::now();
+    let trace = record_trace(&plan, &bindings).expect("trace records");
+    let record_s = record_start.elapsed().as_secs_f64();
+
+    let (reference_s, ref_out) =
+        time_best(iters, || execute_reference(kernel, *arch, inputs).expect("reference"));
+    let (plan_s, plan_out) = time_best(iters, || {
+        execute_plan(&plan, inputs, &bindings, ExecMode::Sequential).expect("plan")
+    });
+    let (replay_s, replay_out) = time_best(iters, || replay(&trace, inputs).expect("replay"));
+
+    let bit_identical = bits(&ref_out.globals) == bits(&plan_out.globals)
+        && bits(&ref_out.globals) == bits(&replay_out.globals);
+    let counters_identical =
+        ref_out.counters == plan_out.counters && ref_out.counters == replay_out.counters;
+    EngineResult {
+        name,
+        blocks: kernel.grid_size(),
+        steps: trace.num_steps(),
+        addrs: trace.num_addrs(),
+        record_s,
+        reference_s,
+        plan_s,
+        replay_s,
+        bit_identical,
+        counters_identical,
+    }
+}
+
+struct TuneResult {
+    total_points: usize,
+    best_desc: String,
+    best_time_s: f64,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    cold_simulated: usize,
+    warm_simulated: usize,
+    warm_replayed: usize,
+    recordings: u64,
+    same_winner: bool,
+}
+
+fn run_tune(budget: Option<usize>) -> TuneResult {
+    let (m, n, k) = PR6_PROBLEM;
+    let space = GemmSpace::new(Arch::Sm86, m, n, k, Epilogue::None);
+    let opts = TuneOptions { search: Search::Exhaustive, budget, ..TuneOptions::default() };
+    let costs = CostCache::new();
+
+    let start = Instant::now();
+    let cold = run_search_cached(&space, &opts, Some(&costs)).expect("cold tune");
+    let cold_wall_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let warm = run_search_cached(&space, &opts, Some(&costs)).expect("warm tune");
+    let warm_wall_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(warm.best_point, cold.best_point, "replay-costed tune changed the winner");
+    // Replays are budget-free, so a *budgeted* warm run advances past
+    // the cold run's enumeration prefix and legitimately simulates
+    // fresh points; only the exhaustive search replays everything.
+    if budget.is_none() {
+        assert_eq!(warm.stats.simulated, 0, "warm exhaustive tune must not simulate");
+    }
+    TuneResult {
+        total_points: graphene_tune::SearchSpace::total_points(&space),
+        best_desc: cold.best_desc,
+        best_time_s: cold.best_time_s,
+        cold_wall_s,
+        warm_wall_s,
+        cold_simulated: cold.stats.simulated,
+        warm_simulated: warm.stats.simulated,
+        warm_replayed: warm.stats.cost_replayed,
+        recordings: costs.recordings(),
+        same_winner: warm.best_point == cold.best_point,
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+fn render_json(results: &[EngineResult], tune: &TuneResult, iters: u32, fast: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"trace-replay\",\n");
+    s.push_str(&format!("  \"iterations_per_engine\": {iters},\n"));
+    s.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"grid_blocks\": {},\n", r.blocks));
+        s.push_str(&format!("      \"trace_steps\": {},\n", r.steps));
+        s.push_str(&format!("      \"trace_addresses\": {},\n", r.addrs));
+        s.push_str(&format!("      \"record_once_wall_s\": {},\n", json_f(r.record_s)));
+        s.push_str(&format!("      \"reference_wall_s\": {},\n", json_f(r.reference_s)));
+        s.push_str(&format!("      \"plan_sequential_wall_s\": {},\n", json_f(r.plan_s)));
+        s.push_str(&format!("      \"replay_wall_s\": {},\n", json_f(r.replay_s)));
+        s.push_str(&format!(
+            "      \"speedup_replay_vs_plan\": {},\n",
+            json_f(r.plan_s / r.replay_s)
+        ));
+        s.push_str(&format!(
+            "      \"speedup_replay_vs_reference\": {},\n",
+            json_f(r.reference_s / r.replay_s)
+        ));
+        s.push_str(&format!("      \"bit_identical_outputs\": {},\n", r.bit_identical));
+        s.push_str(&format!("      \"identical_counters\": {}\n", r.counters_identical));
+        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"tuner\": {\n");
+    let (m, n, k) = PR6_PROBLEM;
+    s.push_str(&format!("    \"problem\": \"gemm_sm86 m{m} n{n} k{k}\",\n"));
+    s.push_str(&format!("    \"total_points\": {},\n", tune.total_points));
+    s.push_str(&format!("    \"best_schedule\": \"{}\",\n", tune.best_desc));
+    s.push_str(&format!("    \"best_time_s\": {},\n", json_f(tune.best_time_s)));
+    s.push_str(&format!("    \"cold_wall_s\": {},\n", json_f(tune.cold_wall_s)));
+    s.push_str(&format!("    \"warm_wall_s\": {},\n", json_f(tune.warm_wall_s)));
+    s.push_str(&format!(
+        "    \"warm_speedup\": {},\n",
+        json_f(tune.cold_wall_s / tune.warm_wall_s)
+    ));
+    s.push_str(&format!("    \"cold_simulated\": {},\n", tune.cold_simulated));
+    s.push_str(&format!("    \"warm_simulated\": {},\n", tune.warm_simulated));
+    s.push_str(&format!("    \"warm_replayed\": {},\n", tune.warm_replayed));
+    s.push_str(&format!("    \"cost_recordings\": {},\n", tune.recordings));
+    s.push_str(&format!("    \"same_winner_cold_warm\": {},\n", tune.same_winner));
+    s.push_str(&format!("    \"pr6_reference_winner\": \"{PR6_WINNER}\",\n"));
+    s.push_str(&format!("    \"pr6_reference_wall_s\": {}\n", json_f(PR6_WALL_S)));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".into());
+    let iters: u32 = if fast { 1 } else { 5 };
+    let budget = if fast { Some(24) } else { None };
+
+    let cases = [gemm_case(), fmha_case(), layernorm_case()];
+    let mut results = Vec::new();
+    println!("trace replay vs compiled-plan executor ({iters} timed iterations, best-of)\n");
+    println!(
+        "{:<16} {:>7} {:>8} {:>12} {:>12} {:>12} {:>9}  identical",
+        "kernel", "blocks", "steps", "reference", "plan(seq)", "replay", "replay x"
+    );
+    for case in &cases {
+        let r = run_case(case, iters);
+        println!(
+            "{:<16} {:>7} {:>8} {:>11.3}ms {:>11.3}ms {:>11.3}ms {:>8.1}x  {}",
+            r.name,
+            r.blocks,
+            r.steps,
+            r.reference_s * 1e3,
+            r.plan_s * 1e3,
+            r.replay_s * 1e3,
+            r.plan_s / r.replay_s,
+            if r.bit_identical && r.counters_identical { "yes" } else { "NO" },
+        );
+        assert!(r.bit_identical, "{}: outputs diverged between engines", r.name);
+        assert!(r.counters_identical, "{}: counters diverged between engines", r.name);
+        // One timing iteration is too noisy to gate on; the full run
+        // must clear the 3x bar on every kernel.
+        assert!(
+            fast || r.plan_s / r.replay_s >= 3.0,
+            "{}: replay only {:.2}x faster than the compiled-plan executor",
+            r.name,
+            r.plan_s / r.replay_s,
+        );
+        results.push(r);
+    }
+
+    match budget {
+        Some(b) => println!("\nreplay-costed exhaustive GEMM tune (budget {b} sims)"),
+        None => println!("\nreplay-costed exhaustive GEMM tune"),
+    }
+    let tune = run_tune(budget);
+    println!(
+        "cold {:.2}s ({} simulated) -> warm {:.2}s ({} replayed, {} simulated), {:.0}x",
+        tune.cold_wall_s,
+        tune.cold_simulated,
+        tune.warm_wall_s,
+        tune.warm_replayed,
+        tune.warm_simulated,
+        tune.cold_wall_s / tune.warm_wall_s,
+    );
+    println!("winner: {} ({:.3}us)", tune.best_desc, tune.best_time_s * 1e6);
+    // A budgeted smoke run sees a different enumeration prefix, so the
+    // PR 6 winner check only applies to the full search.
+    assert!(
+        fast || tune.best_desc == PR6_WINNER,
+        "exhaustive winner changed: {} (PR 6 found {PR6_WINNER})",
+        tune.best_desc,
+    );
+    // A budgeted warm run does *more* work than its cold run (replays
+    // are budget-free, so it reaches deeper into the enumeration);
+    // only the exhaustive warm run is a pure replay and must win.
+    assert!(
+        fast || tune.warm_wall_s < tune.cold_wall_s,
+        "warm tune ({:.2}s) not faster than cold ({:.2}s)",
+        tune.warm_wall_s,
+        tune.cold_wall_s,
+    );
+
+    let json = render_json(&results, &tune, iters, fast);
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

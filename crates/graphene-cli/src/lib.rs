@@ -25,8 +25,8 @@ use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
 use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
 use graphene_kernels::softmax::{build_softmax, SoftmaxConfig};
 use graphene_sim::{
-    analyze, execute_plan, execute_reference, machine_for, time_kernel, ExecMode, HostTensor,
-    KernelPlan,
+    analyze, execute_plan, execute_reference, machine_for, replay, time_kernel, ExecMode,
+    HostTensor, KernelPlan, TraceCache, TraceKey,
 };
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -143,7 +143,7 @@ pub fn usage() -> String {
        layernorm  --rows --hidden [--emit ...]\n\
        softmax    --rows --cols [--emit ...]\n\
        fmha       --heads --seq --d [--emit ...]   (Ampere only)\n\
-       run        <kernel> [--arch ...] [--exec reference|sequential|parallel] [sizes]  (execute on the functional simulator)\n\
+       run        <kernel> [--arch ...] [--exec reference|sequential|parallel|replay] [sizes]  (execute on the functional simulator)\n\
        tune       [--kernel gemm|fmha|layernorm|mlp] [--arch ...] [sizes] [--search exhaustive|random|beam]\n\
                   [--budget N] [--seed N] [--samples N] [--width N] [--patience N]\n\
                   [--cache tune-cache.json] [--top N] [--emit text|json]  (schedule search)\n\
@@ -449,13 +449,20 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
         ));
     };
     let (arch, kernel) = build_named_kernel(cli, name)?;
-    let mode = match cli.options.get("exec").map(String::as_str) {
-        None | Some("parallel") => Some(ExecMode::Parallel),
-        Some("sequential") => Some(ExecMode::Sequential),
-        Some("reference") => None,
+    #[derive(PartialEq)]
+    enum Engine {
+        Reference,
+        Plan(ExecMode),
+        Replay,
+    }
+    let engine = match cli.options.get("exec").map(String::as_str) {
+        None | Some("parallel") => Engine::Plan(ExecMode::Parallel),
+        Some("sequential") => Engine::Plan(ExecMode::Sequential),
+        Some("reference") => Engine::Reference,
+        Some("replay") => Engine::Replay,
         Some(other) => {
             return Err(CliError(format!(
-                "unknown exec mode `{other}` (reference|sequential|parallel)"
+                "unknown exec mode `{other}` (reference|sequential|parallel|replay)"
             )))
         }
     };
@@ -465,10 +472,43 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
         inputs.insert(*id, HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec());
     }
     let bindings = HashMap::new();
+    // Replay: record once into a trace cache, then serve two replay
+    // requests from it — the second cache lookup and the reported
+    // hit/re-interpretation stats demonstrate the record-once contract.
+    let mut trace_line = None;
+    let mut cache_line = None;
     let start = std::time::Instant::now();
-    let outcome = match mode {
-        Some(m) => execute_plan(&plan, &inputs, &bindings, m),
-        None => execute_reference(&kernel, arch, &inputs),
+    let outcome = match &engine {
+        Engine::Plan(m) => execute_plan(&plan, &inputs, &bindings, *m),
+        Engine::Reference => execute_reference(&kernel, arch, &inputs),
+        Engine::Replay => {
+            let cache = TraceCache::new();
+            let key = TraceKey {
+                kernel: kernel.name.clone(),
+                problem: format!("{} blocks x {} threads", plan.grid_size(), plan.block_size()),
+                arch,
+            };
+            let t0 = std::time::Instant::now();
+            let trace =
+                cache.get_or_record(&key, &plan, &bindings).map_err(|e| CliError(e.to_string()))?;
+            let record_ms = t0.elapsed().as_secs_f64() * 1e3;
+            trace_line = Some(format!(
+                "trace    : {} steps, {} addresses, recorded in {record_ms:.3} ms",
+                trace.num_steps(),
+                trace.num_addrs()
+            ));
+            let trace =
+                cache.get_or_record(&key, &plan, &bindings).map_err(|e| CliError(e.to_string()))?;
+            let first = replay(&trace, &inputs);
+            let second = replay(&trace, &inputs);
+            cache_line = Some(format!(
+                "trace-cache : {} recording(s), {} hit(s), re-interpretations : {}",
+                cache.recordings(),
+                cache.hits(),
+                cache.recordings().saturating_sub(1)
+            ));
+            first.and(second)
+        }
     }
     .map_err(|e| CliError(e.to_string()))?;
     let wall = start.elapsed().as_secs_f64();
@@ -479,14 +519,21 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
     let _ = writeln!(out, "kernel   : {}", kernel.name);
     let _ = writeln!(
         out,
-        "engine   : {} interpreter",
-        match mode {
-            None => "reference",
-            Some(ExecMode::Sequential) => "compiled (sequential)",
-            Some(_) => "compiled (parallel)",
+        "engine   : {}",
+        match &engine {
+            Engine::Reference => "reference interpreter",
+            Engine::Plan(ExecMode::Sequential) => "compiled (sequential) interpreter",
+            Engine::Plan(_) => "compiled (parallel) interpreter",
+            Engine::Replay => "trace replay",
         }
     );
     let _ = writeln!(out, "launch   : {} blocks x {} threads", plan.grid_size(), plan.block_size());
+    if let Some(l) = &trace_line {
+        let _ = writeln!(out, "{l}");
+    }
+    if let Some(l) = &cache_line {
+        let _ = writeln!(out, "{l}");
+    }
     let _ = writeln!(out, "wall     : {:.3} ms", wall * 1e3);
     let _ = writeln!(
         out,
@@ -556,15 +603,25 @@ fn tune_cmd(cli: &Cli) -> Result<String, CliError> {
         }
     };
 
-    let seed = cli.int("seed", 0)? as u64;
+    // Strategy knobs are counts: a negative value would wrap to a huge
+    // `usize` (e.g. `--samples -1` ~ 2^64 proposals), so reject it with
+    // a diagnostic instead.
+    let positive = |name: &str, default: i64| -> Result<usize, CliError> {
+        match cli.int(name, default)? {
+            v if v >= 1 => Ok(v as usize),
+            v => Err(CliError(format!("--{name} must be at least 1, got {v}"))),
+        }
+    };
+    let seed = match cli.int("seed", 0)? {
+        v if v >= 0 => v as u64,
+        v => return Err(CliError(format!("--seed must be non-negative, got {v}"))),
+    };
     let search = match cli.options.get("search").map(String::as_str) {
         None | Some("exhaustive") => Search::Exhaustive,
-        Some("random") => Search::Random { seed, samples: cli.int("samples", 64)? as usize },
-        Some("beam") => Search::Beam {
-            seed,
-            width: cli.int("width", 4)?.max(1) as usize,
-            patience: cli.int("patience", 3)?.max(1) as usize,
-        },
+        Some("random") => Search::Random { seed, samples: positive("samples", 64)? },
+        Some("beam") => {
+            Search::Beam { seed, width: positive("width", 4)?, patience: positive("patience", 3)? }
+        }
         Some(other) => {
             return Err(CliError(format!("unknown search `{other}` (exhaustive|random|beam)")))
         }
@@ -932,6 +989,27 @@ mod run_tests {
         assert!(run_str("run gemm --exec warp-speed").unwrap_err().0.contains("exec mode"));
         assert!(run_str("run").unwrap_err().0.contains("kernel name"));
     }
+
+    /// `run --exec replay` records once, replays from the trace cache,
+    /// and its checksum matches the interpreting engines.
+    #[test]
+    fn run_replay_matches_and_reports_cache() {
+        let checksum = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("checksum : "))
+                .map(str::to_owned)
+                .expect("checksum line")
+        };
+        let base = "run gemm --m 128 --n 128 --k 32";
+        let seq = run_str(&format!("{base} --exec sequential")).unwrap();
+        let rep = run_str(&format!("{base} --exec replay")).unwrap();
+        assert!(rep.contains("engine   : trace replay"), "{rep}");
+        assert!(rep.contains("trace    : "), "{rep}");
+        assert!(rep.contains("1 recording(s)"), "{rep}");
+        assert!(rep.contains("1 hit(s)"), "{rep}");
+        assert!(rep.contains("re-interpretations : 0"), "{rep}");
+        assert_eq!(checksum(&seq), checksum(&rep));
+    }
 }
 
 #[cfg(test)]
@@ -986,6 +1064,20 @@ mod tune_tests {
         assert!(run_str("tune --search quantum").unwrap_err().0.contains("unknown search"));
         assert!(run_str("tune --budget -3").unwrap_err().0.contains("non-negative"));
         assert!(run_str("tune --top 0").unwrap_err().0.contains("--top"));
+    }
+
+    /// Negative strategy knobs used to wrap through `as usize` into
+    /// astronomically large counts; now they are one-line errors.
+    #[test]
+    fn tune_rejects_negative_strategy_knobs() {
+        let err = run_str("tune --search random --samples -1").unwrap_err();
+        assert!(err.0.contains("--samples must be at least 1"), "{}", err.0);
+        let err = run_str("tune --search beam --width -2").unwrap_err();
+        assert!(err.0.contains("--width must be at least 1"), "{}", err.0);
+        let err = run_str("tune --search beam --patience 0").unwrap_err();
+        assert!(err.0.contains("--patience must be at least 1"), "{}", err.0);
+        let err = run_str("tune --search random --seed -7").unwrap_err();
+        assert!(err.0.contains("--seed must be non-negative"), "{}", err.0);
     }
 }
 

@@ -2,10 +2,22 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match graphene_cli::run(&args) {
-        Ok(out) => print!("{out}"),
-        Err(e) => {
+    // Internal panics (not just `CliError`s) must still exit nonzero
+    // with a one-line diagnostic instead of a backtrace dump.
+    let result = std::panic::catch_unwind(|| graphene_cli::run(&args));
+    match result {
+        Ok(Ok(out)) => print!("{out}"),
+        Ok(Err(e)) => {
             eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unexpected internal error");
+            eprintln!("error: internal: {msg}");
             std::process::exit(1);
         }
     }

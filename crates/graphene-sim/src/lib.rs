@@ -27,6 +27,14 @@
 //! original statement-tree interpreter is retained as
 //! [`execute_reference`] for equivalence testing and as the benchmark
 //! baseline.
+//!
+//! On top of the compiled engine sits record-once/replay-many
+//! execution — the CUDA-graph analog: [`record_trace`] captures one
+//! instrumented run as a flat straight-line program ([`trace`]), a
+//! [`TraceCache`] memoizes traces per (kernel, problem, arch), and
+//! [`replay`](replay()) re-runs the program against fresh inputs with
+//! no dispatch, no symbolic environment, and no address emission
+//! ([`ExecMode::Replay`] for one-shot use).
 
 #![warn(missing_docs)]
 
@@ -37,8 +45,10 @@ pub mod host;
 pub mod machine;
 pub mod plan;
 pub mod prove;
+pub mod replay;
 pub mod run;
 pub mod timing;
+pub mod trace;
 
 pub use analyze::{
     analyze, analyze_bound, analyze_cached, exec_lanes, lane_addresses, lane_addresses_cached,
@@ -56,5 +66,7 @@ pub use prove::{
     grade_conflicts_cached, linear_site, prove_conflicts_enumerated, prove_conflicts_linear,
     sample_is_aligned_warp, ConflictGrade, ConflictProvenance, LinearSite,
 };
+pub use replay::{replay, replay_with};
 pub use run::{execute_plan, ExecMode};
 pub use timing::{time_kernel, time_sequence, KernelProfile};
+pub use trace::{record_trace, Trace, TraceCache, TraceKey};

@@ -40,6 +40,14 @@ pub enum ExecMode {
     /// count, regardless of the machine's core count (used by the
     /// equivalence tests to force the threaded merge path).
     Workers(usize),
+    /// Record the kernel once into a straight-line trace
+    /// ([`crate::trace`]) and execute by replaying it — no statement
+    /// tree, no spec dispatch, no address emission
+    /// ([`crate::replay`]). Callers executing the same (kernel,
+    /// problem, arch) repeatedly should record through a
+    /// [`crate::trace::TraceCache`] instead, which amortises the
+    /// single recording across every replay.
+    Replay,
 }
 
 /// One logged global-memory write (parallel mode).
@@ -54,12 +62,12 @@ pub(crate) struct WriteRec {
 /// operand of one spec execution, segment per operand, lane-major
 /// within a segment.
 #[derive(Debug, Default)]
-struct AddrScratch {
-    addrs: Vec<i64>,
+pub(crate) struct AddrScratch {
+    pub(crate) addrs: Vec<i64>,
     /// Per input operand: `(segment start, addresses per lane)`.
-    ins: Vec<(usize, usize)>,
+    pub(crate) ins: Vec<(usize, usize)>,
     /// Per output operand: `(segment start, addresses per lane)`.
-    outs: Vec<(usize, usize)>,
+    pub(crate) outs: Vec<(usize, usize)>,
 }
 
 impl AddrScratch {
@@ -84,6 +92,9 @@ pub(crate) struct CtaRunner<'p> {
     lane_buf: Vec<i64>,
     /// When `Some`, global writes are logged for the ordered merge.
     pub(crate) log: Option<Vec<WriteRec>>,
+    /// When `Some`, executed allocs and groups are captured into a
+    /// trace ([`crate::trace::record_trace`]).
+    pub(crate) rec: Option<crate::trace::Recorder>,
 }
 
 impl<'p> CtaRunner<'p> {
@@ -112,6 +123,7 @@ impl<'p> CtaRunner<'p> {
             guards: Vec::new(),
             lane_buf: Vec::new(),
             log: None,
+            rec: None,
         }
     }
 
@@ -128,11 +140,16 @@ impl<'p> CtaRunner<'p> {
     fn exec_stmts(&mut self, stmts: &'p [CStmt]) -> Result<(), ExecError> {
         for s in stmts {
             match s {
-                CStmt::Alloc(buf) => match buf.mem {
-                    MemSpace::Shared => self.shared[buf.idx].fill(0.0),
-                    MemSpace::Register => self.regs[buf.idx].fill(0.0),
-                    MemSpace::Global => unreachable!("plan rejects global allocs"),
-                },
+                CStmt::Alloc(buf) => {
+                    match buf.mem {
+                        MemSpace::Shared => self.shared[buf.idx].fill(0.0),
+                        MemSpace::Register => self.regs[buf.idx].fill(0.0),
+                        MemSpace::Global => unreachable!("plan rejects global allocs"),
+                    }
+                    if let Some(rec) = &mut self.rec {
+                        rec.record_alloc(*buf);
+                    }
+                }
                 CStmt::For { slot, extent, body } => {
                     for i in 0..*extent {
                         self.env.set(*slot, i);
@@ -561,6 +578,12 @@ impl<'p> CtaRunner<'p> {
                 }
             }
         }
+        // Capture the group only after its semantics executed cleanly:
+        // every recorded address has passed the bounds checks above, so
+        // replay can index without re-validating.
+        if let Some(rec) = &mut self.rec {
+            rec.record_group(cs, lanes, &scratch);
+        }
         self.scratch = scratch;
         Ok(())
     }
@@ -624,9 +647,15 @@ pub fn execute_plan(
     bindings: &HashMap<String, i64>,
     mode: ExecMode,
 ) -> Result<ExecOutcome, ExecError> {
+    if mode == ExecMode::Replay {
+        // Record once, replay once. Repeated executions should share a
+        // `TraceCache` and call `replay` directly.
+        let trace = crate::trace::record_trace(plan, bindings)?;
+        return crate::replay::replay(&trace, inputs);
+    }
     let init = initial_globals(plan, inputs)?;
     let workers = match mode {
-        ExecMode::Sequential => 1,
+        ExecMode::Sequential | ExecMode::Replay => 1,
         ExecMode::Parallel => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)

@@ -142,7 +142,8 @@ impl TuneDb {
         }
     }
 
-    /// Writes the database atomically (temp file + rename).
+    /// Writes the database atomically (temp file + rename). A failed
+    /// write never leaves the temp file behind.
     pub fn save(&self) -> std::io::Result<()> {
         let tmp = self.path.with_extension("json.tmp");
         if let Some(dir) = self.path.parent() {
@@ -150,11 +151,17 @@ impl TuneDb {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(self.render().as_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, &self.path)
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &self.path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 
     /// Renders the version-1 document.
@@ -219,9 +226,33 @@ mod tests {
     use crate::space::LayernormSpace;
     use graphene_ir::Arch;
 
-    fn tmp(name: &str) -> PathBuf {
-        std::env::temp_dir()
-            .join(format!("graphene-tune-dbtest-{name}-{}.json", std::process::id()))
+    /// A unique-per-call temp path (pid + global counter, so parallel
+    /// test binaries *and* repeated calls within one process never
+    /// collide) that removes the file and its `.json.tmp` sibling on
+    /// drop — even when the test's assertions fail.
+    struct TmpFile(PathBuf);
+
+    impl TmpFile {
+        fn new(name: &str) -> Self {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            TmpFile(
+                std::env::temp_dir()
+                    .join(format!("graphene-tune-dbtest-{name}-{}-{n}.json", std::process::id())),
+            )
+        }
+    }
+
+    impl Drop for TmpFile {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+            std::fs::remove_file(self.0.with_extension("json.tmp")).ok();
+        }
+    }
+
+    fn tmp(name: &str) -> TmpFile {
+        TmpFile::new(name)
     }
 
     #[test]
@@ -229,35 +260,33 @@ mod tests {
         let path = tmp("roundtrip");
         let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
         let point = space.default_point();
-        let mut db = TuneDb::load(&path);
+        let mut db = TuneDb::load(&path.0);
         assert!(db.is_empty());
         db.record(&space, &point, 1.25e-5, 7);
         db.save().unwrap();
 
-        let reloaded = TuneDb::load(&path);
+        let reloaded = TuneDb::load(&path.0);
         assert_eq!(reloaded.len(), 1);
         let (p, entry) = reloaded.lookup(&space).expect("hit");
         assert_eq!(p, point);
         assert_eq!(entry.time_s, 1.25e-5);
         assert_eq!(entry.simulated, 7);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn wrong_version_and_garbage_yield_empty() {
         let path = tmp("version");
-        std::fs::write(&path, "{\"version\": 999, \"entries\": []}").unwrap();
-        assert!(TuneDb::load(&path).is_empty());
-        std::fs::write(&path, "not json at all").unwrap();
-        assert!(TuneDb::load(&path).is_empty());
-        std::fs::remove_file(&path).ok();
+        std::fs::write(&path.0, "{\"version\": 999, \"entries\": []}").unwrap();
+        assert!(TuneDb::load(&path.0).is_empty());
+        std::fs::write(&path.0, "not json at all").unwrap();
+        assert!(TuneDb::load(&path.0).is_empty());
     }
 
     #[test]
     fn changed_space_shape_misses() {
         let path = tmp("shape");
         let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
-        let mut db = TuneDb::load(&path);
+        let mut db = TuneDb::load(&path.0);
         db.record(&space, &space.default_point(), 1.0e-5, 3);
         // Tamper with the stored hash, as if the space had changed.
         db.entries[0].space_hash = "deadbeefdeadbeef".into();
@@ -271,10 +300,27 @@ mod tests {
     #[test]
     fn upsert_replaces_same_key() {
         let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
-        let mut db = TuneDb::load(tmp("upsert"));
+        let path = tmp("upsert");
+        let mut db = TuneDb::load(&path.0);
         db.record(&space, &space.default_point(), 2.0e-5, 3);
         db.record(&space, &space.default_point(), 1.0e-5, 9);
         assert_eq!(db.len(), 1);
         assert_eq!(db.lookup(&space).unwrap().1.time_s, 1.0e-5);
+    }
+
+    /// A failed save must not leave `tune-cache.json.tmp` behind: make
+    /// the target path a *directory* so the final rename fails after
+    /// the temp file was fully written.
+    #[test]
+    fn failed_save_removes_temp_file() {
+        let path = tmp("failedsave");
+        std::fs::create_dir_all(&path.0).unwrap();
+        let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let mut db = TuneDb::load(&path.0);
+        db.record(&space, &space.default_point(), 1.0e-5, 3);
+        assert!(db.save().is_err(), "rename onto a directory must fail");
+        let tmp_sibling = path.0.with_extension("json.tmp");
+        assert!(!tmp_sibling.exists(), "stale temp file left at {}", tmp_sibling.display());
+        std::fs::remove_dir_all(&path.0).ok();
     }
 }

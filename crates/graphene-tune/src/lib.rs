@@ -16,7 +16,9 @@
 //!   `graphene-analysis` diagnostics before any costing, then costs
 //!   survivors in parallel with the simulator's counter analysis and
 //!   roofline timing model. Ranking is deterministic (time, then
-//!   counter tie-breaks).
+//!   counter tie-breaks). A [`CostCache`] records each point's
+//!   pipeline outcome so overlapping or repeated searches replay
+//!   instead of re-simulating ([`tune_cached`]).
 //! - **[`db`]** — a versioned persistent database (`tune-cache.json`)
 //!   keyed by `(kernel, problem, arch, space hash)`; a warm second run
 //!   of the same search is served without a single candidate
@@ -49,7 +51,9 @@ pub mod tuner;
 
 pub use db::{DbEntry, TuneDb, TUNE_DB_VERSION};
 pub use space::{FmhaSpace, GemmSpace, LayernormSpace, MlpSpace, ParamDef, Point, SearchSpace};
-pub use tuner::{rank, Candidate, Search, TuneError, TuneOptions, TuneReport, TuneStats};
+pub use tuner::{
+    rank, Candidate, CostCache, Search, TuneError, TuneOptions, TuneReport, TuneStats,
+};
 
 /// Tunes a space: consult the database (if given), otherwise run the
 /// search and record the winner back.
@@ -65,7 +69,25 @@ pub use tuner::{rank, Candidate, Search, TuneError, TuneOptions, TuneReport, Tun
 pub fn tune(
     space: &dyn SearchSpace,
     opts: &TuneOptions,
+    db: Option<&mut TuneDb>,
+) -> Result<TuneReport, TuneError> {
+    tune_cached(space, opts, db, None)
+}
+
+/// [`tune`] with an optional [`CostCache`]: candidate outcomes recorded
+/// by earlier searches replay without re-building or re-simulating,
+/// and this search's pipeline runs are recorded for the next one. The
+/// database still takes precedence — a `tune-cache.json` hit never
+/// consults the cost cache at all.
+///
+/// # Errors
+///
+/// Same as [`tune`].
+pub fn tune_cached(
+    space: &dyn SearchSpace,
+    opts: &TuneOptions,
     mut db: Option<&mut TuneDb>,
+    costs: Option<&CostCache>,
 ) -> Result<TuneReport, TuneError> {
     if let Some(db) = db.as_deref_mut() {
         if let Some((point, entry)) = db.lookup(space) {
@@ -80,7 +102,7 @@ pub fn tune(
             });
         }
     }
-    let report = tuner::run_search(space, opts)?;
+    let report = tuner::run_search_cached(space, opts, costs)?;
     if let Some(db) = db {
         db.record(space, &report.best_point, report.best_time_s, report.stats.simulated);
         db.save().map_err(|e| TuneError::Db(e.to_string()))?;

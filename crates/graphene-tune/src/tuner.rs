@@ -21,6 +21,12 @@
 //!    tensor id, which is only meaningful within one kernel — the
 //!    cache is deliberately *not* shared between candidates).
 //!
+//! A [`CostCache`] sits across the whole pipeline after the constraint
+//! gate: the first evaluation of a point *records* its outcome
+//! (rejection reason, or profile + counters), and every later
+//! evaluation of the same `(space, problem, arch, point)` *replays* the
+//! recording — the tuner-side analog of the simulator's trace cache.
+//!
 //! Candidates are evaluated in parallel with `std::thread::scope`
 //! workers pulling from a shared index; results keep submission order,
 //! so reports are deterministic regardless of thread interleaving.
@@ -35,7 +41,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
 /// A search strategy.
@@ -109,6 +115,9 @@ pub struct TuneStats {
     pub pruned_analysis: usize,
     /// Candidates costed through the simulator.
     pub simulated: usize,
+    /// Outcomes replayed from a [`CostCache`] recording — the point was
+    /// neither rebuilt nor re-analysed nor re-simulated.
+    pub cost_replayed: usize,
     /// Served from the tuning database without any simulation.
     pub db_hit: bool,
 }
@@ -182,16 +191,119 @@ enum Outcome {
     Costed(Box<Candidate>),
 }
 
-/// Evaluates one point through the full pipeline.
-fn evaluate(space: &dyn SearchSpace, point: &Point) -> Outcome {
+/// What one recorded evaluation replays to. Mirrors the non-prune arms
+/// of `Outcome` (constraint prunes are pure arithmetic — cheaper to
+/// redo than to cache).
+#[derive(Clone)]
+enum CostRecord {
+    Rejected(String),
+    Costed { profile: KernelProfile, counters: Counters, conflict_warnings: usize },
+}
+
+/// Record-once/replay-many at the *costing* layer — the tuner-side
+/// analog of the simulator's trace cache. The first time a point
+/// survives its constraint gate, the full build → lint → counter →
+/// roofline pipeline runs and its outcome is recorded; every later
+/// evaluation of the same `(space, problem, arch, point)` replays the
+/// recording without constructing a kernel, compiling an address plan,
+/// or touching the simulator.
+///
+/// Keys include the space hash, so editing a space's parameter table
+/// invalidates its recordings by construction. The cache is `Sync`:
+/// batch workers consult it concurrently, and it can be shared across
+/// whole tuning runs (e.g. re-tuning after a database wipe, or
+/// overlapping beam/random searches of one space).
+#[derive(Default)]
+pub struct CostCache {
+    entries: Mutex<HashMap<String, CostRecord>>,
+    replays: AtomicU64,
+    recordings: AtomicU64,
+}
+
+impl CostCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        CostCache::default()
+    }
+
+    /// Evaluations served by replaying a recording.
+    #[must_use]
+    pub fn replays(&self) -> u64 {
+        self.replays.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Pipeline runs recorded into the cache.
+    #[must_use]
+    pub fn recordings(&self) -> u64 {
+        self.recordings.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Number of recorded points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn key(space: &dyn SearchSpace, point: &Point) -> String {
+        format!(
+            "{}|{}|{:?}|{:016x}|{:?}",
+            space.name(),
+            space.problem_key(),
+            space.arch(),
+            space.space_hash(),
+            point.0
+        )
+    }
+
+    fn lookup(&self, key: &str) -> Option<CostRecord> {
+        let rec = self.entries.lock().unwrap().get(key).cloned();
+        if rec.is_some() {
+            self.replays.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        rec
+    }
+
+    fn record(&self, key: String, rec: CostRecord) {
+        self.recordings.fetch_add(1, AtomicOrdering::Relaxed);
+        self.entries.lock().unwrap().insert(key, rec);
+    }
+}
+
+/// Evaluates one point through the full pipeline. The boolean is true
+/// when the outcome was replayed from `costs` instead of recomputed.
+fn evaluate(space: &dyn SearchSpace, point: &Point, costs: Option<&CostCache>) -> (Outcome, bool) {
     if let Err(reason) = space.constraint(point) {
-        return Outcome::Pruned(reason);
+        return (Outcome::Pruned(reason), false);
+    }
+    let key = costs.map(|_| CostCache::key(space, point));
+    if let (Some(cache), Some(key)) = (costs, key.as_deref()) {
+        if let Some(rec) = cache.lookup(key) {
+            let out = match rec {
+                CostRecord::Rejected(r) => Outcome::Rejected(r),
+                CostRecord::Costed { profile, counters, conflict_warnings } => {
+                    Outcome::Costed(Box::new(Candidate {
+                        point: point.clone(),
+                        profile,
+                        counters,
+                        conflict_warnings,
+                    }))
+                }
+            };
+            return (out, true);
+        }
     }
     let kernel = match catch_unwind(AssertUnwindSafe(|| space.build(point))) {
         Ok(k) => k,
         // A panic here means the space's constraint is not conservative
         // enough; treat it as a prune so the search survives.
-        Err(_) => return Outcome::Pruned("builder rejected the point (panic)".into()),
+        Err(_) => return (Outcome::Pruned("builder rejected the point (panic)".into()), false),
     };
     let arch = space.arch();
     // One plan cache per candidate: analysis and costing reuse each
@@ -204,25 +316,43 @@ fn evaluate(space: &dyn SearchSpace, point: &Point) -> Outcome {
             .find(|d| d.severity == Severity::Error)
             .map(|d| format!("{}: {}", d.code, d.message))
             .unwrap_or_default();
-        return Outcome::Rejected(first);
+        if let (Some(cache), Some(key)) = (costs, key) {
+            cache.record(key, CostRecord::Rejected(first.clone()));
+        }
+        return (Outcome::Rejected(first), false);
     }
     let conflict_warnings = diags.iter().filter(|d| d.code == "GRA014").count();
     match analyze_cached(&kernel, arch, &HashMap::new(), &mut plans) {
         Ok(counters) => {
             let profile = time_kernel(&counters, machine_for(arch), kernel.grid_size());
-            Outcome::Costed(Box::new(Candidate {
+            if let (Some(cache), Some(key)) = (costs, key) {
+                cache.record(key, CostRecord::Costed { profile, counters, conflict_warnings });
+            }
+            let out = Outcome::Costed(Box::new(Candidate {
                 point: point.clone(),
                 profile,
                 counters,
                 conflict_warnings,
-            }))
+            }));
+            (out, false)
         }
-        Err(e) => Outcome::Rejected(format!("counter analysis failed: {e:?}")),
+        Err(e) => {
+            let reason = format!("counter analysis failed: {e:?}");
+            if let (Some(cache), Some(key)) = (costs, key) {
+                cache.record(key, CostRecord::Rejected(reason.clone()));
+            }
+            (Outcome::Rejected(reason), false)
+        }
     }
 }
 
 /// Evaluates a batch in parallel, preserving input order.
-fn evaluate_batch(space: &dyn SearchSpace, points: &[Point], threads: usize) -> Vec<Outcome> {
+fn evaluate_batch(
+    space: &dyn SearchSpace,
+    points: &[Point],
+    threads: usize,
+    costs: Option<&CostCache>,
+) -> Vec<(Outcome, bool)> {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -230,10 +360,11 @@ fn evaluate_batch(space: &dyn SearchSpace, points: &[Point], threads: usize) -> 
     }
     .min(points.len().max(1));
     if workers <= 1 {
-        return points.iter().map(|p| evaluate(space, p)).collect();
+        return points.iter().map(|p| evaluate(space, p, costs)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Outcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(Outcome, bool)>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -241,7 +372,7 @@ fn evaluate_batch(space: &dyn SearchSpace, points: &[Point], threads: usize) -> 
                 if i >= points.len() {
                     break;
                 }
-                let out = evaluate(space, &points[i]);
+                let out = evaluate(space, &points[i], costs);
                 *slots[i].lock().unwrap() = Some(out);
             });
         }
@@ -253,6 +384,7 @@ fn evaluate_batch(space: &dyn SearchSpace, points: &[Point], threads: usize) -> 
 struct Session<'s> {
     space: &'s dyn SearchSpace,
     opts: &'s TuneOptions,
+    costs: Option<&'s CostCache>,
     stats: TuneStats,
     costed: Vec<Candidate>,
     last_reason: Option<String>,
@@ -260,10 +392,15 @@ struct Session<'s> {
 }
 
 impl<'s> Session<'s> {
-    fn new(space: &'s dyn SearchSpace, opts: &'s TuneOptions) -> Self {
+    fn new(
+        space: &'s dyn SearchSpace,
+        opts: &'s TuneOptions,
+        costs: Option<&'s CostCache>,
+    ) -> Self {
         Session {
             space,
             opts,
+            costs,
             stats: TuneStats::default(),
             costed: Vec::new(),
             last_reason: None,
@@ -285,7 +422,10 @@ impl<'s> Session<'s> {
         }
         self.stats.proposed += fresh.len();
         let mut new = Vec::new();
-        for out in evaluate_batch(self.space, &fresh, self.opts.threads) {
+        for (out, replayed) in evaluate_batch(self.space, &fresh, self.opts.threads, self.costs) {
+            if replayed {
+                self.stats.cost_replayed += 1;
+            }
             match out {
                 Outcome::Pruned(r) => {
                     self.stats.pruned_constraint += 1;
@@ -296,7 +436,11 @@ impl<'s> Session<'s> {
                     self.last_reason = Some(r);
                 }
                 Outcome::Costed(c) => {
-                    self.stats.simulated += 1;
+                    // A replayed candidate costs nothing: it does not
+                    // consume the simulation budget.
+                    if !replayed {
+                        self.stats.simulated += 1;
+                    }
                     new.push((*c).clone());
                     self.costed.push(*c);
                 }
@@ -334,7 +478,20 @@ const BATCH: usize = 64;
 /// Runs a search over a space. This is the strategy driver; the
 /// database-aware entry point is [`crate::tune`].
 pub fn run_search(space: &dyn SearchSpace, opts: &TuneOptions) -> Result<TuneReport, TuneError> {
-    let mut sess = Session::new(space, opts);
+    run_search_cached(space, opts, None)
+}
+
+/// [`run_search`] with an optional [`CostCache`]: points already
+/// recorded in `costs` replay their outcomes instead of re-running the
+/// build/lint/cost pipeline, and fresh pipeline runs are recorded for
+/// the next search. Replays are reported in
+/// [`TuneStats::cost_replayed`] and are budget-free.
+pub fn run_search_cached(
+    space: &dyn SearchSpace,
+    opts: &TuneOptions,
+    costs: Option<&CostCache>,
+) -> Result<TuneReport, TuneError> {
+    let mut sess = Session::new(space, opts, costs);
     match opts.search {
         Search::Exhaustive => {
             // Default first so a budget-capped run still covers it.

@@ -14,8 +14,8 @@ use graphene_ir::Arch;
 use graphene_kernels::gemm::Epilogue;
 use graphene_sim::{analyze, machine_for, time_kernel};
 use graphene_tune::{
-    tune, tuner::run_search, FmhaSpace, GemmSpace, LayernormSpace, MlpSpace, Search, SearchSpace,
-    TuneDb, TuneOptions,
+    tune, tuner::run_search, tuner::run_search_cached, CostCache, FmhaSpace, GemmSpace,
+    LayernormSpace, MlpSpace, Search, SearchSpace, TuneDb, TuneOptions,
 };
 
 /// Simulated time of the space's hand-picked default.
@@ -189,6 +189,45 @@ fn second_run_is_served_from_the_database_with_zero_simulations() {
     assert_eq!(TuneDb::load(&path).len(), 2);
 
     std::fs::remove_file(&path).ok();
+}
+
+/// The cost cache records every post-constraint pipeline run on the
+/// first search and replays all of them on the second — identical
+/// report, zero fresh simulations.
+#[test]
+fn second_search_replays_every_costing_from_the_cost_cache() {
+    let space = GemmSpace::new(Arch::Sm86, 256, 256, 128, Epilogue::None);
+    let opts = TuneOptions::default();
+    let costs = CostCache::new();
+
+    let cold = run_search_cached(&space, &opts, Some(&costs)).unwrap();
+    assert!(cold.stats.simulated > 0);
+    assert_eq!(cold.stats.cost_replayed, 0, "first search has nothing to replay");
+    let built_cold = cold.stats.pruned_analysis + cold.stats.simulated;
+    assert_eq!(costs.recordings() as usize, built_cold, "every pipeline run recorded");
+    assert_eq!(costs.replays(), 0);
+
+    let warm = run_search_cached(&space, &opts, Some(&costs)).unwrap();
+    assert_eq!(warm.stats.simulated, 0, "warm search must not simulate");
+    assert_eq!(warm.stats.cost_replayed, built_cold, "every built point replays");
+    assert_eq!(costs.replays() as usize, built_cold);
+    assert_eq!(warm.best_point, cold.best_point);
+    assert_eq!(warm.best_time_s, cold.best_time_s);
+    assert_eq!(warm.stats.proposed, cold.stats.proposed);
+    assert_eq!(warm.stats.pruned_constraint, cold.stats.pruned_constraint);
+    // Leaderboards agree candidate-for-candidate, including counters.
+    assert_eq!(warm.leaderboard.len(), cold.leaderboard.len());
+    for (w, c) in warm.leaderboard.iter().zip(&cold.leaderboard) {
+        assert_eq!(w.point, c.point);
+        assert_eq!(w.counters, c.counters);
+        assert_eq!(w.conflict_warnings, c.conflict_warnings);
+    }
+
+    // A different problem size misses: keys fold in the problem.
+    let other = GemmSpace::new(Arch::Sm86, 128, 128, 128, Epilogue::None);
+    let miss = run_search_cached(&other, &opts, Some(&costs)).unwrap();
+    assert_eq!(miss.stats.cost_replayed, 0, "other problem must not replay");
+    assert!(miss.stats.simulated > 0);
 }
 
 #[test]

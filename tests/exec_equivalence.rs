@@ -1,17 +1,17 @@
 //! Golden equivalence tests for the compiled interpreter: for every
 //! paper kernel, sequential plan execution, parallel plan execution,
-//! and the original reference interpreter must produce bit-identical
-//! global buffers and identical counters.
+//! trace replay, and the original reference interpreter must produce
+//! bit-identical global buffers and identical counters.
 
 use graphene::ir::{Arch, Kernel};
 use graphene::kernels::fmha::{build_fused_fmha, FmhaConfig};
 use graphene::kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
 use graphene::kernels::layernorm::{build_layernorm, LayernormConfig};
 use graphene::sim::host::HostTensor;
-use graphene::sim::{execute_reference, execute_with, ExecMode};
+use graphene::sim::{execute_reference, execute_with, replay_with, ExecMode, KernelPlan};
 use std::collections::HashMap;
 
-/// Runs `kernel` through all three engines and asserts bit-identical
+/// Runs `kernel` through all four engines and asserts bit-identical
 /// globals and identical counters.
 fn assert_equivalent(
     name: &str,
@@ -29,6 +29,8 @@ fn assert_equivalent(
     // chunking.
     let forced = execute_with(kernel, arch, inputs, &bindings, ExecMode::Workers(3))
         .unwrap_or_else(|e| panic!("{name}: 3-worker execution failed: {e}"));
+    let replayed = execute_with(kernel, arch, inputs, &bindings, ExecMode::Replay)
+        .unwrap_or_else(|e| panic!("{name}: replay execution failed: {e}"));
     let reference = execute_reference(kernel, arch, inputs)
         .unwrap_or_else(|e| panic!("{name}: reference execution failed: {e}"));
 
@@ -38,6 +40,7 @@ fn assert_equivalent(
             ("sequential", &seq.globals[id]),
             ("parallel", &par.globals[id]),
             ("3 workers", &forced.globals[id]),
+            ("replay", &replayed.globals[id]),
         ] {
             assert_eq!(want.len(), got.len(), "{name}: %{pname} length ({mode})");
             for (i, (w, g)) in want.iter().zip(got).enumerate() {
@@ -52,6 +55,7 @@ fn assert_equivalent(
     assert_eq!(seq.counters, reference.counters, "{name}: sequential counters");
     assert_eq!(par.counters, reference.counters, "{name}: parallel counters");
     assert_eq!(forced.counters, reference.counters, "{name}: 3-worker counters");
+    assert_eq!(replayed.counters, reference.counters, "{name}: replay counters");
 }
 
 fn gemm_inputs(kernel: &Kernel, cfg: &GemmConfig) -> HashMap<graphene::ir::TensorId, Vec<f32>> {
@@ -119,6 +123,67 @@ fn fmha_equivalent() {
     inputs.insert(kernel.params[1], HostTensor::random(&[rows, d], 312).as_slice().to_vec());
     inputs.insert(kernel.params[2], HostTensor::random(&[rows, d], 313).as_slice().to_vec());
     assert_equivalent("fmha-sm86", &kernel, Arch::Sm86, &inputs);
+}
+
+/// One trace, many inputs: replaying a trace recorded *before* either
+/// input buffer existed must match a fresh interpretation for each.
+/// This is the stale-pointer regression test — a recorder that
+/// captured base pointers or input values (instead of buffer slots and
+/// addresses) would replay the recording run's data here.
+#[test]
+fn replay_fresh_inputs_matches_fresh_interpretation() {
+    let cfg =
+        GemmConfig { m: 64, n: 64, k: 32, bm: 32, bn: 32, bk: 16, wm: 16, wn: 16, swizzle: true };
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    let plan = KernelPlan::compile(&kernel, Arch::Sm86).expect("plan");
+    let trace = graphene::sim::record_trace(&plan, &HashMap::new()).expect("record");
+
+    let (m, n, k) = (cfg.m as usize, cfg.n as usize, cfg.k as usize);
+    for (seed_a, seed_b, mode) in
+        [(401, 402, ExecMode::Sequential), (403, 404, ExecMode::Workers(3))]
+    {
+        let mut inputs = HashMap::new();
+        let a = HostTensor::random(&[m, k], seed_a);
+        let b = HostTensor::random(&[k, n], seed_b);
+        inputs.insert(kernel.params[0], a.as_slice().to_vec());
+        inputs.insert(kernel.params[1], b.as_slice().to_vec());
+        let replayed = replay_with(&trace, &inputs, mode).expect("replay");
+        let reference = execute_reference(&kernel, Arch::Sm86, &inputs).expect("reference");
+        for (id, want) in &reference.globals {
+            let pname = &kernel.module[*id].name;
+            let got = &replayed.globals[id];
+            assert_eq!(want.len(), got.len(), "%{pname} length (seeds {seed_a}/{seed_b})");
+            for (i, (w, g)) in want.iter().zip(got).enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    g.to_bits(),
+                    "%{pname}[{i}] differs (seeds {seed_a}/{seed_b}): {w} vs {g}"
+                );
+            }
+        }
+        assert_eq!(replayed.counters, reference.counters, "replay counters");
+    }
+}
+
+/// A shared `TraceCache` records once and serves every later request.
+#[test]
+fn trace_cache_records_once() {
+    let cfg = GemmConfig::small(32, 32, 32);
+    let kernel = build_gemm(Arch::Sm86, &cfg, Epilogue::None);
+    let plan = KernelPlan::compile(&kernel, Arch::Sm86).expect("plan");
+    let cache = graphene::sim::TraceCache::new();
+    let key = graphene::sim::TraceKey {
+        kernel: "gemm".into(),
+        problem: "m=32 n=32 k=32".into(),
+        arch: Arch::Sm86,
+    };
+    let bindings = HashMap::new();
+    let first = cache.get_or_record(&key, &plan, &bindings).expect("record");
+    let second = cache.get_or_record(&key, &plan, &bindings).expect("hit");
+    assert!(std::sync::Arc::ptr_eq(&first, &second), "second request must share the trace");
+    assert_eq!(cache.recordings(), 1);
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(cache.len(), 1);
 }
 
 #[test]
