@@ -1,0 +1,215 @@
+//! Whole-graph execution benchmark: arena planning + graph replay.
+//!
+//! Three measurements on a transformer encoder lowered to an
+//! executable kernel sequence:
+//!
+//! 1. **Workspace** — the liveness-planned arena vs naive per-tensor
+//!    allocation of every intermediate. The full run must save at
+//!    least 30% of peak workspace bytes.
+//! 2. **Engines** — the fused encoder through the compiled-plan graph
+//!    executor vs whole-graph trace replay (record-once cost reported
+//!    separately). Outputs and counters must stay bit-identical and
+//!    the full run's replay must beat the plan engine by at least 3x.
+//! 3. **Lowerings** — fused epilogues vs one-kernel-per-node, both as
+//!    the roofline-modeled time (the paper's Figure 15 pipeline) and
+//!    as executed wall time, with a bitwise output cross-check.
+//!
+//! Usage: `cargo run --release -p graphene-bench --bin bench_pr8 [--fast] [out.json]`
+//! (`--fast` shrinks the encoder and runs one timing iteration — the
+//! CI smoke mode; the 3x and 30% gates only apply to the full run).
+
+use graphene_ir::Arch;
+use graphene_kernels::exec_lower::{lower_executable, ExecLowering};
+use graphene_kernels::graph::{encoder_graph, lower_fused, lower_unfused, Graph};
+use graphene_sim::{
+    execute_graph, record_graph, replay_graph, ExecGraph, ExecMode, GraphOutcome, HostTensor,
+    TraceCache,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Shape {
+    layers: i64,
+    batch: i64,
+    seq: i64,
+    hidden: i64,
+    heads: i64,
+    ffn: i64,
+}
+
+impl Shape {
+    fn for_mode(fast: bool) -> Self {
+        if fast {
+            Shape { layers: 1, batch: 1, seq: 64, hidden: 256, heads: 4, ffn: 256 }
+        } else {
+            Shape { layers: 2, batch: 1, seq: 128, hidden: 256, heads: 4, ffn: 1024 }
+        }
+    }
+
+    fn graph(&self) -> Graph {
+        encoder_graph(self.layers, self.batch, self.seq, self.hidden, self.heads, self.ffn)
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, returning the last outcome.
+fn time_best<T, F: FnMut() -> T>(iters: u32, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..iters {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Deterministic inputs for every external the graph binds. Both
+/// lowerings name externals by the original op index, so one map
+/// drives both.
+fn random_inputs(g: &ExecGraph) -> HashMap<String, Vec<f32>> {
+    g.externals()
+        .iter()
+        .enumerate()
+        .map(|(i, (name, len))| {
+            (name.clone(), HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec())
+        })
+        .collect()
+}
+
+/// Output values as bits, in temp order. Temp indices differ across
+/// lowerings, so only the values are compared.
+fn bits(out: &GraphOutcome) -> Vec<Vec<u32>> {
+    let mut v: Vec<(usize, Vec<u32>)> =
+        out.outputs.iter().map(|(t, xs)| (*t, xs.iter().map(|x| x.to_bits()).collect())).collect();
+    v.sort_by_key(|(t, _)| *t);
+    v.into_iter().map(|(_, b)| b).collect()
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR8.json".into());
+    let iters: u32 = if fast { 1 } else { 5 };
+    let arch = Arch::Sm86;
+
+    let shape = Shape::for_mode(fast);
+    let graph = shape.graph();
+    let fused = lower_executable(&graph, arch, ExecLowering::Fused).expect("fused lowers");
+    let default = lower_executable(&graph, arch, ExecLowering::Default).expect("default lowers");
+    let inputs = random_inputs(&fused);
+
+    println!(
+        "encoder: {} layer(s), batch {} x seq {} x hidden {}, {} heads, ffn {} ({iters} timed iterations, best-of)\n",
+        shape.layers, shape.batch, shape.seq, shape.hidden, shape.heads, shape.ffn
+    );
+
+    // 1. Workspace planning: liveness-aliased arena vs naive.
+    let ws = fused.workspace();
+    let saving = ws.saving();
+    println!(
+        "workspace: {} B arena vs {} B naive ({:.1}% saved, {} intermediates)",
+        ws.arena_bytes(),
+        ws.naive_bytes(),
+        saving * 100.0,
+        fused.temps.len(),
+    );
+    assert!(fast || saving >= 0.30, "arena saves only {:.1}% (needs >= 30%)", saving * 100.0);
+
+    // 2. Plan engine vs whole-graph replay on the fused lowering.
+    let (plan_s, plan_out) = time_best(iters, || {
+        execute_graph(&fused, &inputs, ExecMode::Sequential).expect("plan engine")
+    });
+    let traces = TraceCache::new();
+    let record_start = Instant::now();
+    let gt = record_graph(&fused, &traces).expect("graph records");
+    let record_s = record_start.elapsed().as_secs_f64();
+    let (replay_s, replay_out) = time_best(iters, || {
+        replay_graph(&gt, &inputs, ExecMode::Sequential).expect("graph replay")
+    });
+    let speedup = plan_s / replay_s;
+    let bit_identical = bits(&plan_out) == bits(&replay_out);
+    let counters_identical = plan_out.counters == replay_out.counters;
+    println!(
+        "engines  : plan {:.3}ms vs replay {:.3}ms ({speedup:.1}x, recorded once in {:.3}ms, {} kernels / {} distinct recordings)",
+        plan_s * 1e3,
+        replay_s * 1e3,
+        record_s * 1e3,
+        gt.num_kernels(),
+        traces.recordings(),
+    );
+    assert!(bit_identical, "replay diverged bitwise from the plan engine");
+    assert!(counters_identical, "replay counters diverged from the plan engine");
+    assert!(fast || speedup >= 3.0, "graph replay only {speedup:.2}x faster than the plan engine");
+
+    // 3. Fused vs default lowering: modeled and executed.
+    let modeled_fused_s = lower_fused(&graph, arch).time_s(arch);
+    let modeled_default_s = lower_unfused(&graph).time_s(arch);
+    let (default_s, default_out) = time_best(iters, || {
+        execute_graph(&default, &inputs, ExecMode::Sequential).expect("default engine")
+    });
+    let lowerings_identical = bits(&plan_out) == bits(&default_out);
+    println!(
+        "lowering : fused {} launches / default {} launches; modeled {:.3}us vs {:.3}us; executed {:.3}ms vs {:.3}ms",
+        fused.nodes.len(),
+        default.nodes.len(),
+        modeled_fused_s * 1e6,
+        modeled_default_s * 1e6,
+        plan_s * 1e3,
+        default_s * 1e3,
+    );
+    assert!(lowerings_identical, "fused and default lowerings diverged bitwise");
+    assert!(modeled_fused_s < modeled_default_s, "fusion must win on the machine model");
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"graph-exec\",\n");
+    s.push_str(&format!("  \"iterations_per_engine\": {iters},\n"));
+    s.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    s.push_str(&format!(
+        "  \"encoder\": \"layers={} batch={} seq={} hidden={} heads={} ffn={}\",\n",
+        shape.layers, shape.batch, shape.seq, shape.hidden, shape.heads, shape.ffn
+    ));
+    s.push_str("  \"workspace\": {\n");
+    s.push_str(&format!("    \"intermediates\": {},\n", fused.temps.len()));
+    s.push_str(&format!("    \"arena_bytes\": {},\n", ws.arena_bytes()));
+    s.push_str(&format!("    \"naive_bytes\": {},\n", ws.naive_bytes()));
+    s.push_str(&format!("    \"saving_fraction\": {}\n", json_f(saving)));
+    s.push_str("  },\n");
+    s.push_str("  \"engines\": {\n");
+    s.push_str(&format!("    \"kernel_launches\": {},\n", gt.num_kernels()));
+    s.push_str(&format!("    \"distinct_recordings\": {},\n", traces.recordings()));
+    s.push_str(&format!("    \"trace_cache_hits\": {},\n", traces.hits()));
+    s.push_str(&format!("    \"record_once_wall_s\": {},\n", json_f(record_s)));
+    s.push_str(&format!("    \"plan_sequential_wall_s\": {},\n", json_f(plan_s)));
+    s.push_str(&format!("    \"replay_wall_s\": {},\n", json_f(replay_s)));
+    s.push_str(&format!("    \"speedup_replay_vs_plan\": {},\n", json_f(speedup)));
+    s.push_str(&format!("    \"bit_identical_outputs\": {bit_identical},\n"));
+    s.push_str(&format!("    \"identical_counters\": {counters_identical}\n"));
+    s.push_str("  },\n");
+    s.push_str("  \"lowerings\": {\n");
+    s.push_str(&format!("    \"fused_launches\": {},\n", fused.nodes.len()));
+    s.push_str(&format!("    \"default_launches\": {},\n", default.nodes.len()));
+    s.push_str(&format!("    \"modeled_fused_s\": {},\n", json_f(modeled_fused_s)));
+    s.push_str(&format!("    \"modeled_default_s\": {},\n", json_f(modeled_default_s)));
+    s.push_str(&format!("    \"executed_fused_wall_s\": {},\n", json_f(plan_s)));
+    s.push_str(&format!("    \"executed_default_wall_s\": {},\n", json_f(default_s)));
+    s.push_str(&format!("    \"bit_identical_outputs\": {lowerings_identical}\n"));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+
+    std::fs::write(&out_path, &s).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

@@ -25,8 +25,8 @@ use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
 use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
 use graphene_kernels::softmax::{build_softmax, SoftmaxConfig};
 use graphene_sim::{
-    analyze, execute_plan, execute_reference, machine_for, replay, time_kernel, ExecMode,
-    HostTensor, KernelPlan, TraceCache, TraceKey,
+    analyze, execute_graph, execute_plan, execute_reference, machine_for, replay, replay_graph,
+    time_kernel, ExecMode, GraphTraceCache, HostTensor, KernelPlan, TraceCache, TraceKey,
 };
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -144,6 +144,8 @@ pub fn usage() -> String {
        softmax    --rows --cols [--emit ...]\n\
        fmha       --heads --seq --d [--emit ...]   (Ampere only)\n\
        run        <kernel> [--arch ...] [--exec reference|sequential|parallel|replay] [sizes]  (execute on the functional simulator)\n\
+       run-graph  [--layers N] [--batch N] [--seq N] [--hidden N] [--heads N] [--ffn N]\n\
+                  [--lowering default|fused] [--exec plan|replay]  (execute a whole encoder graph in one arena)\n\
        tune       [--kernel gemm|fmha|layernorm|mlp] [--arch ...] [sizes] [--search exhaustive|random|beam]\n\
                   [--budget N] [--seed N] [--samples N] [--width N] [--patience N]\n\
                   [--cache tune-cache.json] [--top N] [--emit text|json]  (schedule search)\n\
@@ -168,6 +170,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "lint" => lint(&cli),
         "run" => exec_run(&cli),
+        "run-graph" => run_graph(&cli),
         "tune" => tune_cmd(&cli),
         "table2" => {
             let arch = cli.arch()?;
@@ -548,6 +551,145 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
     let _ = writeln!(out, "checksum : {checksum:.6}");
     Ok(out)
 }
+
+/// The `run-graph` sub-command: build a transformer encoder graph,
+/// lower it to an executable kernel sequence sharing one liveness-
+/// planned arena, and run it end to end — either through the
+/// compiled-plan engine or through whole-graph trace replay (which
+/// additionally cross-checks the replayed output against the plan
+/// engine bit-for-bit).
+fn run_graph(cli: &Cli) -> Result<String, CliError> {
+    use graphene_kernels::exec_lower::{lower_executable, ExecLowering};
+    use graphene_kernels::graph::encoder_graph;
+
+    let layers = cli.int("layers", 2)?;
+    let batch = cli.int("batch", 1)?;
+    let seq = cli.int("seq", 128)?;
+    let hidden = cli.int("hidden", 256)?;
+    let heads = cli.int("heads", 4)?;
+    let ffn = cli.int("ffn", 1024)?;
+    let arch = cli.arch()?;
+    let lowering = match cli.options.get("lowering").map(String::as_str) {
+        None | Some("fused") => ExecLowering::Fused,
+        Some("default") => ExecLowering::Default,
+        Some(other) => return Err(CliError(format!("unknown lowering `{other}` (default|fused)"))),
+    };
+    let replay_engine = match cli.options.get("exec").map(String::as_str) {
+        None | Some("plan") => false,
+        Some("replay") => true,
+        Some(other) => return Err(CliError(format!("unknown exec mode `{other}` (plan|replay)"))),
+    };
+
+    let graph = encoder_graph(layers, batch, seq, hidden, heads, ffn);
+    let eg = lower_executable(&graph, arch, lowering).map_err(CliError)?;
+    let ws = eg.workspace();
+
+    let mut inputs = HashMap::new();
+    for (i, (name, len)) in eg.externals().iter().enumerate() {
+        inputs
+            .insert(name.clone(), HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph    : {layers}-layer encoder ({} ops), batch {batch}, seq {seq}, hidden {hidden}, {heads} heads, ffn {ffn}",
+        graph.ops.len()
+    );
+    let _ = writeln!(out, "lowering : {} ({} kernel launches)", lowering.label(), eg.nodes.len());
+    let _ = writeln!(
+        out,
+        "arena    : {} B planned vs {} B naive ({:.1}% saved)",
+        ws.arena_bytes(),
+        ws.naive_bytes(),
+        ws.saving() * 100.0
+    );
+
+    let checksum = |o: &std::collections::HashMap<usize, Vec<f32>>| -> f64 {
+        let mut temps: Vec<_> = o.iter().collect();
+        temps.sort_by_key(|(t, _)| **t);
+        temps.iter().flat_map(|(_, buf)| buf.iter()).map(|&x| f64::from(x)).sum()
+    };
+
+    let start = std::time::Instant::now();
+    if replay_engine {
+        let traces = TraceCache::new();
+        let graphs = GraphTraceCache::new();
+        let t0 = std::time::Instant::now();
+        graphs.get_or_record(&eg, &traces).map_err(|e| CliError(e.to_string()))?;
+        let record_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // A second request must come back from the cache: the printed
+        // hit count is the record-once contract made visible.
+        let gt = graphs.get_or_record(&eg, &traces).map_err(|e| CliError(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "trace    : {} kernels, {} steps, recorded in {record_ms:.3} ms",
+            gt.num_kernels(),
+            gt.num_steps()
+        );
+        let _ = writeln!(
+            out,
+            "graph-cache : {} recording(s), {} hit(s), evictions : {}",
+            graphs.recordings(),
+            graphs.hits(),
+            graphs.evictions()
+        );
+        let _ = writeln!(
+            out,
+            "trace-cache : {} recording(s), {} hit(s)",
+            traces.recordings(),
+            traces.hits()
+        );
+        let t1 = std::time::Instant::now();
+        let replayed =
+            replay_graph(&gt, &inputs, ExecMode::Parallel).map_err(|e| CliError(e.to_string()))?;
+        let replay_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let plan_out =
+            execute_graph(&eg, &inputs, ExecMode::Parallel).map_err(|e| CliError(e.to_string()))?;
+        let wall = start.elapsed().as_secs_f64();
+        let same = {
+            let b = |o: &GraphOutcomeOutputs| -> Vec<Vec<u32>> {
+                let mut v: Vec<_> = o
+                    .iter()
+                    .map(|(t, xs)| (*t, xs.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()))
+                    .collect();
+                v.sort_by_key(|(t, _)| *t);
+                v.into_iter().map(|(_, bits)| bits).collect()
+            };
+            b(&replayed.outputs) == b(&plan_out.outputs)
+        };
+        let _ = writeln!(out, "engine   : graph trace replay ({replay_ms:.3} ms replay)");
+        let _ = writeln!(out, "plan-vs-replay : {}", if same { "match" } else { "MISMATCH" });
+        let c = &replayed.counters;
+        let _ = writeln!(out, "wall     : {:.3} ms", wall * 1e3);
+        let _ = writeln!(
+            out,
+            "counters : {} instructions, {} TC flops, {} FMA flops, {} syncs",
+            c.instructions, c.flops_tc, c.flops_fma, c.syncs
+        );
+        let _ = writeln!(out, "checksum : {:.6}", checksum(&replayed.outputs));
+        if !same {
+            return Err(CliError(format!("replay diverged from plan execution\n{out}")));
+        }
+    } else {
+        let outcome =
+            execute_graph(&eg, &inputs, ExecMode::Parallel).map_err(|e| CliError(e.to_string()))?;
+        let wall = start.elapsed().as_secs_f64();
+        let _ = writeln!(out, "engine   : compiled-plan graph executor");
+        let c = &outcome.counters;
+        let _ = writeln!(out, "wall     : {:.3} ms", wall * 1e3);
+        let _ = writeln!(
+            out,
+            "counters : {} instructions, {} TC flops, {} FMA flops, {} syncs",
+            c.instructions, c.flops_tc, c.flops_fma, c.syncs
+        );
+        let _ = writeln!(out, "checksum : {:.6}", checksum(&outcome.outputs));
+    }
+    Ok(out)
+}
+
+/// Output map of a graph execution, keyed by temp index.
+type GraphOutcomeOutputs = HashMap<usize, Vec<f32>>;
 
 /// The `tune` sub-command: a thin veneer over the `graphene-tune`
 /// subsystem. Builds the requested [`SearchSpace`], runs the chosen
@@ -1009,6 +1151,61 @@ mod run_tests {
         assert!(rep.contains("1 hit(s)"), "{rep}");
         assert!(rep.contains("re-interpretations : 0"), "{rep}");
         assert_eq!(checksum(&seq), checksum(&rep));
+    }
+}
+
+#[cfg(test)]
+mod run_graph_tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    const SMALL: &str = "--layers 1 --seq 64 --hidden 256 --heads 4 --ffn 256";
+
+    #[test]
+    fn run_graph_plan_and_replay_agree_and_report_arena() {
+        let checksum = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("checksum : "))
+                .map(str::to_owned)
+                .expect("checksum line")
+        };
+        let plan = run_str(&format!("run-graph {SMALL} --exec plan")).unwrap();
+        assert!(plan.contains("compiled-plan graph executor"), "{plan}");
+        assert!(plan.contains("arena    : "), "{plan}");
+        assert!(plan.contains("% saved)"), "{plan}");
+
+        let rep = run_str(&format!("run-graph {SMALL} --exec replay")).unwrap();
+        assert!(rep.contains("graph trace replay"), "{rep}");
+        assert!(rep.contains("graph-cache : 1 recording(s), 1 hit(s)"), "{rep}");
+        assert!(rep.contains("plan-vs-replay : match"), "{rep}");
+        assert_eq!(checksum(&plan), checksum(&rep));
+    }
+
+    #[test]
+    fn run_graph_lowerings_match_bitwise_via_checksum() {
+        let checksum = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("checksum : "))
+                .map(str::to_owned)
+                .expect("checksum line")
+        };
+        let fused = run_str(&format!("run-graph {SMALL} --lowering fused")).unwrap();
+        let def = run_str(&format!("run-graph {SMALL} --lowering default")).unwrap();
+        assert!(fused.contains("lowering : fused"), "{fused}");
+        assert!(def.contains("lowering : default"), "{def}");
+        assert_eq!(checksum(&fused), checksum(&def));
+    }
+
+    #[test]
+    fn run_graph_rejects_bad_flags_and_shapes() {
+        assert!(run_str("run-graph --exec warp-speed").unwrap_err().0.contains("exec mode"));
+        assert!(run_str("run-graph --lowering manual").unwrap_err().0.contains("lowering"));
+        // hidden not divisible by 256: layernorm schedule can't lower it.
+        assert!(run_str("run-graph --hidden 192 --seq 64").is_err());
     }
 }
 

@@ -303,6 +303,39 @@ pub fn lower_fused(graph: &Graph, arch: Arch) -> Plan {
     Plan { kernels }
 }
 
+/// A BERT-style transformer encoder stack as a front-end graph:
+/// `layers` repetitions of attention (with QKV and output
+/// projections), layernorm, and a GeLU FFN — the paper's Figure 15
+/// workload shape, sized by the caller.
+///
+/// Activations are `[batch*seq, hidden]`; the FFN expands to `ffn`
+/// columns and projects back.
+pub fn encoder_graph(
+    layers: i64,
+    batch: i64,
+    seq: i64,
+    hidden: i64,
+    heads: i64,
+    ffn: i64,
+) -> Graph {
+    let mut g = Graph::new(batch * seq, hidden);
+    for _ in 0..layers {
+        g = g
+            .op(Op::MatMul { n: hidden }) // QKV projection (simplified to one)
+            .op(Op::Attention { heads, seq })
+            .op(Op::MatMul { n: hidden }) // attention output projection
+            .op(Op::BiasAdd)
+            .op(Op::Layernorm)
+            .op(Op::MatMul { n: ffn })
+            .op(Op::BiasAdd)
+            .op(Op::Activation(UnaryOp::Gelu))
+            .op(Op::MatMul { n: hidden })
+            .op(Op::BiasAdd)
+            .op(Op::Layernorm);
+    }
+    g
+}
+
 /// Counts consecutive `MatMul(h->h) + BiasAdd + ReLU` triples starting
 /// at `i` where the hidden size stays `h`.
 fn count_mlp_layers(ops: &[Op], mut i: usize, h: i64) -> i64 {
@@ -344,6 +377,40 @@ mod tests {
 
         let bad = Graph::new(100, 768).op(Op::Attention { heads: 12, seq: 384 });
         assert!(bad.infer_shapes().unwrap_err().contains("not divisible by seq"));
+    }
+
+    #[test]
+    fn infer_shapes_rejects_non_positive_matmul() {
+        for n in [0, -64] {
+            let g = Graph::new(128, 128).op(Op::MatMul { n });
+            let err = g.infer_shapes().unwrap_err();
+            assert!(err.contains("op 0: MatMul with non-positive n"), "{err}");
+        }
+        // The index names the offending op, not the graph start.
+        let g = Graph::new(128, 128).op(Op::BiasAdd).op(Op::MatMul { n: -1 });
+        assert!(g.infer_shapes().unwrap_err().starts_with("op 1:"));
+    }
+
+    #[test]
+    fn infer_shapes_rejects_indivisible_heads() {
+        let g = Graph::new(384, 100).op(Op::Attention { heads: 12, seq: 384 });
+        let err = g.infer_shapes().unwrap_err();
+        assert!(err.contains("hidden 100 not divisible by 12 heads"), "{err}");
+        // Divisibility is checked against the *current* width: after a
+        // projection to 96 cols, 12 heads become legal.
+        let g =
+            Graph::new(384, 100).op(Op::MatMul { n: 96 }).op(Op::Attention { heads: 12, seq: 384 });
+        assert!(g.infer_shapes().is_ok());
+    }
+
+    #[test]
+    fn encoder_graph_shapes_are_well_formed() {
+        let g = encoder_graph(2, 4, 128, 256, 4, 1024);
+        assert_eq!(g.ops.len(), 22);
+        let shapes = g.infer_shapes().expect("encoder validates");
+        assert_eq!(shapes.last(), Some(&(4 * 128, 256)));
+        // FFN expansion shows up mid-layer.
+        assert!(shapes.iter().any(|&(_, c)| c == 1024));
     }
 
     #[test]

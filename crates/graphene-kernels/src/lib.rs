@@ -1,6 +1,7 @@
 //! Temporary skeleton while kernels are being built.
 #![allow(missing_docs)]
 pub mod common;
+pub mod exec_lower;
 pub mod fmha;
 pub mod gemm;
 pub mod graph;
@@ -8,7 +9,7 @@ pub mod layernorm;
 pub mod lstm;
 pub mod mlp;
 pub mod mma;
+pub mod pointwise;
 pub mod reference;
 pub mod softmax;
 pub mod transformer;
-pub mod tune;

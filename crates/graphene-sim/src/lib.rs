@@ -41,6 +41,7 @@
 pub mod analyze;
 pub mod counters;
 pub mod exec;
+pub mod graph_exec;
 pub mod host;
 pub mod machine;
 pub mod plan;
@@ -49,6 +50,7 @@ pub mod replay;
 pub mod run;
 pub mod timing;
 pub mod trace;
+pub mod workspace;
 
 pub use analyze::{
     analyze, analyze_bound, analyze_cached, exec_lanes, lane_addresses, lane_addresses_cached,
@@ -58,6 +60,10 @@ pub use counters::Counters;
 pub use exec::{
     execute, execute_bound, execute_reference, execute_reference_bound, execute_with, rel_offsets,
     ExecError, ExecOutcome,
+};
+pub use graph_exec::{
+    execute_graph, record_graph, replay_graph, ArgBinding, ExecGraph, ExecNode, GraphKey,
+    GraphOutcome, GraphTrace, GraphTraceCache,
 };
 pub use host::HostTensor;
 pub use machine::{machine_for, MachineDesc, AMPERE_A6000, VOLTA_V100};
@@ -70,3 +76,4 @@ pub use replay::{replay, replay_with};
 pub use run::{execute_plan, ExecMode};
 pub use timing::{time_kernel, time_sequence, KernelProfile};
 pub use trace::{record_trace, Trace, TraceCache, TraceKey};
+pub use workspace::{plan_workspace, NodeUse, TempPlan, WorkspacePlan};

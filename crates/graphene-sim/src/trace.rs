@@ -409,22 +409,109 @@ pub struct TraceKey {
     pub arch: Arch,
 }
 
+/// A capacity-bounded map with least-recently-used eviction, shared by
+/// [`TraceCache`] and the graph-trace cache
+/// ([`crate::graph_exec::GraphTraceCache`]).
+///
+/// Recency is a monotone stamp bumped on every get/insert; eviction
+/// removes the minimum-stamp entry. The scan is O(len) per eviction,
+/// which is irrelevant at trace-cache capacities (tens to hundreds)
+/// against the cost of the recording run an eviction forces.
+#[derive(Debug)]
+pub(crate) struct LruMap<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+    evicted: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruMap<K, V> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        LruMap { map: HashMap::new(), capacity: capacity.max(1), tick: 0, evicted: 0 }
+    }
+
+    /// Looks up `k`, marking it most-recently-used on a hit.
+    pub(crate) fn get(&mut self, k: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(k).map(|e| {
+            e.1 = tick;
+            e.0.clone()
+        })
+    }
+
+    /// Inserts `v` under `k`, evicting the least-recently-used entry
+    /// if the map is at capacity. First insert wins: if `k` is already
+    /// present (a racing caller beat us), the existing value is
+    /// returned and `v` is dropped.
+    pub(crate) fn insert(&mut self, k: K, v: V) -> V {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&k) {
+            e.1 = tick;
+            return e.0.clone();
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self.map.iter().min_by_key(|(_, e)| e.1).map(|(k, _)| k.clone()) {
+                self.map.remove(&victim);
+                self.evicted += 1;
+            }
+        }
+        self.map.insert(k, (v.clone(), tick));
+        v
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+/// Default [`TraceCache`] capacity. Each trace holds the unrolled step
+/// and address arenas of one kernel instance (megabytes at paper
+/// sizes), so the bound is what makes long-lived many-shape traffic —
+/// the serve-daemon pattern — safe.
+pub const TRACE_CACHE_CAPACITY: usize = 256;
+
 /// Memoizes recorded traces per [`TraceKey`], in
 /// [`crate::plan::PlanCache`] style: record on first request, share
 /// the [`Arc`]'d trace on every subsequent one. `Sync`, so one cache
 /// can serve the per-CTA parallel fan-out and concurrent tuner
 /// workers.
-#[derive(Debug, Default)]
+///
+/// The cache is bounded ([`TRACE_CACHE_CAPACITY`] by default, or
+/// [`TraceCache::with_capacity`]): inserting past capacity evicts the
+/// least-recently-used trace and bumps [`evictions`](Self::evictions).
+/// An evicted key simply re-records on next request.
+#[derive(Debug)]
 pub struct TraceCache {
-    traces: Mutex<HashMap<TraceKey, Arc<Trace>>>,
+    traces: Mutex<LruMap<TraceKey, Arc<Trace>>>,
     hits: AtomicU64,
     recordings: AtomicU64,
 }
 
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::with_capacity(TRACE_CACHE_CAPACITY)
+    }
+}
+
 impl TraceCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` traces (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceCache {
+            traces: Mutex::new(LruMap::new(capacity)),
+            hits: AtomicU64::new(0),
+            recordings: AtomicU64::new(0),
+        }
     }
 
     /// Returns the cached trace for `key`, recording it on first use.
@@ -445,12 +532,11 @@ impl TraceCache {
     ) -> Result<Arc<Trace>, ExecError> {
         if let Some(t) = self.traces.lock().expect("trace cache poisoned").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(t));
+            return Ok(t);
         }
         let t = Arc::new(record_trace(plan, bindings)?);
         self.recordings.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.traces.lock().expect("trace cache poisoned");
-        Ok(Arc::clone(map.entry(key.clone()).or_insert(t)))
+        Ok(self.traces.lock().expect("trace cache poisoned").insert(key.clone(), t))
     }
 
     /// Replays served from an already-recorded trace.
@@ -461,6 +547,11 @@ impl TraceCache {
     /// Recording runs performed (interpretations of the full kernel).
     pub fn recordings(&self) -> u64 {
         self.recordings.load(Ordering::Relaxed)
+    }
+
+    /// Traces evicted by the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.traces.lock().expect("trace cache poisoned").evicted()
     }
 
     /// Number of distinct traces held.

@@ -1,0 +1,232 @@
+//! Workspace planning: liveness analysis + interval-graph buffer
+//! aliasing for multi-kernel graphs.
+//!
+//! A lowered graph produces one intermediate activation per node. The
+//! naive execution strategy allocates each intermediate its own fresh
+//! buffer and keeps all of them alive for the whole run — what a
+//! framework does when every kernel launch `cudaMalloc`s its output.
+//! This module plans a single shared **arena** instead: each
+//! intermediate's live interval is computed from the node order (it is
+//! born at the node that writes it and dies after the last node that
+//! reads it), and intervals that never overlap alias the same arena
+//! bytes. The packing is the classic first-fit offset assignment over
+//! the interval graph — the same greedy that static ML-compiler
+//! workspace planners use, and exact for the chain-shaped graphs the
+//! paper evaluates (at most a handful of temps are ever live at once).
+//!
+//! The planner is pure data → data: it knows nothing about kernels or
+//! plans, only temp lengths and per-node read/write sets, which keeps
+//! it independently testable. [`crate::graph_exec`] feeds it a lowered
+//! [`ExecGraph`](crate::graph_exec::ExecGraph) and binds kernel
+//! parameters to the planned arena slices.
+
+/// The temps one graph node touches: indices into the graph's temp
+/// table.
+#[derive(Debug, Clone, Default)]
+pub struct NodeUse {
+    /// Temps the node's kernel reads.
+    pub reads: Vec<usize>,
+    /// Temps the node's kernel writes.
+    pub writes: Vec<usize>,
+}
+
+/// One temp's planned placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TempPlan {
+    /// Arena offset, in scalars.
+    pub offset: usize,
+    /// Live interval `[def, last_use]` over node indices (inclusive);
+    /// graph outputs extend to one past the last node.
+    pub live: (usize, usize),
+}
+
+/// A planned workspace arena for one lowered graph.
+#[derive(Debug, Clone)]
+pub struct WorkspacePlan {
+    /// Per-temp placement, aligned with the graph's temp table.
+    pub temps: Vec<TempPlan>,
+    /// Arena length in scalars (the planned peak).
+    pub arena_scalars: usize,
+    /// Sum of all temp lengths — the per-kernel fresh-allocation peak
+    /// the arena replaces.
+    pub naive_scalars: usize,
+}
+
+impl WorkspacePlan {
+    /// Planned peak workspace in bytes (f32 scalars).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena_scalars * 4
+    }
+
+    /// Naive (fresh-allocation) peak workspace in bytes.
+    pub fn naive_bytes(&self) -> usize {
+        self.naive_scalars * 4
+    }
+
+    /// Fraction of the naive peak the plan saves, in `[0, 1]`.
+    pub fn saving(&self) -> f64 {
+        if self.naive_scalars == 0 {
+            0.0
+        } else {
+            1.0 - self.arena_scalars as f64 / self.naive_scalars as f64
+        }
+    }
+
+    /// The arena slice range of temp `t`, given its scalar length.
+    pub fn slice(&self, t: usize, len: usize) -> std::ops::Range<usize> {
+        let o = self.temps[t].offset;
+        o..o + len
+    }
+}
+
+/// Plans the workspace arena for a graph of `temp_lens.len()` temps
+/// executed as the node chain described by `uses` (in execution
+/// order). Temps listed in `outputs` are graph results and stay live
+/// to the end.
+///
+/// Every temp must be used by at least one node; an unused temp gets a
+/// degenerate interval at node 0 and still receives arena space.
+pub fn plan_workspace(temp_lens: &[usize], uses: &[NodeUse], outputs: &[usize]) -> WorkspacePlan {
+    let n_nodes = uses.len();
+    // Liveness: def = first touching node, last_use = last touching
+    // node (a write alone keeps the buffer reserved through its node).
+    let mut live: Vec<(usize, usize)> = vec![(usize::MAX, 0); temp_lens.len()];
+    for (node, u) in uses.iter().enumerate() {
+        for &t in u.reads.iter().chain(&u.writes) {
+            let (def, last) = &mut live[t];
+            *def = (*def).min(node);
+            *last = (*last).max(node);
+        }
+    }
+    for &t in outputs {
+        live[t].1 = n_nodes; // one past the last node: live to the end
+    }
+    for l in &mut live {
+        if l.0 == usize::MAX {
+            *l = (0, 0);
+        }
+    }
+
+    // First-fit packing in def order (FIFO over the chain). For each
+    // temp, collect the occupied ranges of already-placed temps whose
+    // intervals overlap, and take the lowest gap that fits.
+    let mut order: Vec<usize> = (0..temp_lens.len()).collect();
+    order.sort_by_key(|&t| (live[t].0, std::cmp::Reverse(temp_lens[t])));
+    let mut offsets = vec![0usize; temp_lens.len()];
+    let mut placed: Vec<usize> = Vec::new();
+    let mut arena = 0usize;
+    for &t in &order {
+        let (def, last) = live[t];
+        let mut busy: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|&&p| {
+                let (pd, pl) = live[p];
+                pd <= last && def <= pl
+            })
+            .map(|&p| (offsets[p], offsets[p] + temp_lens[p]))
+            .collect();
+        busy.sort_unstable();
+        let mut at = 0usize;
+        for (start, end) in busy {
+            if at + temp_lens[t] <= start {
+                break;
+            }
+            at = at.max(end);
+        }
+        offsets[t] = at;
+        arena = arena.max(at + temp_lens[t]);
+        placed.push(t);
+    }
+
+    WorkspacePlan {
+        temps: (0..temp_lens.len())
+            .map(|t| TempPlan { offset: offsets[t], live: live[t] })
+            .collect(),
+        arena_scalars: arena,
+        naive_scalars: temp_lens.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Vec<NodeUse> {
+        // Node 0 writes temp 0 from an external input; node i reads
+        // temp i-1 and writes temp i.
+        (0..n)
+            .map(|i| NodeUse { reads: if i == 0 { vec![] } else { vec![i - 1] }, writes: vec![i] })
+            .collect()
+    }
+
+    #[test]
+    fn chain_aliases_to_two_buffers() {
+        // Equal-size chain: at any node only (input, output) are live,
+        // so the arena is exactly two buffers regardless of depth.
+        let lens = vec![100; 6];
+        let plan = plan_workspace(&lens, &chain(6), &[5]);
+        assert_eq!(plan.naive_scalars, 600);
+        assert_eq!(plan.arena_scalars, 200);
+        assert!(plan.saving() > 0.6);
+        // Adjacent temps must not alias; strided reuse is expected.
+        for t in 1..6 {
+            assert_ne!(plan.temps[t].offset, plan.temps[t - 1].offset, "temp {t}");
+        }
+    }
+
+    #[test]
+    fn outputs_stay_live_to_the_end() {
+        let lens = vec![10; 3];
+        // All three temps are outputs: nothing may alias.
+        let plan = plan_workspace(&lens, &chain(3), &[0, 1, 2]);
+        assert_eq!(plan.arena_scalars, 30);
+        assert_eq!(plan.saving(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_intervals_share_offsets() {
+        // temp 0 dies at node 1; temp 2 is born at node 2 → same slot.
+        let lens = vec![50, 50, 50];
+        let plan = plan_workspace(&lens, &chain(3), &[2]);
+        assert_eq!(plan.temps[2].offset, plan.temps[0].offset);
+        assert_eq!(plan.arena_scalars, 100);
+    }
+
+    #[test]
+    fn mixed_sizes_pack_first_fit() {
+        // A large temp in the middle of a chain of small ones: the
+        // arena peaks at large + one neighbour, not the naive sum.
+        let lens = vec![10, 1000, 10, 10];
+        let plan = plan_workspace(&lens, &chain(4), &[3]);
+        assert!(plan.arena_scalars <= 1020, "arena {}", plan.arena_scalars);
+        assert_eq!(plan.naive_scalars, 1030);
+    }
+
+    #[test]
+    fn fan_out_reader_extends_liveness() {
+        // temp 0 is read by nodes 1 and 3 → it must not alias temp 1
+        // or temp 2, which are live in between.
+        let lens = vec![10, 10, 10, 10];
+        let uses = vec![
+            NodeUse { reads: vec![], writes: vec![0] },
+            NodeUse { reads: vec![0], writes: vec![1] },
+            NodeUse { reads: vec![1], writes: vec![2] },
+            NodeUse { reads: vec![0, 2], writes: vec![3] },
+        ];
+        let plan = plan_workspace(&lens, &uses, &[3]);
+        let r0 = plan.slice(0, 10);
+        for t in 1..3 {
+            let rt = plan.slice(t, 10);
+            assert!(r0.end <= rt.start || rt.end <= r0.start, "temp {t} aliases temp 0");
+        }
+    }
+
+    #[test]
+    fn unused_temp_still_gets_space() {
+        let lens = vec![10, 10];
+        let uses = vec![NodeUse { reads: vec![], writes: vec![0] }];
+        let plan = plan_workspace(&lens, &uses, &[0]);
+        assert!(plan.arena_scalars >= 10);
+        assert_eq!(plan.temps[1].live, (0, 0));
+    }
+}

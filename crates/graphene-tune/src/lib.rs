@@ -24,9 +24,9 @@
 //!   of the same search is served without a single candidate
 //!   simulation.
 //!
-//! The `graphene-cli tune` subcommand is a thin veneer over [`tune`];
-//! the historical GEMM-only `graphene_kernels::tune` module remains as
-//! a compatibility shim.
+//! The `graphene-cli tune` subcommand is a thin veneer over [`tune`].
+//! (The historical GEMM-only `graphene_kernels::tune` compatibility
+//! shim has been removed; this crate is the only tuning entry point.)
 //!
 //! ```
 //! use graphene_ir::Arch;
