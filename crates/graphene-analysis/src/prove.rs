@@ -103,6 +103,102 @@ impl ProofReport {
     pub fn bounds_clean(&self) -> bool {
         self.bounds.iter().all(|b| b.status != BoundsStatus::Violation)
     }
+
+    /// Renders the report as the human-readable text block appended by
+    /// `lint --prove`: per-site conflict grades with provenance, the
+    /// race-pair proof accounting, and the bounds verdicts.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "proof (F2 symbolic): conflicts {}, bounds {}",
+            if self.conflicts_proven_free() { "proven free" } else { "NOT proven free" },
+            if self.bounds_clean() { "proven in-bounds" } else { "NOT proven" },
+        );
+        for s in &self.conflicts {
+            let _ = writeln!(
+                out,
+                "  conflict %{} in `{}`: {}/{} transactions [{}]",
+                s.tensor,
+                s.spec,
+                s.actual,
+                s.ideal,
+                s.provenance.label()
+            );
+        }
+        let races = &self.races;
+        let _ = writeln!(
+            out,
+            "  races: {} pairs ({} proven-linear, {} proven-enumerated, {} sampled), {} reported",
+            races.pairs(),
+            races.pairs_proven_linear,
+            races.pairs_proven_enumerated,
+            races.pairs_sampled,
+            races.races_reported
+        );
+        for b in &self.bounds {
+            let _ = writeln!(
+                out,
+                "  bounds %{} in `{}`: len {} [{}]",
+                b.tensor,
+                b.spec,
+                b.len,
+                b.status.label()
+            );
+        }
+        out
+    }
+
+    /// Renders the report as the `"proof"` JSON object embedded by
+    /// `lint --prove --emit json` (and by the serve daemon's `lint`
+    /// responses — both surfaces share this one rendering).
+    pub fn render_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let conflicts: Vec<String> = self
+            .conflicts
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"tensor\":\"{}\",\"spec\":\"{}\",\"ideal\":{},\"actual\":{},\"provenance\":\"{}\"}}",
+                    esc(&s.tensor),
+                    esc(&s.spec),
+                    s.ideal,
+                    s.actual,
+                    s.provenance.label()
+                )
+            })
+            .collect();
+        let bounds: Vec<String> = self
+            .bounds
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"tensor\":\"{}\",\"spec\":\"{}\",\"len\":{},\"status\":\"{}\"}}",
+                    esc(&b.tensor),
+                    esc(&b.spec),
+                    b.len,
+                    b.status.label()
+                )
+            })
+            .collect();
+        let races = &self.races;
+        format!(
+            "{{\"conflicts\":[{}],\"conflicts_proven_free\":{},\
+             \"races\":{{\"pairs_proven_linear\":{},\"pairs_proven_enumerated\":{},\
+             \"pairs_sampled\":{},\"races_reported\":{},\"all_proven\":{}}},\
+             \"bounds\":[{}],\"bounds_clean\":{}}}",
+            conflicts.join(","),
+            self.conflicts_proven_free(),
+            races.pairs_proven_linear,
+            races.pairs_proven_enumerated,
+            races.pairs_sampled,
+            races.races_reported,
+            races.all_proven(),
+            bounds.join(","),
+            self.bounds_clean()
+        )
+    }
 }
 
 /// Runs every proof pass over a kernel.

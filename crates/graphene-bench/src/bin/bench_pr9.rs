@@ -1,0 +1,199 @@
+//! PR9 benchmark: the serve daemon's request economics.
+//!
+//! Measures, against an in-process daemon on an ephemeral port:
+//!
+//! 1. **Cold vs warm request latency** for `run --exec replay`, `lint`,
+//!    and `tune` — the record-once/serve-many contrast the daemon
+//!    exists for. The first request compiles/records/searches; repeats
+//!    are served from the resident plan/trace/tune caches.
+//! 2. **Sustained requests/sec** at several client concurrency levels,
+//!    each client issuing warm `run` requests over its own persistent
+//!    connection.
+//! 3. **Bit-identical outputs**: the daemon's `run` checksum must equal
+//!    the one-shot `graphene run` CLI checksum for the same problem.
+//!
+//! Emits BENCH_PR9.json in the unified `bench_emit` envelope.
+
+use graphene_bench::emit::{json_f, BenchReport};
+use graphene_serve::client::Connection;
+use graphene_serve::{ServeOptions, Server};
+use graphene_tune::json::{parse, Json};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(300);
+const RUN_LINE: &str = r#"{"cmd":"run","kernel":"gemm","m":256,"n":256,"k":64,"exec":"replay"}"#;
+
+fn field<'j>(v: &'j Json, key: &str) -> &'j Json {
+    v.get(key).unwrap_or_else(|| panic!("missing field {key} in {v:?}"))
+}
+
+/// One timed request on an open connection; asserts it succeeded.
+fn timed(conn: &mut Connection, line: &str) -> (f64, Json) {
+    let start = Instant::now();
+    let resp = conn.request(line).expect("request");
+    let s = start.elapsed().as_secs_f64();
+    let v = parse(&resp).expect("response parses");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "request failed: {resp}");
+    (s, v)
+}
+
+/// Best-of-`iters` warm latency for `line` (the request is already
+/// cached server-side when this is called).
+fn best_warm(conn: &mut Connection, line: &str, iters: u32) -> f64 {
+    (0..iters).map(|_| timed(conn, line).0).fold(f64::INFINITY, f64::min)
+}
+
+/// `concurrency` clients, each with its own connection, each issuing
+/// `per_client` warm requests; returns aggregate requests/sec.
+fn sustained(addr: &str, concurrency: usize, per_client: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..concurrency {
+            s.spawn(|| {
+                let mut conn = Connection::connect(addr, TIMEOUT).expect("connect");
+                for _ in 0..per_client {
+                    timed(&mut conn, RUN_LINE);
+                }
+            });
+        }
+    });
+    (concurrency * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Checksum of the one-shot CLI `run` for the same problem — the
+/// ground truth the daemon must match bit-for-bit.
+fn cli_checksum() -> f64 {
+    let args: Vec<String> = "run gemm --m 256 --n 256 --k 64 --exec replay"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let out = graphene_cli::run(&args).expect("one-shot CLI run");
+    out.lines()
+        .find_map(|l| l.strip_prefix("checksum : "))
+        .expect("CLI checksum line")
+        .trim()
+        .parse()
+        .expect("CLI checksum parses")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".into());
+    let warm_iters: u32 = if fast { 3 } else { 10 };
+    let per_client: usize = if fast { 20 } else { 100 };
+    let levels: &[usize] = if fast { &[1, 4] } else { &[1, 4, 8] };
+
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        queue_cap: 64,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut conn = Connection::connect(&addr, TIMEOUT).expect("connect");
+
+    // 1. Cold vs warm per request type.
+    let (run_cold_s, run_cold) = timed(&mut conn, RUN_LINE);
+    let run_warm_s = best_warm(&mut conn, RUN_LINE, warm_iters);
+    let run_speedup = run_cold_s / run_warm_s;
+    println!(
+        "run  : cold {:.3}ms vs warm {:.3}ms ({run_speedup:.1}x)",
+        run_cold_s * 1e3,
+        run_warm_s * 1e3
+    );
+
+    let lint_line = r#"{"cmd":"lint","kernel":"gemm","m":256,"n":256,"k":64}"#;
+    let (lint_cold_s, _) = timed(&mut conn, lint_line);
+    let lint_warm_s = best_warm(&mut conn, lint_line, warm_iters);
+    println!(
+        "lint : cold {:.3}ms vs warm {:.3}ms ({:.1}x) — lint re-analyzes, only kernel build amortizes",
+        lint_cold_s * 1e3,
+        lint_warm_s * 1e3,
+        lint_cold_s / lint_warm_s
+    );
+
+    let tune_line = r#"{"cmd":"tune","kernel":"layernorm","rows":1024,"hidden":1024}"#;
+    let (tune_cold_s, tune_cold) = timed(&mut conn, tune_line);
+    let (tune_warm_s, tune_warm) = timed(&mut conn, tune_line);
+    let tune_speedup = tune_cold_s / tune_warm_s;
+    assert_eq!(field(&tune_cold, "db_hit"), &Json::Bool(false), "first tune must search");
+    assert_eq!(field(&tune_warm, "db_hit"), &Json::Bool(true), "repeat tune must db_hit");
+    assert_eq!(
+        field(field(&tune_warm, "stats"), "simulated").as_i64(),
+        Some(0),
+        "db_hit tune must simulate nothing"
+    );
+    println!(
+        "tune : cold {:.3}ms vs warm {:.3}ms ({tune_speedup:.1}x, warm is a db_hit)",
+        tune_cold_s * 1e3,
+        tune_warm_s * 1e3
+    );
+
+    // The headline acceptance: warm run latency >= 5x better than cold.
+    assert!(
+        fast || run_speedup >= 5.0,
+        "warm run only {run_speedup:.2}x faster than cold (needs >= 5x)"
+    );
+
+    // 2. Bit-identical to the one-shot CLI.
+    let daemon_sum = field(&run_cold, "checksum").as_f64().expect("daemon checksum");
+    let cli_sum = cli_checksum();
+    let bit_identical = daemon_sum.to_bits() == cli_sum.to_bits();
+    assert!(bit_identical, "daemon checksum {daemon_sum} != CLI checksum {cli_sum}");
+    println!("ident: daemon checksum == one-shot CLI checksum ({daemon_sum})");
+
+    // 3. Sustained warm throughput per concurrency level.
+    let mut throughput = Vec::new();
+    for &c in levels {
+        let rps = sustained(&addr, c, per_client);
+        println!("load : {c} client(s) x {per_client} warm runs -> {rps:.0} req/s");
+        throughput.push(format!(
+            "{{\"clients\": {c}, \"requests\": {}, \"requests_per_sec\": {}}}",
+            c * per_client,
+            json_f(rps)
+        ));
+    }
+
+    // Final server-side picture.
+    let (_, stats) = timed(&mut conn, r#"{"cmd":"stats"}"#);
+    let traces = field(field(&stats, "caches"), "traces");
+    let trace_hits = field(traces, "hits").as_i64().unwrap_or(0);
+    let recordings = field(traces, "recordings").as_i64().unwrap_or(0);
+    println!("state: {trace_hits} trace hits over {recordings} recording(s)");
+    assert!(recordings >= 1 && trace_hits > recordings, "cache economics inverted");
+
+    timed(&mut conn, r#"{"cmd":"shutdown"}"#);
+    drop(conn);
+    handle.join().expect("server thread").expect("server run");
+
+    let report = BenchReport::new("serve")
+        .config_str("daemon", "in-process, 8 workers, ephemeral port")
+        .config_str("run_request", "gemm m=256 n=256 k=64 exec=replay")
+        .config_str("tune_request", "layernorm rows=1024 hidden=1024")
+        .config_int("warm_iterations", i64::from(warm_iters))
+        .config_int("requests_per_client", per_client as i64)
+        .config_bool("fast_mode", fast)
+        .metric("run_cold_s", run_cold_s)
+        .metric("run_warm_s", run_warm_s)
+        .metric("lint_cold_s", lint_cold_s)
+        .metric("lint_warm_s", lint_warm_s)
+        .metric("tune_cold_s", tune_cold_s)
+        .metric("tune_warm_s", tune_warm_s)
+        .metric_int("trace_cache_hits", trace_hits)
+        .metric_int("trace_recordings", recordings)
+        .metric_bool("warm_tune_is_db_hit", true)
+        .metric_bool("bit_identical_to_cli", bit_identical)
+        .metric_raw("throughput", &format!("[{}]", throughput.join(", ")))
+        .speedup("run_warm_vs_cold", run_speedup)
+        .speedup("lint_warm_vs_cold", lint_cold_s / lint_warm_s)
+        .speedup("tune_warm_vs_cold", tune_speedup);
+    report.write(&out_path).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

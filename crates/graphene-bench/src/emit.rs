@@ -1,0 +1,188 @@
+//! The unified BENCH_PR*.json envelope, shared by the per-PR bench
+//! binaries so the perf trajectory is machine-comparable across PRs:
+//!
+//! ```json
+//! {
+//!   "benchmark": "<name>",
+//!   "schema": 1,
+//!   "config": { ... knobs the run was taken under ... },
+//!   "metrics": { ... measured values, flat or one level nested ... },
+//!   "speedups": { ... derived ratios, always x-vs-y named ... }
+//! }
+//! ```
+//!
+//! Values are inserted in call order and rendered verbatim, so a
+//! binary's output stays stable run-over-run (modulo the measurements
+//! themselves). Floats render at 9 decimals like the pre-existing
+//! reports; non-finite values render as `null` rather than producing
+//! invalid JSON.
+
+use std::fmt::Write as _;
+
+/// Formats an f64 as a JSON number, `null` when non-finite.
+pub fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One section's ordered key → rendered-JSON-value pairs.
+#[derive(Debug, Default)]
+struct Section(Vec<(String, String)>);
+
+impl Section {
+    fn push(&mut self, key: &str, rendered: String) {
+        self.0.push((key.to_string(), rendered));
+    }
+
+    fn render(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            let comma = if i + 1 < self.0.len() { "," } else { "" };
+            let _ = writeln!(out, "{inner}\"{}\": {v}{comma}", esc(k));
+        }
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+/// Builder for one unified bench report.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    config: Section,
+    metrics: Section,
+    speedups: Section,
+}
+
+impl BenchReport {
+    /// A report named `name` (the `"benchmark"` field).
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            config: Section::default(),
+            metrics: Section::default(),
+            speedups: Section::default(),
+        }
+    }
+
+    /// Adds a string config knob.
+    #[must_use]
+    pub fn config_str(mut self, key: &str, v: &str) -> Self {
+        self.config.push(key, format!("\"{}\"", esc(v)));
+        self
+    }
+
+    /// Adds an integer config knob.
+    #[must_use]
+    pub fn config_int(mut self, key: &str, v: i64) -> Self {
+        self.config.push(key, v.to_string());
+        self
+    }
+
+    /// Adds a boolean config knob.
+    #[must_use]
+    pub fn config_bool(mut self, key: &str, v: bool) -> Self {
+        self.config.push(key, v.to_string());
+        self
+    }
+
+    /// Adds a float metric (9 decimals, `null` when non-finite).
+    #[must_use]
+    pub fn metric(mut self, key: &str, v: f64) -> Self {
+        self.metrics.push(key, json_f(v));
+        self
+    }
+
+    /// Adds an integer metric.
+    #[must_use]
+    pub fn metric_int(mut self, key: &str, v: i64) -> Self {
+        self.metrics.push(key, v.to_string());
+        self
+    }
+
+    /// Adds a boolean metric.
+    #[must_use]
+    pub fn metric_bool(mut self, key: &str, v: bool) -> Self {
+        self.metrics.push(key, v.to_string());
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (for one level of nesting, e.g.
+    /// a per-concurrency array). The caller owns its validity.
+    #[must_use]
+    pub fn metric_raw(mut self, key: &str, rendered_json: &str) -> Self {
+        self.metrics.push(key, rendered_json.to_string());
+        self
+    }
+
+    /// Adds a derived speedup ratio; name it `x_vs_y`.
+    #[must_use]
+    pub fn speedup(mut self, key: &str, ratio: f64) -> Self {
+        self.speedups.push(key, json_f(ratio));
+        self
+    }
+
+    /// Renders the full envelope.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"{}\",\n  \"schema\": 1,\n  \"config\": {},\n  \"metrics\": {},\n  \"speedups\": {}\n}}\n",
+            esc(&self.name),
+            self.config.render(2),
+            self.metrics.render(2),
+            self.speedups.render(2),
+        )
+    }
+
+    /// Writes the rendered report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from [`std::fs::write`].
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_unified_envelope_in_insertion_order() {
+        let r = BenchReport::new("serve")
+            .config_str("mode", "fast")
+            .config_int("iters", 5)
+            .config_bool("fast_mode", true)
+            .metric("cold_run_s", 0.25)
+            .metric_int("requests", 100)
+            .metric_bool("bit_identical", true)
+            .metric_raw("nested", "{\"a\": 1}")
+            .speedup("warm_vs_cold", 12.5);
+        let s = r.render();
+        assert!(s.starts_with("{\n  \"benchmark\": \"serve\",\n  \"schema\": 1,"), "{s}");
+        let mode = s.find("\"mode\"").unwrap();
+        let iters = s.find("\"iters\"").unwrap();
+        assert!(mode < iters, "insertion order lost:\n{s}");
+        assert!(s.contains("\"cold_run_s\": 0.250000000"), "{s}");
+        assert!(s.contains("\"nested\": {\"a\": 1}"), "{s}");
+        assert!(s.contains("\"warm_vs_cold\": 12.500000000"), "{s}");
+        // The envelope parses as JSON.
+        graphene_tune::json::parse(&s).expect("valid JSON");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let s = BenchReport::new("x").metric("bad", f64::NAN).render();
+        assert!(s.contains("\"bad\": null"), "{s}");
+        graphene_tune::json::parse(&s).expect("valid JSON");
+    }
+}

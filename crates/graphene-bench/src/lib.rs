@@ -7,5 +7,6 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod emit;
 pub mod figures;
 pub mod report;

@@ -18,12 +18,6 @@
 #![warn(missing_docs)]
 
 use graphene_ir::{Arch, Kernel};
-use graphene_kernels::fmha::FmhaConfig;
-use graphene_kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
-use graphene_kernels::layernorm::{build_layernorm, LayernormConfig};
-use graphene_kernels::lstm::{build_fused_lstm, LstmConfig};
-use graphene_kernels::mlp::{build_fused_mlp, MlpConfig};
-use graphene_kernels::softmax::{build_softmax, SoftmaxConfig};
 use graphene_sim::{
     analyze, execute_graph, execute_plan, execute_reference, machine_for, replay, replay_graph,
     time_kernel, ExecMode, GraphTraceCache, HostTensor, KernelPlan, TraceCache, TraceKey,
@@ -151,6 +145,11 @@ pub fn usage() -> String {
                   [--cache tune-cache.json] [--top N] [--emit text|json]  (schedule search)\n\
        lint       <kernel> [--arch ...] [--prove] [--emit text|json]  (static analysis; kernel = gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha;\n\
                   --prove appends the F2 symbolic proof report: conflict/race/bounds provenance)\n\
+       serve      [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms N] [--sync-tune-limit N]\n\
+                  [--job-workers N] [--cache tune-cache.json] [--ready-file PATH]\n\
+                  (persistent daemon: resident plan/trace/tune caches, newline-JSON over TCP)\n\
+       client     [--addr HOST:PORT] <cmd> [kernel] [--options...] | --json '{...}'\n\
+                  (send one request to a running daemon; exits nonzero on \"ok\":false)\n\
        table2     --arch sm70|sm86\n"
         .to_string()
 }
@@ -172,6 +171,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "run" => exec_run(&cli),
         "run-graph" => run_graph(&cli),
         "tune" => tune_cmd(&cli),
+        "serve" => serve_cmd(&cli),
+        "client" => client_cmd(&cli),
         "table2" => {
             let arch = cli.arch()?;
             let mut out = String::new();
@@ -193,104 +194,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// Builds the kernel a sub-command (or `lint` target) names, applying
-/// the shared `--arch`/size options and their validity checks.
+/// Builds the kernel a sub-command (or `lint` target) names by
+/// delegating to the shared [`graphene_kernels::catalog`] — the same
+/// front door the serve daemon uses, so both surfaces build identical
+/// kernels from identical options by construction.
 fn build_named_kernel(cli: &Cli, name: &str) -> Result<(Arch, Kernel), CliError> {
     let arch = cli.arch()?;
-    match name {
-        "gemm" | "gemm-db" => {
-            let (m, n, k) = (cli.int("m", 1024)?, cli.int("n", 1024)?, cli.int("k", 1024)?);
-            let epilogue = match cli.options.get("epilogue").map(String::as_str) {
-                None | Some("none") => Epilogue::None,
-                Some("bias") => Epilogue::Bias,
-                Some("relu") => Epilogue::Relu,
-                Some("bias+relu") => Epilogue::BiasRelu,
-                Some("bias+gelu") => Epilogue::BiasGelu,
-                Some(other) => return Err(CliError(format!("unknown epilogue `{other}`"))),
-            };
-            let cfg = GemmConfig::cublas_like(m, n, k);
-            if m % cfg.bm != 0 || n % cfg.bn != 0 || k % cfg.bk != 0 {
-                return Err(CliError(format!(
-                    "gemm sizes must tile by {}x{}x{}",
-                    cfg.bm, cfg.bn, cfg.bk
-                )));
-            }
-            if name == "gemm-db" {
-                if arch != Arch::Sm86 {
-                    return Err(CliError(
-                        "the double-buffered GEMM schedule targets Ampere (use --arch sm86)".into(),
-                    ));
-                }
-                Ok((arch, build_gemm_double_buffered(&cfg, epilogue)))
-            } else {
-                Ok((arch, build_gemm(arch, &cfg, epilogue)))
-            }
-        }
-        "mlp" => {
-            let cfg = MlpConfig::paper(cli.int("m", 4096)?, cli.int("layers", 4)?);
-            let cfg = MlpConfig { hidden: cli.int("hidden", 128)?, ..cfg };
-            Ok((arch, build_fused_mlp(arch, &cfg)))
-        }
-        "lstm" => {
-            let cfg = LstmConfig::paper(cli.int("m", 4096)?);
-            let cfg = LstmConfig { hidden: cli.int("hidden", 128)?, ..cfg };
-            Ok((arch, build_fused_lstm(arch, &cfg)))
-        }
-        "layernorm" => {
-            let (rows, hidden) = (cli.int("rows", 4096)?, cli.int("hidden", 1024)?);
-            if hidden % 256 != 0 {
-                return Err(CliError(format!(
-                    "layernorm --hidden must be a multiple of 256, got {hidden}"
-                )));
-            }
-            if rows % 4 != 0 {
-                return Err(CliError(format!(
-                    "layernorm --rows must be a multiple of 4, got {rows}"
-                )));
-            }
-            let cfg = LayernormConfig::new(rows, hidden);
-            Ok((arch, build_layernorm(arch, &cfg)))
-        }
-        "softmax" => {
-            let (rows, cols) = (cli.int("rows", 4096)?, cli.int("cols", 1024)?);
-            if cols % 256 != 0 {
-                return Err(CliError(format!(
-                    "softmax --cols must be a multiple of 256, got {cols}"
-                )));
-            }
-            if rows % 4 != 0 {
-                return Err(CliError(format!(
-                    "softmax --rows must be a multiple of 4, got {rows}"
-                )));
-            }
-            let cfg = SoftmaxConfig::new(rows, cols);
-            Ok((arch, build_softmax(arch, &cfg)))
-        }
-        "fmha" => {
-            if arch != Arch::Sm86 {
-                return Err(CliError(
-                    "the fused FMHA schedule targets Ampere (use --arch sm86)".into(),
-                ));
-            }
-            let base = FmhaConfig::mlperf_bert();
-            let cfg = FmhaConfig {
-                heads: cli.int("heads", base.heads)?,
-                seq: cli.int("seq", base.seq)?,
-                d: cli.int("d", base.d)?,
-                ..base
-            };
-            if cfg.seq % cfg.bq != 0 || cfg.d % 16 != 0 || cfg.seq % 16 != 0 {
-                return Err(CliError(format!(
-                    "fmha requires seq % {} == 0 and d % 16 == 0 (got seq {}, d {})",
-                    cfg.bq, cfg.seq, cfg.d
-                )));
-            }
-            Ok((Arch::Sm86, graphene_kernels::fmha::build_fused_fmha(Arch::Sm86, &cfg)))
-        }
-        other => Err(CliError(format!(
-            "unknown kernel `{other}` (gemm|gemm-db|mlp|lstm|layernorm|softmax|fmha)"
-        ))),
-    }
+    let nk = graphene_kernels::catalog::build_named(name, arch, &cli.options).map_err(CliError)?;
+    Ok((arch, nk.kernel))
 }
 
 /// The `lint` sub-command: run the full static-analysis pipeline of
@@ -324,7 +235,7 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
                 let _ = writeln!(out, "  {d}");
             }
             if let Some(r) = &report {
-                out.push_str(&render_proof_text(r));
+                out.push_str(&r.render_text());
             }
             out
         }
@@ -334,7 +245,7 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
                 // Splice the proof object into the lint JSON document.
                 let trimmed = json.trim_end().strip_suffix('}').map(str::to_string);
                 json = trimmed.unwrap_or(json);
-                json.push_str(&format!(",\"proof\":{}}}\n", render_proof_json(r)));
+                json.push_str(&format!(",\"proof\":{}}}\n", r.render_json()));
             }
             json
         }
@@ -345,101 +256,6 @@ fn lint(cli: &Cli) -> Result<String, CliError> {
     } else {
         Ok(out)
     }
-}
-
-/// Renders a [`ProofReport`](graphene_analysis::prove::ProofReport) as
-/// the text block appended by `lint --prove`: per-site conflict grades
-/// with provenance, the race-pair proof accounting, and the bounds
-/// verdicts.
-fn render_proof_text(r: &graphene_analysis::prove::ProofReport) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "proof (F2 symbolic): conflicts {}, bounds {}",
-        if r.conflicts_proven_free() { "proven free" } else { "NOT proven free" },
-        if r.bounds_clean() { "proven in-bounds" } else { "NOT proven" },
-    );
-    for s in &r.conflicts {
-        let _ = writeln!(
-            out,
-            "  conflict %{} in `{}`: {}/{} transactions [{}]",
-            s.tensor,
-            s.spec,
-            s.actual,
-            s.ideal,
-            s.provenance.label()
-        );
-    }
-    let races = &r.races;
-    let _ = writeln!(
-        out,
-        "  races: {} pairs ({} proven-linear, {} proven-enumerated, {} sampled), {} reported",
-        races.pairs(),
-        races.pairs_proven_linear,
-        races.pairs_proven_enumerated,
-        races.pairs_sampled,
-        races.races_reported
-    );
-    for b in &r.bounds {
-        let _ = writeln!(
-            out,
-            "  bounds %{} in `{}`: len {} [{}]",
-            b.tensor,
-            b.spec,
-            b.len,
-            b.status.label()
-        );
-    }
-    out
-}
-
-/// Renders a proof report as the `"proof"` JSON object for
-/// `lint --prove --emit json`.
-fn render_proof_json(r: &graphene_analysis::prove::ProofReport) -> String {
-    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-    let conflicts: Vec<String> = r
-        .conflicts
-        .iter()
-        .map(|s| {
-            format!(
-                "{{\"tensor\":\"{}\",\"spec\":\"{}\",\"ideal\":{},\"actual\":{},\"provenance\":\"{}\"}}",
-                esc(&s.tensor),
-                esc(&s.spec),
-                s.ideal,
-                s.actual,
-                s.provenance.label()
-            )
-        })
-        .collect();
-    let bounds: Vec<String> = r
-        .bounds
-        .iter()
-        .map(|b| {
-            format!(
-                "{{\"tensor\":\"{}\",\"spec\":\"{}\",\"len\":{},\"status\":\"{}\"}}",
-                esc(&b.tensor),
-                esc(&b.spec),
-                b.len,
-                b.status.label()
-            )
-        })
-        .collect();
-    let races = &r.races;
-    format!(
-        "{{\"conflicts\":[{}],\"conflicts_proven_free\":{},\
-         \"races\":{{\"pairs_proven_linear\":{},\"pairs_proven_enumerated\":{},\
-         \"pairs_sampled\":{},\"races_reported\":{},\"all_proven\":{}}},\
-         \"bounds\":[{}],\"bounds_clean\":{}}}",
-        conflicts.join(","),
-        r.conflicts_proven_free(),
-        races.pairs_proven_linear,
-        races.pairs_proven_enumerated,
-        races.pairs_sampled,
-        races.races_reported,
-        races.all_proven(),
-        bounds.join(","),
-        r.bounds_clean()
-    )
 }
 
 /// The `run` sub-command: execute a kernel on the functional simulator
@@ -579,6 +395,11 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
         Some("replay") => true,
         Some(other) => return Err(CliError(format!("unknown exec mode `{other}` (plan|replay)"))),
     };
+    let json = match cli.options.get("emit").map(String::as_str) {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(CliError(format!("unknown emit `{other}` (text|json)"))),
+    };
 
     let graph = encoder_graph(layers, batch, seq, hidden, heads, ffn);
     let eg = lower_executable(&graph, arch, lowering).map_err(CliError)?;
@@ -590,29 +411,25 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
             .insert(name.clone(), HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec());
     }
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "graph    : {layers}-layer encoder ({} ops), batch {batch}, seq {seq}, hidden {hidden}, {heads} heads, ffn {ffn}",
-        graph.ops.len()
-    );
-    let _ = writeln!(out, "lowering : {} ({} kernel launches)", lowering.label(), eg.nodes.len());
-    let _ = writeln!(
-        out,
-        "arena    : {} B planned vs {} B naive ({:.1}% saved)",
-        ws.arena_bytes(),
-        ws.naive_bytes(),
-        ws.saving() * 100.0
-    );
-
-    let checksum = |o: &std::collections::HashMap<usize, Vec<f32>>| -> f64 {
+    let checksum = |o: &GraphOutcomeOutputs| -> f64 {
         let mut temps: Vec<_> = o.iter().collect();
         temps.sort_by_key(|(t, _)| **t);
         temps.iter().flat_map(|(_, buf)| buf.iter()).map(|&x| f64::from(x)).sum()
     };
 
+    // Execute first, collecting everything both renderings need; the
+    // replay path also captures cache counters and the bit-comparison.
+    struct ReplayInfo {
+        kernels: usize,
+        steps: usize,
+        record_ms: f64,
+        replay_ms: f64,
+        graph_stats: (u64, u64, u64),
+        trace_stats: (u64, u64),
+        same: bool,
+    }
     let start = std::time::Instant::now();
-    if replay_engine {
+    let (outcome, replay_info) = if replay_engine {
         let traces = TraceCache::new();
         let graphs = GraphTraceCache::new();
         let t0 = std::time::Instant::now();
@@ -621,32 +438,12 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
         // A second request must come back from the cache: the printed
         // hit count is the record-once contract made visible.
         let gt = graphs.get_or_record(&eg, &traces).map_err(|e| CliError(e.to_string()))?;
-        let _ = writeln!(
-            out,
-            "trace    : {} kernels, {} steps, recorded in {record_ms:.3} ms",
-            gt.num_kernels(),
-            gt.num_steps()
-        );
-        let _ = writeln!(
-            out,
-            "graph-cache : {} recording(s), {} hit(s), evictions : {}",
-            graphs.recordings(),
-            graphs.hits(),
-            graphs.evictions()
-        );
-        let _ = writeln!(
-            out,
-            "trace-cache : {} recording(s), {} hit(s)",
-            traces.recordings(),
-            traces.hits()
-        );
         let t1 = std::time::Instant::now();
         let replayed =
             replay_graph(&gt, &inputs, ExecMode::Parallel).map_err(|e| CliError(e.to_string()))?;
         let replay_ms = t1.elapsed().as_secs_f64() * 1e3;
         let plan_out =
             execute_graph(&eg, &inputs, ExecMode::Parallel).map_err(|e| CliError(e.to_string()))?;
-        let wall = start.elapsed().as_secs_f64();
         let same = {
             let b = |o: &GraphOutcomeOutputs| -> Vec<Vec<u32>> {
                 let mut v: Vec<_> = o
@@ -658,32 +455,121 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
             };
             b(&replayed.outputs) == b(&plan_out.outputs)
         };
-        let _ = writeln!(out, "engine   : graph trace replay ({replay_ms:.3} ms replay)");
-        let _ = writeln!(out, "plan-vs-replay : {}", if same { "match" } else { "MISMATCH" });
-        let c = &replayed.counters;
-        let _ = writeln!(out, "wall     : {:.3} ms", wall * 1e3);
-        let _ = writeln!(
-            out,
-            "counters : {} instructions, {} TC flops, {} FMA flops, {} syncs",
-            c.instructions, c.flops_tc, c.flops_fma, c.syncs
-        );
-        let _ = writeln!(out, "checksum : {:.6}", checksum(&replayed.outputs));
-        if !same {
-            return Err(CliError(format!("replay diverged from plan execution\n{out}")));
-        }
+        let info = ReplayInfo {
+            kernels: gt.num_kernels(),
+            steps: gt.num_steps(),
+            record_ms,
+            replay_ms,
+            graph_stats: (graphs.recordings(), graphs.hits(), graphs.evictions()),
+            trace_stats: (traces.recordings(), traces.hits()),
+            same,
+        };
+        (replayed, Some(info))
     } else {
         let outcome =
             execute_graph(&eg, &inputs, ExecMode::Parallel).map_err(|e| CliError(e.to_string()))?;
-        let wall = start.elapsed().as_secs_f64();
-        let _ = writeln!(out, "engine   : compiled-plan graph executor");
-        let c = &outcome.counters;
+        (outcome, None)
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let c = &outcome.counters;
+    let sum = checksum(&outcome.outputs);
+    let diverged = replay_info.as_ref().is_some_and(|r| !r.same);
+
+    let out = if json {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"graph\":{{\"layers\":{layers},\"batch\":{batch},\"seq\":{seq},\
+             \"hidden\":{hidden},\"heads\":{heads},\"ffn\":{ffn},\"ops\":{}}},\
+             \"lowering\":{{\"mode\":\"{}\",\"launches\":{}}},\
+             \"arena\":{{\"planned_bytes\":{},\"naive_bytes\":{},\"saving\":{:.4}}},\
+             \"engine\":\"{}\",",
+            graph.ops.len(),
+            lowering.label(),
+            eg.nodes.len(),
+            ws.arena_bytes(),
+            ws.naive_bytes(),
+            ws.saving(),
+            if replay_engine { "replay" } else { "plan" },
+        );
+        if let Some(r) = &replay_info {
+            let _ = write!(
+                out,
+                "\"trace\":{{\"kernels\":{},\"steps\":{},\"record_ms\":{:.3},\"replay_ms\":{:.3}}},\
+                 \"graph_cache\":{{\"recordings\":{},\"hits\":{},\"evictions\":{}}},\
+                 \"trace_cache\":{{\"recordings\":{},\"hits\":{}}},\
+                 \"plan_vs_replay\":\"{}\",",
+                r.kernels,
+                r.steps,
+                r.record_ms,
+                r.replay_ms,
+                r.graph_stats.0,
+                r.graph_stats.1,
+                r.graph_stats.2,
+                r.trace_stats.0,
+                r.trace_stats.1,
+                if r.same { "match" } else { "mismatch" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\"wall_ms\":{:.3},\"counters\":{{\"instructions\":{},\"flops_tc\":{},\
+             \"flops_fma\":{},\"syncs\":{}}},\"checksum\":{sum:.6}}}",
+            wall * 1e3,
+            c.instructions,
+            c.flops_tc,
+            c.flops_fma,
+            c.syncs,
+        );
+        out
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "graph    : {layers}-layer encoder ({} ops), batch {batch}, seq {seq}, hidden {hidden}, {heads} heads, ffn {ffn}",
+            graph.ops.len()
+        );
+        let _ =
+            writeln!(out, "lowering : {} ({} kernel launches)", lowering.label(), eg.nodes.len());
+        let _ = writeln!(
+            out,
+            "arena    : {} B planned vs {} B naive ({:.1}% saved)",
+            ws.arena_bytes(),
+            ws.naive_bytes(),
+            ws.saving() * 100.0
+        );
+        if let Some(r) = &replay_info {
+            let _ = writeln!(
+                out,
+                "trace    : {} kernels, {} steps, recorded in {:.3} ms",
+                r.kernels, r.steps, r.record_ms
+            );
+            let _ = writeln!(
+                out,
+                "graph-cache : {} recording(s), {} hit(s), evictions : {}",
+                r.graph_stats.0, r.graph_stats.1, r.graph_stats.2
+            );
+            let _ = writeln!(
+                out,
+                "trace-cache : {} recording(s), {} hit(s)",
+                r.trace_stats.0, r.trace_stats.1
+            );
+            let _ = writeln!(out, "engine   : graph trace replay ({:.3} ms replay)", r.replay_ms);
+            let _ = writeln!(out, "plan-vs-replay : {}", if r.same { "match" } else { "MISMATCH" });
+        } else {
+            let _ = writeln!(out, "engine   : compiled-plan graph executor");
+        }
         let _ = writeln!(out, "wall     : {:.3} ms", wall * 1e3);
         let _ = writeln!(
             out,
             "counters : {} instructions, {} TC flops, {} FMA flops, {} syncs",
             c.instructions, c.flops_tc, c.flops_fma, c.syncs
         );
-        let _ = writeln!(out, "checksum : {:.6}", checksum(&outcome.outputs));
+        let _ = writeln!(out, "checksum : {sum:.6}");
+        out
+    };
+    if diverged {
+        return Err(CliError(format!("replay diverged from plan execution\n{out}")));
     }
     Ok(out)
 }
@@ -697,7 +583,7 @@ type GraphOutcomeOutputs = HashMap<usize, Vec<f32>>;
 /// persistent tuning database when `--cache` is given), and renders the
 /// winner with its pipeline accounting.
 fn tune_cmd(cli: &Cli) -> Result<String, CliError> {
-    use graphene_tune::{Search, SearchSpace, TuneDb, TuneOptions};
+    use graphene_tune::{Search, TuneDb};
 
     let arch = cli.arch()?;
     let kernel = cli
@@ -706,78 +592,11 @@ fn tune_cmd(cli: &Cli) -> Result<String, CliError> {
         .map(String::as_str)
         .or_else(|| cli.positional.first().map(String::as_str))
         .unwrap_or("gemm");
-    let space: Box<dyn SearchSpace> = match kernel {
-        "gemm" => {
-            let (m, n, k) = (cli.int("m", 4096)?, cli.int("n", 4096)?, cli.int("k", 1024)?);
-            let epilogue = match cli.options.get("epilogue").map(String::as_str) {
-                None | Some("none") => Epilogue::None,
-                Some("bias") => Epilogue::Bias,
-                Some("relu") => Epilogue::Relu,
-                Some("bias+relu") => Epilogue::BiasRelu,
-                Some("bias+gelu") => Epilogue::BiasGelu,
-                Some(other) => return Err(CliError(format!("unknown epilogue `{other}`"))),
-            };
-            Box::new(graphene_tune::GemmSpace::new(arch, m, n, k, epilogue))
-        }
-        "fmha" => {
-            let base = FmhaConfig::mlperf_bert();
-            Box::new(graphene_tune::FmhaSpace::new(
-                cli.int("heads", base.heads)?,
-                cli.int("seq", base.seq)?,
-                cli.int("d", base.d)?,
-            ))
-        }
-        "layernorm" => Box::new(graphene_tune::LayernormSpace::new(
-            arch,
-            cli.int("rows", 4096)?,
-            cli.int("hidden", 1024)?,
-        )),
-        "mlp" => Box::new(graphene_tune::MlpSpace::new(
-            arch,
-            cli.int("m", 4096)?,
-            cli.int("hidden", 128)?,
-            cli.int("layers", 4)?,
-        )),
-        other => {
-            return Err(CliError(format!(
-                "unknown tunable kernel `{other}` (gemm|fmha|layernorm|mlp)"
-            )))
-        }
-    };
-
-    // Strategy knobs are counts: a negative value would wrap to a huge
-    // `usize` (e.g. `--samples -1` ~ 2^64 proposals), so reject it with
-    // a diagnostic instead.
-    let positive = |name: &str, default: i64| -> Result<usize, CliError> {
-        match cli.int(name, default)? {
-            v if v >= 1 => Ok(v as usize),
-            v => Err(CliError(format!("--{name} must be at least 1, got {v}"))),
-        }
-    };
-    let seed = match cli.int("seed", 0)? {
-        v if v >= 0 => v as u64,
-        v => return Err(CliError(format!("--seed must be non-negative, got {v}"))),
-    };
-    let search = match cli.options.get("search").map(String::as_str) {
-        None | Some("exhaustive") => Search::Exhaustive,
-        Some("random") => Search::Random { seed, samples: positive("samples", 64)? },
-        Some("beam") => {
-            Search::Beam { seed, width: positive("width", 4)?, patience: positive("patience", 3)? }
-        }
-        Some(other) => {
-            return Err(CliError(format!("unknown search `{other}` (exhaustive|random|beam)")))
-        }
-    };
-    let top = cli.int("top", 5)?;
-    if top < 1 {
-        return Err(CliError(format!("--top must be at least 1, got {top}")));
-    }
-    let budget = match cli.int("budget", 0)? {
-        0 => None,
-        b if b > 0 => Some(b as usize),
-        b => return Err(CliError(format!("--budget must be non-negative, got {b}"))),
-    };
-    let opts = TuneOptions { search, budget, threads: 0, top: top as usize };
+    // Space, strategy, and knob validation all live in the shared tune
+    // catalog — the daemon's `tune` requests go through the same path.
+    let space =
+        graphene_tune::catalog::space_from_options(kernel, arch, &cli.options).map_err(CliError)?;
+    let opts = graphene_tune::catalog::options_from_options(&cli.options).map_err(CliError)?;
 
     let mut db = cli.options.get("cache").map(TuneDb::load);
     let report = graphene_tune::tune(space.as_ref(), &opts, db.as_mut())
@@ -947,6 +766,96 @@ fn render(emit: Emit, arch: Arch, kernel: &Kernel) -> Result<String, CliError> {
             Ok(out)
         }
     }
+}
+
+/// The `serve` sub-command: run the persistent daemon until it drains
+/// (a `shutdown` request, SIGINT, or SIGTERM).
+///
+/// The listening address is printed (and flushed) *before* the server
+/// blocks so scripts can scrape it; `--ready-file PATH` additionally
+/// writes the address to a file once the socket is bound, which is
+/// race-free for harnesses that start the daemon in the background.
+fn serve_cmd(cli: &Cli) -> Result<String, CliError> {
+    let opts = graphene_serve::ServeOptions {
+        addr: cli.options.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7474".to_string()),
+        workers: usize::try_from(cli.int("workers", 4)?.max(1)).unwrap_or(4),
+        queue_cap: usize::try_from(cli.int("queue", 64)?.max(1)).unwrap_or(64),
+        deadline_ms: u64::try_from(cli.int("deadline-ms", 5000)?.max(0)).unwrap_or(5000),
+        sync_tune_limit: usize::try_from(
+            cli.int("sync-tune-limit", graphene_serve::state::DEFAULT_SYNC_TUNE_LIMIT as i64)?
+                .max(0),
+        )
+        .unwrap_or(graphene_serve::state::DEFAULT_SYNC_TUNE_LIMIT),
+        job_workers: usize::try_from(cli.int("job-workers", 1)?.max(1)).unwrap_or(1),
+        cache: cli.options.get("cache").cloned(),
+    };
+    graphene_serve::install_signal_handlers();
+    let server = graphene_serve::Server::bind(opts)
+        .map_err(|e| CliError(format!("serve: bind failed: {e}")))?;
+    let addr =
+        server.local_addr().map_err(|e| CliError(format!("serve: no local address: {e}")))?;
+    println!("graphene-serve listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = cli.options.get("ready-file") {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError(format!("serve: cannot write ready file `{path}`: {e}")))?;
+    }
+    server.run().map_err(|e| CliError(format!("serve: {e}")))?;
+    Ok("graphene-serve drained\n".to_string())
+}
+
+/// The `client` sub-command: send one request line to a running daemon
+/// and print the response. The request is either built from the
+/// command line (`client run gemm --m 256 ...` — the first positional
+/// is the protocol `cmd`, the second the `kernel`) or passed verbatim
+/// via `--json '{...}'`. A response carrying `"ok":false` is returned
+/// as an error so the process exits nonzero.
+fn client_cmd(cli: &Cli) -> Result<String, CliError> {
+    let addr = cli.options.get("addr").map_or("127.0.0.1:7474", String::as_str);
+    let timeout_s = cli.int("timeout", 120)?.max(1);
+    let line = if let Some(raw) = cli.options.get("json") {
+        raw.clone()
+    } else {
+        let Some(cmd) = cli.positional.first() else {
+            return Err(CliError(
+                "client: expected a protocol command (lint|run|run-graph|tune|poll|cancel|stats|shutdown) or --json".to_string(),
+            ));
+        };
+        let mut fields = vec![format!("\"cmd\":\"{}\"", graphene_tune::json::escape(cmd))];
+        if let Some(kernel) = cli.positional.get(1) {
+            fields.push(format!("\"kernel\":\"{}\"", graphene_tune::json::escape(kernel)));
+        }
+        // Every remaining `--key value` forwards as a protocol field;
+        // client-side transport options stay local. Integers go over
+        // the wire as numbers, everything else as strings — the server
+        // stringifies scalars anyway, so this only affects readability.
+        let mut opts: Vec<_> = cli
+            .options
+            .iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "addr" | "timeout" | "json"))
+            .collect();
+        opts.sort();
+        for (k, v) in opts {
+            let key = graphene_tune::json::escape(k);
+            if v.parse::<i64>().is_ok() || v == "true" || v == "false" {
+                fields.push(format!("\"{key}\":{v}"));
+            } else {
+                fields.push(format!("\"{key}\":\"{}\"", graphene_tune::json::escape(v)));
+            }
+        }
+        format!("{{{}}}", fields.join(","))
+    };
+    let resp = graphene_serve::client::request(
+        addr,
+        &line,
+        std::time::Duration::from_secs(u64::try_from(timeout_s).unwrap_or(120)),
+    )
+    .map_err(|e| CliError(format!("client: {addr}: {e}")))?;
+    if resp.contains("\"ok\":false") {
+        return Err(CliError(resp));
+    }
+    Ok(format!("{resp}\n"))
 }
 
 #[cfg(test)]
@@ -1275,6 +1184,55 @@ mod tune_tests {
         assert!(err.0.contains("--patience must be at least 1"), "{}", err.0);
         let err = run_str("tune --search random --seed -7").unwrap_err();
         assert!(err.0.contains("--seed must be non-negative"), "{}", err.0);
+    }
+
+    /// Spawns an in-process daemon on an ephemeral port and drives it
+    /// with the `client` sub-command — the same path `graphene client`
+    /// takes against `graphene serve`.
+    #[test]
+    fn client_round_trips_against_a_live_daemon() {
+        let server = graphene_serve::Server::bind(graphene_serve::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let out =
+            run_str(&format!("client --addr {addr} run gemm --m 256 --n 256 --k 64 --exec replay"))
+                .unwrap();
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"trace_hit\":false"), "{out}");
+        let warm =
+            run_str(&format!("client --addr {addr} run gemm --m 256 --n 256 --k 64 --exec replay"))
+                .unwrap();
+        assert!(warm.contains("\"trace_hit\":true"), "{warm}");
+
+        // Raw --json passthrough.
+        let raw = super::run(&[
+            "client".to_string(),
+            "--addr".to_string(),
+            addr.clone(),
+            "--json".to_string(),
+            r#"{"cmd":"stats"}"#.to_string(),
+        ])
+        .unwrap();
+        assert!(raw.contains("\"caches\""), "{raw}");
+
+        // A failing request comes back as Err, so the binary exits
+        // nonzero.
+        let err = run_str(&format!("client --addr {addr} frobnicate")).unwrap_err();
+        assert!(err.0.contains("unknown cmd"), "{}", err.0);
+
+        run_str(&format!("client --addr {addr} shutdown")).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn client_requires_a_command_or_json() {
+        let err = run_str("client --addr 127.0.0.1:1").unwrap_err();
+        assert!(err.0.contains("expected a protocol command"), "{}", err.0);
     }
 }
 

@@ -1,5 +1,6 @@
 //! Temporary skeleton while kernels are being built.
 #![allow(missing_docs)]
+pub mod catalog;
 pub mod common;
 pub mod exec_lower;
 pub mod fmha;

@@ -1,0 +1,596 @@
+//! Request handlers: one function per wire command, all routed through
+//! [`dispatch`].
+//!
+//! Handlers delegate kernel/space construction to the shared catalogs
+//! (`graphene_kernels::catalog`, `graphene_tune::catalog`) and seed
+//! inputs exactly like the one-shot CLI (`HostTensor::random` with
+//! seed `1000 + param index`), so a daemon response is bit-identical
+//! to the corresponding CLI run — the resident caches change *when*
+//! work happens, never *what* is computed.
+
+use crate::jobs::{Job, JobState};
+use crate::proto::{err_envelope, ok_envelope, parse_request, Obj, Request};
+use crate::state::ServerState;
+use graphene_ir::Arch;
+use graphene_sim::{
+    execute_graph, execute_plan, execute_reference, replay, replay_graph, ExecMode, HostTensor,
+    TraceKey,
+};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// Parses one request line, routes it, and renders the response line.
+/// Also records per-command latency and the malformed counter — this
+/// is the single entry point worker threads call.
+pub fn dispatch(state: &ServerState, line: &str) -> String {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            state.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+            return err_envelope(0, &e);
+        }
+    };
+    state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+    let start = std::time::Instant::now();
+    let result = match req.cmd.as_str() {
+        "lint" => lint(&req),
+        "run" => run(state, &req),
+        "run-graph" => run_graph(state, &req),
+        "tune" => tune(state, &req),
+        "poll" => poll(state, &req),
+        "cancel" => cancel(state, &req),
+        "stats" => Ok(stats(state)),
+        "shutdown" => {
+            state.start_drain();
+            Ok(Obj::new().bool("draining", true))
+        }
+        other => Err(format!(
+            "unknown cmd `{other}` (lint|run|run-graph|tune|poll|cancel|stats|shutdown)"
+        )),
+    };
+    let us = start.elapsed().as_micros() as u64;
+    state.metrics.record(&req.cmd, us);
+    state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    match result {
+        Ok(fields) => ok_envelope(req.id, fields.num("elapsed_us", us)),
+        Err(e) => err_envelope(req.id, &e),
+    }
+}
+
+/// `--arch` parsing, identical to the CLI's.
+fn arch_of(req: &Request) -> Result<Arch, String> {
+    match req.opt("arch") {
+        None | Some("sm86") | Some("ampere") => Ok(Arch::Sm86),
+        Some("sm70") | Some("volta") => Ok(Arch::Sm70),
+        Some(other) => Err(format!("unknown arch `{other}` (sm70|sm86)")),
+    }
+}
+
+fn flag(req: &Request, key: &str) -> bool {
+    matches!(req.opt(key), Some("true" | "1" | "yes"))
+}
+
+/// Seeds kernel inputs exactly like `graphene run`: parameter `i`
+/// drawn from seed `1000 + i`.
+fn seeded_inputs(
+    params: &[(graphene_ir::TensorId, String, usize)],
+) -> HashMap<graphene_ir::TensorId, Vec<f32>> {
+    let mut inputs = HashMap::new();
+    for (i, (id, _, len)) in params.iter().enumerate() {
+        inputs.insert(*id, HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec());
+    }
+    inputs
+}
+
+fn counters_json(c: &graphene_sim::Counters) -> String {
+    format!(
+        "{{\"instructions\":{},\"flops_tc\":{},\"flops_fma\":{},\"syncs\":{}}}",
+        c.instructions, c.flops_tc, c.flops_fma, c.syncs
+    )
+}
+
+/// `lint`: the full static-analysis pipeline, with `--prove` and
+/// `--emit text|json` semantics matching the CLI (the `output` field
+/// carries the CLI's exact rendering).
+fn lint(req: &Request) -> Result<Obj, String> {
+    let name = req.opt("kernel").ok_or("lint needs a `kernel` field")?;
+    let arch = arch_of(req)?;
+    let nk = graphene_kernels::catalog::build_named(name, arch, &req.opts)?;
+    let mut plans = graphene_sim::PlanCache::new();
+    let diags = graphene_analysis::analyze_kernel_cached(&nk.kernel, arch, &mut plans);
+    let errors = graphene_analysis::error_count(&diags);
+    let report = flag(req, "prove")
+        .then(|| graphene_analysis::prove::prove_kernel_cached(&nk.kernel, arch, &mut plans));
+    let output = match req.opt("emit") {
+        None | Some("text") => {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "lint {} ({arch}): {} diagnostics, {errors} errors",
+                nk.kernel.name,
+                diags.len()
+            );
+            for d in &diags {
+                let _ = writeln!(out, "  {d}");
+            }
+            if let Some(r) = &report {
+                out.push_str(&r.render_text());
+            }
+            out
+        }
+        Some("json") => {
+            let mut json = graphene_analysis::render_json(&nk.kernel.name, &diags);
+            if let Some(r) = &report {
+                let trimmed = json.trim_end().strip_suffix('}').map(str::to_string);
+                json = trimmed.unwrap_or(json);
+                json.push_str(&format!(",\"proof\":{}}}\n", r.render_json()));
+            }
+            json
+        }
+        Some(other) => return Err(format!("unknown emit `{other}` (text|json)")),
+    };
+    Ok(Obj::new()
+        .str("kernel", &nk.kernel.name)
+        .str("problem", &nk.problem)
+        .num("diagnostics", diags.len() as u64)
+        .num("errors", errors as u64)
+        .str("output", &output))
+}
+
+/// `run`: execute a kernel. `exec` selects the engine exactly like the
+/// CLI; the compiled plan comes from the resident plan cache, and the
+/// replay engine serves from the resident trace cache — a repeated
+/// request replays without recording (`trace_hit: true`).
+fn run(state: &ServerState, req: &Request) -> Result<Obj, String> {
+    let name = req.opt("kernel").ok_or("run needs a `kernel` field")?;
+    let arch = arch_of(req)?;
+    enum Engine {
+        Reference,
+        Plan(ExecMode),
+        Replay,
+    }
+    let engine = match req.opt("exec") {
+        None | Some("parallel") => Engine::Plan(ExecMode::Parallel),
+        Some("sequential") => Engine::Plan(ExecMode::Sequential),
+        Some("reference") => Engine::Reference,
+        Some("replay") => Engine::Replay,
+        Some(other) => {
+            return Err(format!(
+                "unknown exec mode `{other}` (reference|sequential|parallel|replay)"
+            ))
+        }
+    };
+    let (entry, plan_hit) = state.plan_for(name, arch, &req.opts)?;
+    let inputs = seeded_inputs(entry.plan.params());
+    let bindings = HashMap::new();
+    let mut trace_hit = false;
+    let start = std::time::Instant::now();
+    let outcome = match &engine {
+        Engine::Plan(m) => execute_plan(&entry.plan, &inputs, &bindings, *m),
+        Engine::Reference => {
+            // The reference interpreter needs the kernel IR itself, so
+            // this path (the slow baseline, kept for equivalence
+            // checks) rebuilds rather than caching kernels.
+            let nk = graphene_kernels::catalog::build_named(name, arch, &req.opts)?;
+            execute_reference(&nk.kernel, arch, &inputs)
+        }
+        Engine::Replay => {
+            let key = TraceKey {
+                kernel: entry.kernel_name.clone(),
+                problem: entry.problem.clone(),
+                arch,
+            };
+            trace_hit = state.traces.contains(&key);
+            let trace = state
+                .traces
+                .get_or_record(&key, &entry.plan, &bindings)
+                .map_err(|e| e.to_string())?;
+            replay(&trace, &inputs)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let checksum: f64 =
+        outcome.globals.values().flat_map(|buf| buf.iter()).map(|&x| f64::from(x)).sum();
+    let mut fields = Obj::new()
+        .str("kernel", &entry.kernel_name)
+        .str("problem", &entry.problem)
+        .str(
+            "engine",
+            match &engine {
+                Engine::Reference => "reference interpreter",
+                Engine::Plan(ExecMode::Sequential) => "compiled (sequential) interpreter",
+                Engine::Plan(_) => "compiled (parallel) interpreter",
+                Engine::Replay => "trace replay",
+            },
+        )
+        .str(
+            "launch",
+            &format!("{} blocks x {} threads", entry.plan.grid_size(), entry.plan.block_size()),
+        )
+        .bool("plan_hit", plan_hit);
+    if matches!(engine, Engine::Replay) {
+        fields = fields.bool("trace_hit", trace_hit);
+    }
+    Ok(fields
+        .raw("wall_ms", &format!("{wall_ms:.3}"))
+        .raw("counters", &counters_json(&outcome.counters))
+        .raw("checksum", &format!("{checksum:.6}")))
+}
+
+/// `run-graph`: build and execute a whole encoder graph; the replay
+/// engine serves from the resident graph-trace cache.
+fn run_graph(state: &ServerState, req: &Request) -> Result<Obj, String> {
+    use graphene_kernels::exec_lower::{lower_executable, ExecLowering};
+    use graphene_kernels::graph::encoder_graph;
+
+    let int = |key: &str, default: i64| graphene_kernels::catalog::opt_int(&req.opts, key, default);
+    let (layers, batch, seq) = (int("layers", 2)?, int("batch", 1)?, int("seq", 128)?);
+    let (hidden, heads, ffn) = (int("hidden", 256)?, int("heads", 4)?, int("ffn", 1024)?);
+    let arch = arch_of(req)?;
+    let lowering = match req.opt("lowering") {
+        None | Some("fused") => ExecLowering::Fused,
+        Some("default") => ExecLowering::Default,
+        Some(other) => return Err(format!("unknown lowering `{other}` (default|fused)")),
+    };
+    let replay_engine = match req.opt("exec") {
+        None | Some("plan") => false,
+        Some("replay") => true,
+        Some(other) => return Err(format!("unknown exec mode `{other}` (plan|replay)")),
+    };
+
+    let graph = encoder_graph(layers, batch, seq, hidden, heads, ffn);
+    let eg = lower_executable(&graph, arch, lowering)?;
+    let ws = eg.workspace();
+    let mut inputs = HashMap::new();
+    for (i, (name, len)) in eg.externals().iter().enumerate() {
+        inputs
+            .insert(name.clone(), HostTensor::random(&[*len], 1000 + i as u64).as_slice().to_vec());
+    }
+
+    let mut graph_hit = false;
+    let start = std::time::Instant::now();
+    let outcome = if replay_engine {
+        let hits_before = state.graphs.hits();
+        let gt = state.graphs.get_or_record(&eg, &state.traces).map_err(|e| e.to_string())?;
+        graph_hit = state.graphs.hits() > hits_before;
+        replay_graph(&gt, &inputs, ExecMode::Parallel).map_err(|e| e.to_string())?
+    } else {
+        execute_graph(&eg, &inputs, ExecMode::Parallel).map_err(|e| e.to_string())?
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let checksum: f64 = {
+        let mut temps: Vec<_> = outcome.outputs.iter().collect();
+        temps.sort_by_key(|(t, _)| **t);
+        temps.iter().flat_map(|(_, buf)| buf.iter()).map(|&x| f64::from(x)).sum()
+    };
+    let mut fields = Obj::new()
+        .raw(
+            "graph",
+            &format!(
+                "{{\"layers\":{layers},\"batch\":{batch},\"seq\":{seq},\"hidden\":{hidden},\
+                 \"heads\":{heads},\"ffn\":{ffn},\"ops\":{}}}",
+                graph.ops.len()
+            ),
+        )
+        .str("lowering", lowering.label())
+        .num("launches", eg.nodes.len() as u64)
+        .raw(
+            "arena",
+            &format!(
+                "{{\"planned_bytes\":{},\"naive_bytes\":{}}}",
+                ws.arena_bytes(),
+                ws.naive_bytes()
+            ),
+        )
+        .str("engine", if replay_engine { "replay" } else { "plan" });
+    if replay_engine {
+        fields = fields.bool("graph_hit", graph_hit);
+    }
+    Ok(fields
+        .raw("wall_ms", &format!("{wall_ms:.3}"))
+        .raw("counters", &counters_json(&outcome.counters))
+        .raw("checksum", &format!("{checksum:.6}")))
+}
+
+/// Renders a finished tune report as response fields — shared by the
+/// synchronous path and job workers (`poll` returns the same object).
+fn tune_fields(report: &graphene_tune::TuneReport, arch: Arch) -> Obj {
+    let s = &report.stats;
+    Obj::new()
+        .str("space", &report.space)
+        .str("problem", &report.problem)
+        .str("arch", &format!("{arch:?}"))
+        .str("winner", &report.best_desc)
+        .raw("best_time_s", &format!("{:e}", report.best_time_s))
+        .raw(
+            "stats",
+            &format!(
+                "{{\"proposed\":{},\"pruned_constraint\":{},\"pruned_analysis\":{},\
+                 \"simulated\":{},\"cost_replayed\":{},\"db_hit\":{}}}",
+                s.proposed,
+                s.pruned_constraint,
+                s.pruned_analysis,
+                s.simulated,
+                s.cost_replayed,
+                s.db_hit
+            ),
+        )
+        .bool("db_hit", s.db_hit)
+}
+
+/// `tune`: short searches run synchronously; searches whose planned
+/// proposal count exceeds the server's limit (or that pass
+/// `"job":true`) are enqueued and answered with a job id for `poll`.
+fn tune(state: &ServerState, req: &Request) -> Result<Obj, String> {
+    let arch = arch_of(req)?;
+    let kernel = req.opt("kernel").unwrap_or("gemm");
+    let space = graphene_tune::catalog::space_from_options(kernel, arch, &req.opts)?;
+    let opts = graphene_tune::catalog::options_from_options(&req.opts)?;
+    let planned = graphene_tune::planned_proposals(space.as_ref(), &opts.search);
+    if flag(req, "job") || planned > state.sync_tune_limit {
+        let job = state.jobs.submit(req.clone(), planned);
+        return Ok(Obj::new()
+            .num("job", job.id)
+            .str("state", "queued")
+            .num("planned", planned as u64));
+    }
+    let report = graphene_tune::tune_observed(
+        space.as_ref(),
+        &opts,
+        Some(&state.db),
+        Some(&state.costs),
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    if report.stats.db_hit {
+        state.db_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(tune_fields(&report, arch))
+}
+
+/// Runs one dequeued tune job to completion — called by the server's
+/// job-worker threads. Progress flows through the job's observer;
+/// cancellation aborts between batches.
+pub fn run_tune_job(state: &ServerState, req: &Request, job: &Job) {
+    let outcome = (|| -> Result<String, String> {
+        let arch = arch_of(req)?;
+        let kernel = req.opt("kernel").unwrap_or("gemm");
+        let space = graphene_tune::catalog::space_from_options(kernel, arch, &req.opts)?;
+        let opts = graphene_tune::catalog::options_from_options(&req.opts)?;
+        let report = graphene_tune::tune_observed(
+            space.as_ref(),
+            &opts,
+            Some(&state.db),
+            Some(&state.costs),
+            Some(&job.progress),
+        )
+        .map_err(|e| e.to_string())?;
+        if report.stats.db_hit {
+            state.db_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(tune_fields(&report, arch).finish())
+    })();
+    state.jobs.finish(job, outcome);
+}
+
+fn job_id(req: &Request) -> Result<u64, String> {
+    req.opt("job")
+        .ok_or("needs a `job` field")?
+        .parse()
+        .map_err(|_| "`job` must be a job id".to_string())
+}
+
+/// `poll`: a job's state and progress; a finished job carries its
+/// result object.
+fn poll(state: &ServerState, req: &Request) -> Result<Obj, String> {
+    let id = job_id(req)?;
+    let job = state.jobs.get(id).ok_or_else(|| format!("unknown job id {id}"))?;
+    let (done, planned) = job.progress_counts();
+    let js = job.state();
+    let mut fields = Obj::new().num("job", id).str("state", js.label()).raw(
+        "progress",
+        &format!(
+            "{{\"proposed\":{done},\"planned\":{planned},\"fraction\":{:.4}}}",
+            job.fraction()
+        ),
+    );
+    match js {
+        JobState::Done(result) => fields = fields.raw("result", &result),
+        JobState::Failed(e) => fields = fields.str("job_error", &e),
+        _ => {}
+    }
+    Ok(fields)
+}
+
+/// `cancel`: cooperative cancellation; reports the state the job was
+/// in when the request arrived.
+fn cancel(state: &ServerState, req: &Request) -> Result<Obj, String> {
+    let id = job_id(req)?;
+    let was = state.jobs.cancel(id).ok_or_else(|| format!("unknown job id {id}"))?;
+    let job = state.jobs.get(id).ok_or_else(|| format!("unknown job id {id}"))?;
+    Ok(Obj::new().num("job", id).str("was", was.label()).str("state", job.state().label()))
+}
+
+/// `stats`: per-cache hit/miss/eviction counters, request latency
+/// histograms, and queue gauges.
+fn stats(state: &ServerState) -> Obj {
+    let (plan_hits, plan_misses, plan_len) = state.plan_stats();
+    let (jobs_queued, jobs_running, jobs_finished) = state.jobs.counts();
+    let m = &state.metrics;
+    Obj::new()
+        .raw("requests", &m.render_json())
+        .raw(
+            "caches",
+            &Obj::new()
+                .raw(
+                    "plans",
+                    &format!(
+                        "{{\"hits\":{plan_hits},\"misses\":{plan_misses},\"entries\":{plan_len}}}"
+                    ),
+                )
+                .raw(
+                    "traces",
+                    &format!(
+                        "{{\"hits\":{},\"recordings\":{},\"evictions\":{},\"entries\":{}}}",
+                        state.traces.hits(),
+                        state.traces.recordings(),
+                        state.traces.evictions(),
+                        state.traces.len()
+                    ),
+                )
+                .raw(
+                    "graphs",
+                    &format!(
+                        "{{\"hits\":{},\"recordings\":{},\"evictions\":{},\"entries\":{}}}",
+                        state.graphs.hits(),
+                        state.graphs.recordings(),
+                        state.graphs.evictions(),
+                        state.graphs.len()
+                    ),
+                )
+                .raw(
+                    "costs",
+                    &format!(
+                        "{{\"replays\":{},\"recordings\":{}}}",
+                        state.costs.replays(),
+                        state.costs.recordings()
+                    ),
+                )
+                .raw(
+                    "tune_db",
+                    &format!(
+                        "{{\"hits\":{},\"entries\":{},\"persistent\":{}}}",
+                        state.db_hits.load(Ordering::Relaxed),
+                        state.db.len(),
+                        state.db.is_persistent()
+                    ),
+                )
+                .finish(),
+        )
+        .raw(
+            "jobs",
+            &format!(
+                "{{\"queued\":{jobs_queued},\"running\":{jobs_running},\
+                 \"finished\":{jobs_finished}}}"
+            ),
+        )
+        .num("in_flight", m.in_flight.load(Ordering::Relaxed))
+        .num("queued", m.queued.load(Ordering::Relaxed))
+        .num("busy_rejected", m.busy_rejected.load(Ordering::Relaxed))
+        .num("deadline_rejected", m.deadline_rejected.load(Ordering::Relaxed))
+        .num("malformed", m.malformed.load(Ordering::Relaxed))
+        .bool("draining", state.is_draining())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphene_tune::json::{parse, Json};
+
+    fn get<'j>(v: &'j Json, path: &[&str]) -> &'j Json {
+        path.iter().fold(v, |v, k| v.get(k).unwrap_or_else(|| panic!("missing field {k}")))
+    }
+
+    #[test]
+    fn run_twice_hits_plan_and_trace_caches_with_identical_checksums() {
+        let state = ServerState::new(None);
+        let line = r#"{"id":1,"cmd":"run","kernel":"gemm","m":256,"n":256,"k":64,"exec":"replay"}"#;
+        let cold = parse(&dispatch(&state, line)).unwrap();
+        assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+        assert_eq!(get(&cold, &["trace_hit"]), &Json::Bool(false));
+        let warm = parse(&dispatch(&state, line)).unwrap();
+        assert_eq!(get(&warm, &["trace_hit"]), &Json::Bool(true));
+        assert_eq!(get(&warm, &["plan_hit"]), &Json::Bool(true));
+        assert_eq!(
+            get(&cold, &["checksum"]).as_f64(),
+            get(&warm, &["checksum"]).as_f64(),
+            "replayed run must be bit-identical to the recording run"
+        );
+        // And the parallel engine agrees with replay on the checksum.
+        let plan =
+            parse(&dispatch(&state, r#"{"cmd":"run","kernel":"gemm","m":256,"n":256,"k":64}"#))
+                .unwrap();
+        assert_eq!(get(&plan, &["checksum"]).as_f64(), get(&cold, &["checksum"]).as_f64());
+    }
+
+    #[test]
+    fn lint_reports_clean_kernel_and_unknown_kernel_errors() {
+        let state = ServerState::new(None);
+        let ok = parse(&dispatch(
+            &state,
+            r#"{"cmd":"lint","kernel":"gemm","m":256,"n":256,"k":64,"prove":true}"#,
+        ))
+        .unwrap();
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(get(&ok, &["errors"]).as_i64(), Some(0));
+        let text = get(&ok, &["output"]).as_str().unwrap();
+        assert!(text.contains("0 errors"), "{text}");
+        assert!(text.contains("proof (F2 symbolic)"), "{text}");
+        let bad = parse(&dispatch(&state, r#"{"cmd":"lint","kernel":"nope"}"#)).unwrap();
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(get(&bad, &["error"]).as_str().unwrap().contains("unknown kernel"));
+    }
+
+    #[test]
+    fn repeat_tune_is_a_db_hit_with_zero_simulations() {
+        let state = ServerState::new(None);
+        let line = r#"{"cmd":"tune","kernel":"layernorm","rows":512,"hidden":512}"#;
+        let cold = parse(&dispatch(&state, line)).unwrap();
+        assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+        assert_eq!(get(&cold, &["db_hit"]), &Json::Bool(false));
+        let warm = parse(&dispatch(&state, line)).unwrap();
+        assert_eq!(get(&warm, &["db_hit"]), &Json::Bool(true));
+        assert_eq!(get(&warm, &["stats", "simulated"]).as_i64(), Some(0));
+        assert_eq!(
+            get(&warm, &["winner"]).as_str(),
+            get(&cold, &["winner"]).as_str(),
+            "the warm winner must be the recorded one"
+        );
+        // The stats endpoint shows the db hit.
+        let st = parse(&dispatch(&state, r#"{"cmd":"stats"}"#)).unwrap();
+        assert_eq!(get(&st, &["caches", "tune_db", "hits"]).as_i64(), Some(1));
+    }
+
+    #[test]
+    fn forced_job_tune_completes_through_poll() {
+        let state = ServerState::new(None);
+        let resp = parse(&dispatch(
+            &state,
+            r#"{"cmd":"tune","kernel":"layernorm","rows":512,"hidden":512,"job":true}"#,
+        ))
+        .unwrap();
+        let id = get(&resp, &["job"]).as_i64().unwrap() as u64;
+        assert_eq!(get(&resp, &["state"]).as_str(), Some("queued"));
+        // Run the job inline (no worker thread in this unit test).
+        let (job, req) = state.jobs.pop().unwrap();
+        run_tune_job(&state, &req, &job);
+        let polled = parse(&dispatch(&state, &format!(r#"{{"cmd":"poll","job":{id}}}"#))).unwrap();
+        assert_eq!(get(&polled, &["state"]).as_str(), Some("done"));
+        assert_eq!(get(&polled, &["progress", "fraction"]).as_f64(), Some(1.0));
+        assert_eq!(get(&polled, &["result", "db_hit"]), &Json::Bool(false));
+        assert!(get(&polled, &["result", "stats", "simulated"]).as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn cancel_and_malformed_and_unknown_paths() {
+        let state = ServerState::new(None);
+        let err = parse(&dispatch(&state, "not json")).unwrap();
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        let unknown = parse(&dispatch(&state, r#"{"cmd":"frobnicate"}"#)).unwrap();
+        assert!(get(&unknown, &["error"]).as_str().unwrap().contains("unknown cmd"));
+        let resp = parse(&dispatch(
+            &state,
+            r#"{"cmd":"tune","kernel":"layernorm","rows":512,"hidden":512,"job":true}"#,
+        ))
+        .unwrap();
+        let id = get(&resp, &["job"]).as_i64().unwrap();
+        let c = parse(&dispatch(&state, &format!(r#"{{"cmd":"cancel","job":{id}}}"#))).unwrap();
+        assert_eq!(get(&c, &["state"]).as_str(), Some("cancelled"));
+        let nope = parse(&dispatch(&state, r#"{"cmd":"poll","job":9999}"#)).unwrap();
+        assert!(get(&nope, &["error"]).as_str().unwrap().contains("unknown job"));
+        let st = parse(&dispatch(&state, r#"{"cmd":"stats"}"#)).unwrap();
+        assert_eq!(get(&st, &["malformed"]).as_i64(), Some(1));
+    }
+}

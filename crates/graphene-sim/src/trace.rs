@@ -465,6 +465,11 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruMap<K, V> {
         self.map.len()
     }
 
+    /// Membership test that does **not** bump recency.
+    pub(crate) fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
     pub(crate) fn evicted(&self) -> u64 {
         self.evicted
     }
@@ -552,6 +557,14 @@ impl TraceCache {
     /// Traces evicted by the capacity bound.
     pub fn evictions(&self) -> u64 {
         self.traces.lock().expect("trace cache poisoned").evicted()
+    }
+
+    /// Whether a trace for `key` is currently resident. Unlike a
+    /// lookup this does not bump the entry's recency, so observers
+    /// (request handlers reporting hit-vs-record, tests asserting
+    /// eviction behavior) don't perturb the LRU order.
+    pub fn contains(&self, key: &TraceKey) -> bool {
+        self.traces.lock().expect("trace cache poisoned").contains(key)
     }
 
     /// Number of distinct traces held.

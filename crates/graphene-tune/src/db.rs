@@ -35,6 +35,7 @@ use crate::json::{self, Json};
 use crate::space::{Point, SearchSpace};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Current schema version.
 pub const TUNE_DB_VERSION: i64 = 1;
@@ -142,9 +143,58 @@ impl TuneDb {
         }
     }
 
+    /// An in-memory database with no backing file: lookups and records
+    /// work, [`Self::save`]/[`Self::save_merged`] are no-ops. Used by
+    /// the serve daemon when no `--cache` path is configured.
+    pub fn in_memory() -> Self {
+        TuneDb { path: PathBuf::new(), entries: Vec::new() }
+    }
+
+    /// Whether this database persists to disk (a non-empty path).
+    pub fn is_persistent(&self) -> bool {
+        !self.path.as_os_str().is_empty()
+    }
+
+    /// Merges entries currently on disk into this database, then saves
+    /// atomically: *load-merge-save*. Disk entries whose
+    /// `(kernel, problem, arch)` key this instance does not hold are
+    /// adopted, so two writers with disjoint keys cannot lose each
+    /// other's entries (this instance's entries win on key collision).
+    ///
+    /// Within one process, serialize callers through [`SharedTuneDb`];
+    /// the merge narrows (but cannot fully close — there is no file
+    /// lock) the lost-update window between independent *processes*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::save`] I/O errors.
+    pub fn save_merged(&mut self) -> std::io::Result<()> {
+        if !self.is_persistent() {
+            return Ok(());
+        }
+        let on_disk = std::fs::read_to_string(&self.path)
+            .ok()
+            .and_then(|text| parse_entries(&text))
+            .unwrap_or_default();
+        for e in on_disk {
+            let held = self
+                .entries
+                .iter()
+                .any(|m| m.kernel == e.kernel && m.problem == e.problem && m.arch == e.arch);
+            if !held {
+                self.entries.push(e);
+            }
+        }
+        self.save()
+    }
+
     /// Writes the database atomically (temp file + rename). A failed
-    /// write never leaves the temp file behind.
+    /// write never leaves the temp file behind. No-op for an
+    /// [in-memory database](Self::in_memory).
     pub fn save(&self) -> std::io::Result<()> {
+        if !self.is_persistent() {
+            return Ok(());
+        }
         let tmp = self.path.with_extension("json.tmp");
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
@@ -190,6 +240,69 @@ impl TuneDb {
         }
         out.push_str("  ]\n}\n");
         out
+    }
+}
+
+/// A [`TuneDb`] behind interior locking, safe for concurrent use from
+/// one process: the serve daemon's request threads and tune-job
+/// workers all share one `Arc<SharedTuneDb>`. Every write goes through
+/// [load-merge-save](TuneDb::save_merged) under the lock, so a tune
+/// job finishing during another thread's save cannot lose entries.
+#[derive(Debug)]
+pub struct SharedTuneDb {
+    inner: Mutex<TuneDb>,
+}
+
+impl SharedTuneDb {
+    /// Loads (or creates) the shared database at `path`.
+    pub fn load(path: impl Into<PathBuf>) -> Self {
+        SharedTuneDb { inner: Mutex::new(TuneDb::load(path)) }
+    }
+
+    /// An in-memory shared database ([`TuneDb::in_memory`]).
+    pub fn in_memory() -> Self {
+        SharedTuneDb { inner: Mutex::new(TuneDb::in_memory()) }
+    }
+
+    /// Locked [`TuneDb::lookup`]; the entry is cloned out so the lock
+    /// is released before the caller acts on it.
+    pub fn lookup(&self, space: &dyn SearchSpace) -> Option<(Point, DbEntry)> {
+        let db = self.inner.lock().expect("tune db poisoned");
+        db.lookup(space).map(|(p, e)| (p, e.clone()))
+    }
+
+    /// Locked [`TuneDb::record`] followed by
+    /// [`TuneDb::save_merged`] — the whole read-modify-write is one
+    /// critical section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates save I/O errors (the in-memory record still took).
+    pub fn record_and_save(
+        &self,
+        space: &dyn SearchSpace,
+        point: &Point,
+        time_s: f64,
+        simulated: usize,
+    ) -> std::io::Result<()> {
+        let mut db = self.inner.lock().expect("tune db poisoned");
+        db.record(space, point, time_s, simulated);
+        db.save_merged()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("tune db poisoned").len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the database persists to disk.
+    pub fn is_persistent(&self) -> bool {
+        self.inner.lock().expect("tune db poisoned").is_persistent()
     }
 }
 
@@ -306,6 +419,64 @@ mod tests {
         db.record(&space, &space.default_point(), 1.0e-5, 9);
         assert_eq!(db.len(), 1);
         assert_eq!(db.lookup(&space).unwrap().1.time_s, 1.0e-5);
+    }
+
+    /// Two threads recording *disjoint* keys through one
+    /// [`SharedTuneDb`] must both survive to disk — the regression the
+    /// load-merge-save write discipline exists for.
+    #[test]
+    fn concurrent_disjoint_inserts_lose_nothing() {
+        let path = tmp("concurrent");
+        let shared = SharedTuneDb::load(&path.0);
+        let a = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let b = LayernormSpace::new(Arch::Sm86, 8192, 1024);
+        std::thread::scope(|s| {
+            s.spawn(|| shared.record_and_save(&a, &a.default_point(), 1.0e-5, 3).unwrap());
+            s.spawn(|| shared.record_and_save(&b, &b.default_point(), 2.0e-5, 4).unwrap());
+        });
+        let reloaded = TuneDb::load(&path.0);
+        assert_eq!(reloaded.len(), 2, "an entry was lost: {}", reloaded.render());
+        assert!(reloaded.lookup(&a).is_some());
+        assert!(reloaded.lookup(&b).is_some());
+    }
+
+    /// Two *independent* handles on the same file (e.g. a one-shot CLI
+    /// tune racing the daemon): the second save merges the first
+    /// writer's entry instead of clobbering the whole file.
+    #[test]
+    fn save_merged_adopts_foreign_entries() {
+        let path = tmp("merge");
+        let a = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let b = LayernormSpace::new(Arch::Sm86, 8192, 1024);
+        // Both handles loaded before either write exists.
+        let mut h1 = TuneDb::load(&path.0);
+        let mut h2 = TuneDb::load(&path.0);
+        h1.record(&a, &a.default_point(), 1.0e-5, 3);
+        h1.save_merged().unwrap();
+        h2.record(&b, &b.default_point(), 2.0e-5, 4);
+        h2.save_merged().unwrap();
+        let reloaded = TuneDb::load(&path.0);
+        assert_eq!(reloaded.len(), 2, "plain save would have dropped h1's entry");
+        assert!(reloaded.lookup(&a).is_some());
+        assert!(reloaded.lookup(&b).is_some());
+        // Key collision: this instance's entry wins over the disk's.
+        let mut h3 = TuneDb::load(&path.0);
+        h3.record(&a, &a.default_point(), 9.0e-5, 11);
+        h3.save_merged().unwrap();
+        let final_db = TuneDb::load(&path.0);
+        assert_eq!(final_db.len(), 2);
+        assert_eq!(final_db.lookup(&a).unwrap().1.time_s, 9.0e-5);
+    }
+
+    /// In-memory databases look up and record but never touch disk.
+    #[test]
+    fn in_memory_db_never_persists() {
+        let space = LayernormSpace::new(Arch::Sm86, 4096, 1024);
+        let shared = SharedTuneDb::in_memory();
+        assert!(!shared.is_persistent());
+        shared.record_and_save(&space, &space.default_point(), 1.0e-5, 3).unwrap();
+        assert_eq!(shared.len(), 1);
+        assert!(shared.lookup(&space).is_some());
     }
 
     /// A failed save must not leave `tune-cache.json.tmp` behind: make

@@ -44,15 +44,17 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod db;
 pub mod json;
 pub mod space;
 pub mod tuner;
 
-pub use db::{DbEntry, TuneDb, TUNE_DB_VERSION};
+pub use db::{DbEntry, SharedTuneDb, TuneDb, TUNE_DB_VERSION};
 pub use space::{FmhaSpace, GemmSpace, LayernormSpace, MlpSpace, ParamDef, Point, SearchSpace};
 pub use tuner::{
-    rank, Candidate, CostCache, Search, TuneError, TuneOptions, TuneReport, TuneStats,
+    planned_proposals, rank, Candidate, CostCache, Search, TuneError, TuneOptions, TuneProgress,
+    TuneReport, TuneStats,
 };
 
 /// Tunes a space: consult the database (if given), otherwise run the
@@ -106,6 +108,45 @@ pub fn tune_cached(
     if let Some(db) = db {
         db.record(space, &report.best_point, report.best_time_s, report.stats.simulated);
         db.save().map_err(|e| TuneError::Db(e.to_string()))?;
+    }
+    Ok(report)
+}
+
+/// [`tune_cached`] against a [`SharedTuneDb`] with an optional
+/// [`TuneProgress`] observer — the serve daemon's entry point. The
+/// database lookup, the (observable, cancellable) search, and the
+/// merged write-back all go through the shared handle, so concurrent
+/// tunes from many request threads neither race the file nor lose
+/// each other's entries.
+///
+/// # Errors
+///
+/// As [`tune`], plus [`TuneError::Cancelled`] when the observer
+/// cancelled the search.
+pub fn tune_observed(
+    space: &dyn SearchSpace,
+    opts: &TuneOptions,
+    db: Option<&SharedTuneDb>,
+    costs: Option<&CostCache>,
+    progress: Option<&dyn TuneProgress>,
+) -> Result<TuneReport, TuneError> {
+    if let Some(db) = db {
+        if let Some((point, entry)) = db.lookup(space) {
+            return Ok(TuneReport {
+                space: space.name().to_string(),
+                problem: space.problem_key(),
+                best_desc: space.describe(&point),
+                best_point: point,
+                best_time_s: entry.time_s,
+                leaderboard: Vec::new(),
+                stats: TuneStats { db_hit: true, ..TuneStats::default() },
+            });
+        }
+    }
+    let report = tuner::run_search_observed(space, opts, costs, progress)?;
+    if let Some(db) = db {
+        db.record_and_save(space, &report.best_point, report.best_time_s, report.stats.simulated)
+            .map_err(|e| TuneError::Db(e.to_string()))?;
     }
     Ok(report)
 }

@@ -153,6 +153,9 @@ pub enum TuneError {
     },
     /// The tuning database could not be written.
     Db(String),
+    /// The search was cancelled by its [`TuneProgress`] observer
+    /// before a winner was decided (partial results are discarded).
+    Cancelled,
 }
 
 impl std::fmt::Display for TuneError {
@@ -166,11 +169,35 @@ impl std::fmt::Display for TuneError {
                 Ok(())
             }
             TuneError::Db(e) => write!(f, "tuning database: {e}"),
+            TuneError::Cancelled => write!(f, "search cancelled"),
         }
     }
 }
 
 impl std::error::Error for TuneError {}
+
+/// Observer of a running search: batch-granular progress plus
+/// cooperative cancellation. Implementations must be `Sync` — the
+/// daemon's job queue polls one observer from its request threads
+/// while the search runs on a worker.
+///
+/// Progress is reported as `(proposed, planned)` where `planned` is
+/// the strategy's *a-priori* proposal estimate (exact for exhaustive
+/// and random searches, an upper-ish heuristic for beam search, whose
+/// round count is data-dependent). Consumers should clamp the derived
+/// fraction below 1.0 until the search actually returns.
+pub trait TuneProgress: Sync {
+    /// Called after every evaluated batch.
+    fn on_progress(&self, proposed: usize, planned: usize) {
+        let _ = (proposed, planned);
+    }
+
+    /// Polled between batches; returning `true` aborts the search with
+    /// [`TuneError::Cancelled`].
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
 
 /// Deterministic candidate ranking: simulated time, then cheaper
 /// counters, then the point itself.
@@ -385,6 +412,9 @@ struct Session<'s> {
     space: &'s dyn SearchSpace,
     opts: &'s TuneOptions,
     costs: Option<&'s CostCache>,
+    progress: Option<&'s dyn TuneProgress>,
+    /// Strategy's a-priori proposal estimate, for progress fractions.
+    planned: usize,
     stats: TuneStats,
     costed: Vec<Candidate>,
     last_reason: Option<String>,
@@ -396,11 +426,15 @@ impl<'s> Session<'s> {
         space: &'s dyn SearchSpace,
         opts: &'s TuneOptions,
         costs: Option<&'s CostCache>,
+        progress: Option<&'s dyn TuneProgress>,
+        planned: usize,
     ) -> Self {
         Session {
             space,
             opts,
             costs,
+            progress,
+            planned,
             stats: TuneStats::default(),
             costed: Vec::new(),
             last_reason: None,
@@ -412,12 +446,20 @@ impl<'s> Session<'s> {
         self.opts.budget.is_none_or(|b| self.stats.simulated < b)
     }
 
+    /// Polled between batches; a cancelled session stops proposing.
+    fn cancelled(&self) -> bool {
+        self.progress.is_some_and(|p| p.cancelled())
+    }
+
     /// Proposes a batch (dropping points already seen), evaluates it,
     /// and folds the outcomes in. Returns the candidates this batch
     /// costed.
     fn run_batch(&mut self, batch: Vec<Point>) -> Vec<Candidate> {
         let fresh: Vec<Point> = batch.into_iter().filter(|p| self.seen.insert(p.clone())).collect();
         if fresh.is_empty() {
+            return Vec::new();
+        }
+        if self.cancelled() {
             return Vec::new();
         }
         self.stats.proposed += fresh.len();
@@ -445,6 +487,9 @@ impl<'s> Session<'s> {
                     self.costed.push(*c);
                 }
             }
+        }
+        if let Some(p) = self.progress {
+            p.on_progress(self.stats.proposed, self.planned);
         }
         new
     }
@@ -491,14 +536,48 @@ pub fn run_search_cached(
     opts: &TuneOptions,
     costs: Option<&CostCache>,
 ) -> Result<TuneReport, TuneError> {
-    let mut sess = Session::new(space, opts, costs);
+    run_search_observed(space, opts, costs, None)
+}
+
+/// The strategy's a-priori proposal count: exact for exhaustive and
+/// random searches, a round-count heuristic for beam search (whose
+/// actual length is data-dependent). Used for progress fractions.
+pub fn planned_proposals(space: &dyn SearchSpace, search: &Search) -> usize {
+    let total = space.total_points();
+    match *search {
+        Search::Exhaustive => total + 1,
+        Search::Random { samples, .. } => samples + 1,
+        Search::Beam { width, patience, .. } => {
+            // Initial frontier plus an assumed `4 * patience` rounds of
+            // one-step neighbourhoods, capped by the space itself.
+            let per_round = width * space.params().len() * 2;
+            ((width * 4 + 1) + per_round * patience * 4).min(total + 1)
+        }
+    }
+}
+
+/// [`run_search_cached`] with an optional [`TuneProgress`] observer:
+/// batch-granular progress callbacks and cooperative cancellation.
+///
+/// # Errors
+///
+/// [`TuneError::Cancelled`] when the observer requested cancellation;
+/// otherwise as [`run_search`].
+pub fn run_search_observed(
+    space: &dyn SearchSpace,
+    opts: &TuneOptions,
+    costs: Option<&CostCache>,
+    progress: Option<&dyn TuneProgress>,
+) -> Result<TuneReport, TuneError> {
+    let planned = planned_proposals(space, &opts.search);
+    let mut sess = Session::new(space, opts, costs, progress, planned);
     match opts.search {
         Search::Exhaustive => {
             // Default first so a budget-capped run still covers it.
             sess.run_batch(vec![space.default_point()]);
             let total = space.total_points();
             let mut i = 0;
-            while i < total && sess.budget_left() {
+            while i < total && sess.budget_left() && !sess.cancelled() {
                 let end = (i + BATCH).min(total);
                 sess.run_batch((i..end).map(|j| space.point_at(j)).collect());
                 i = end;
@@ -512,7 +591,11 @@ pub fn run_search_cached(
             // Distinct sampling with a bounded number of redraws.
             let mut attempts = 0;
             let mut batch = Vec::new();
-            while proposed < samples && attempts < samples * 20 && sess.budget_left() {
+            while proposed < samples
+                && attempts < samples * 20
+                && sess.budget_left()
+                && !sess.cancelled()
+            {
                 attempts += 1;
                 let p = space.point_at(rng.gen_range(0..total));
                 if sess.seen.contains(&p) || batch.contains(&p) {
@@ -541,7 +624,7 @@ pub fn run_search_cached(
             beam.truncate(width);
             let mut best_t = beam.first().map(|c| c.profile.time_s);
             let mut stale = 0;
-            while stale < patience && sess.budget_left() && !beam.is_empty() {
+            while stale < patience && sess.budget_left() && !sess.cancelled() && !beam.is_empty() {
                 let frontier: Vec<Point> = beam
                     .iter()
                     .flat_map(|c| neighbours(space, &c.point))
@@ -564,6 +647,9 @@ pub fn run_search_cached(
                 }
             }
         }
+    }
+    if sess.cancelled() {
+        return Err(TuneError::Cancelled);
     }
     sess.finish()
 }
