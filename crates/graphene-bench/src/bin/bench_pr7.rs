@@ -16,11 +16,14 @@
 //!    exist. The PR 6 reference winner is embedded so a schedule
 //!    regression is caught here, not downstream.
 //!
+//! Emits BENCH_PR7.json in the unified `bench_emit` envelope.
+//!
 //! Usage: `cargo run --release -p graphene-bench --bin bench_pr7 [--fast] [out.json]`
 //! (`--fast` runs one timing iteration and budget-caps the tune — the
 //! CI smoke mode; the 3x and winner assertions only apply to the full
 //! run).
 
+use graphene_bench::emit::{json_f, BenchReport};
 use graphene_ir::{Arch, Kernel, TensorId};
 use graphene_kernels::fmha::{build_fused_fmha, FmhaConfig};
 use graphene_kernels::gemm::{build_gemm, Epilogue, GemmConfig};
@@ -196,66 +199,65 @@ fn run_tune(budget: Option<usize>) -> TuneResult {
     }
 }
 
-fn json_f(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.9}")
-    } else {
-        "null".into()
-    }
+/// One kernel's engine comparison as a nested JSON object for the
+/// unified envelope's `kernels` array.
+fn kernel_json(r: &EngineResult) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"grid_blocks\": {}, \"trace_steps\": {}, \
+         \"trace_addresses\": {}, \"record_once_wall_s\": {}, \"reference_wall_s\": {}, \
+         \"plan_sequential_wall_s\": {}, \"replay_wall_s\": {}, \
+         \"speedup_replay_vs_plan\": {}, \"speedup_replay_vs_reference\": {}, \
+         \"bit_identical_outputs\": {}, \"identical_counters\": {}}}",
+        r.name,
+        r.blocks,
+        r.steps,
+        r.addrs,
+        json_f(r.record_s),
+        json_f(r.reference_s),
+        json_f(r.plan_s),
+        json_f(r.replay_s),
+        json_f(r.plan_s / r.replay_s),
+        json_f(r.reference_s / r.replay_s),
+        r.bit_identical,
+        r.counters_identical,
+    )
 }
 
-fn render_json(results: &[EngineResult], tune: &TuneResult, iters: u32, fast: bool) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"benchmark\": \"trace-replay\",\n");
-    s.push_str(&format!("  \"iterations_per_engine\": {iters},\n"));
-    s.push_str(&format!("  \"fast_mode\": {fast},\n"));
-    s.push_str("  \"kernels\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
-        s.push_str(&format!("      \"grid_blocks\": {},\n", r.blocks));
-        s.push_str(&format!("      \"trace_steps\": {},\n", r.steps));
-        s.push_str(&format!("      \"trace_addresses\": {},\n", r.addrs));
-        s.push_str(&format!("      \"record_once_wall_s\": {},\n", json_f(r.record_s)));
-        s.push_str(&format!("      \"reference_wall_s\": {},\n", json_f(r.reference_s)));
-        s.push_str(&format!("      \"plan_sequential_wall_s\": {},\n", json_f(r.plan_s)));
-        s.push_str(&format!("      \"replay_wall_s\": {},\n", json_f(r.replay_s)));
-        s.push_str(&format!(
-            "      \"speedup_replay_vs_plan\": {},\n",
-            json_f(r.plan_s / r.replay_s)
-        ));
-        s.push_str(&format!(
-            "      \"speedup_replay_vs_reference\": {},\n",
-            json_f(r.reference_s / r.replay_s)
-        ));
-        s.push_str(&format!("      \"bit_identical_outputs\": {},\n", r.bit_identical));
-        s.push_str(&format!("      \"identical_counters\": {}\n", r.counters_identical));
-        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
-    }
-    s.push_str("  ],\n");
-    s.push_str("  \"tuner\": {\n");
+fn render_report(
+    results: &[EngineResult],
+    tune: &TuneResult,
+    iters: u32,
+    fast: bool,
+) -> BenchReport {
     let (m, n, k) = PR6_PROBLEM;
-    s.push_str(&format!("    \"problem\": \"gemm_sm86 m{m} n{n} k{k}\",\n"));
-    s.push_str(&format!("    \"total_points\": {},\n", tune.total_points));
-    s.push_str(&format!("    \"best_schedule\": \"{}\",\n", tune.best_desc));
-    s.push_str(&format!("    \"best_time_s\": {},\n", json_f(tune.best_time_s)));
-    s.push_str(&format!("    \"cold_wall_s\": {},\n", json_f(tune.cold_wall_s)));
-    s.push_str(&format!("    \"warm_wall_s\": {},\n", json_f(tune.warm_wall_s)));
-    s.push_str(&format!(
-        "    \"warm_speedup\": {},\n",
-        json_f(tune.cold_wall_s / tune.warm_wall_s)
-    ));
-    s.push_str(&format!("    \"cold_simulated\": {},\n", tune.cold_simulated));
-    s.push_str(&format!("    \"warm_simulated\": {},\n", tune.warm_simulated));
-    s.push_str(&format!("    \"warm_replayed\": {},\n", tune.warm_replayed));
-    s.push_str(&format!("    \"cost_recordings\": {},\n", tune.recordings));
-    s.push_str(&format!("    \"same_winner_cold_warm\": {},\n", tune.same_winner));
-    s.push_str(&format!("    \"pr6_reference_winner\": \"{PR6_WINNER}\",\n"));
-    s.push_str(&format!("    \"pr6_reference_wall_s\": {}\n", json_f(PR6_WALL_S)));
-    s.push_str("  }\n");
-    s.push_str("}\n");
-    s
+    let kernels: Vec<String> = results.iter().map(kernel_json).collect();
+    let tuner = format!(
+        "{{\"problem\": \"gemm_sm86 m{m} n{n} k{k}\", \"total_points\": {}, \
+         \"best_schedule\": \"{}\", \"best_time_s\": {}, \"cold_wall_s\": {}, \
+         \"warm_wall_s\": {}, \"warm_speedup\": {}, \"cold_simulated\": {}, \
+         \"warm_simulated\": {}, \"warm_replayed\": {}, \"cost_recordings\": {}, \
+         \"same_winner_cold_warm\": {}, \"pr6_reference_winner\": \"{PR6_WINNER}\", \
+         \"pr6_reference_wall_s\": {}}}",
+        tune.total_points,
+        tune.best_desc,
+        json_f(tune.best_time_s),
+        json_f(tune.cold_wall_s),
+        json_f(tune.warm_wall_s),
+        json_f(tune.cold_wall_s / tune.warm_wall_s),
+        tune.cold_simulated,
+        tune.warm_simulated,
+        tune.warm_replayed,
+        tune.recordings,
+        tune.same_winner,
+        json_f(PR6_WALL_S),
+    );
+    BenchReport::new("trace-replay")
+        .config_int("iterations_per_engine", i64::from(iters))
+        .config_bool("fast_mode", fast)
+        .config_str("tune_problem", &format!("gemm_sm86 m{m} n{n} k{k}"))
+        .metric_raw("kernels", &format!("[{}]", kernels.join(", ")))
+        .metric_raw("tuner", &tuner)
+        .speedup("tune_warm_vs_cold", tune.cold_wall_s / tune.warm_wall_s)
 }
 
 fn main() {
@@ -334,7 +336,7 @@ fn main() {
         tune.cold_wall_s,
     );
 
-    let json = render_json(&results, &tune, iters, fast);
-    std::fs::write(&out_path, &json).expect("write bench report");
+    let report = render_report(&results, &tune, iters, fast);
+    report.write(&out_path).expect("write bench report");
     println!("\nwrote {out_path}");
 }

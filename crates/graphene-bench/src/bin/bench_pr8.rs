@@ -14,10 +14,13 @@
 //!    the roofline-modeled time (the paper's Figure 15 pipeline) and
 //!    as executed wall time, with a bitwise output cross-check.
 //!
+//! Emits BENCH_PR8.json in the unified `bench_emit` envelope.
+//!
 //! Usage: `cargo run --release -p graphene-bench --bin bench_pr8 [--fast] [out.json]`
 //! (`--fast` shrinks the encoder and runs one timing iteration — the
 //! CI smoke mode; the 3x and 30% gates only apply to the full run).
 
+use graphene_bench::emit::{json_f, BenchReport};
 use graphene_ir::Arch;
 use graphene_kernels::exec_lower::{lower_executable, ExecLowering};
 use graphene_kernels::graph::{encoder_graph, lower_fused, lower_unfused, Graph};
@@ -83,14 +86,6 @@ fn bits(out: &GraphOutcome) -> Vec<Vec<u32>> {
         out.outputs.iter().map(|(t, xs)| (*t, xs.iter().map(|x| x.to_bits()).collect())).collect();
     v.sort_by_key(|(t, _)| *t);
     v.into_iter().map(|(_, b)| b).collect()
-}
-
-fn json_f(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.9}")
-    } else {
-        "null".into()
-    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -173,43 +168,53 @@ fn main() {
     assert!(lowerings_identical, "fused and default lowerings diverged bitwise");
     assert!(modeled_fused_s < modeled_default_s, "fusion must win on the machine model");
 
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"benchmark\": \"graph-exec\",\n");
-    s.push_str(&format!("  \"iterations_per_engine\": {iters},\n"));
-    s.push_str(&format!("  \"fast_mode\": {fast},\n"));
-    s.push_str(&format!(
-        "  \"encoder\": \"layers={} batch={} seq={} hidden={} heads={} ffn={}\",\n",
-        shape.layers, shape.batch, shape.seq, shape.hidden, shape.heads, shape.ffn
-    ));
-    s.push_str("  \"workspace\": {\n");
-    s.push_str(&format!("    \"intermediates\": {},\n", fused.temps.len()));
-    s.push_str(&format!("    \"arena_bytes\": {},\n", ws.arena_bytes()));
-    s.push_str(&format!("    \"naive_bytes\": {},\n", ws.naive_bytes()));
-    s.push_str(&format!("    \"saving_fraction\": {}\n", json_f(saving)));
-    s.push_str("  },\n");
-    s.push_str("  \"engines\": {\n");
-    s.push_str(&format!("    \"kernel_launches\": {},\n", gt.num_kernels()));
-    s.push_str(&format!("    \"distinct_recordings\": {},\n", traces.recordings()));
-    s.push_str(&format!("    \"trace_cache_hits\": {},\n", traces.hits()));
-    s.push_str(&format!("    \"record_once_wall_s\": {},\n", json_f(record_s)));
-    s.push_str(&format!("    \"plan_sequential_wall_s\": {},\n", json_f(plan_s)));
-    s.push_str(&format!("    \"replay_wall_s\": {},\n", json_f(replay_s)));
-    s.push_str(&format!("    \"speedup_replay_vs_plan\": {},\n", json_f(speedup)));
-    s.push_str(&format!("    \"bit_identical_outputs\": {bit_identical},\n"));
-    s.push_str(&format!("    \"identical_counters\": {counters_identical}\n"));
-    s.push_str("  },\n");
-    s.push_str("  \"lowerings\": {\n");
-    s.push_str(&format!("    \"fused_launches\": {},\n", fused.nodes.len()));
-    s.push_str(&format!("    \"default_launches\": {},\n", default.nodes.len()));
-    s.push_str(&format!("    \"modeled_fused_s\": {},\n", json_f(modeled_fused_s)));
-    s.push_str(&format!("    \"modeled_default_s\": {},\n", json_f(modeled_default_s)));
-    s.push_str(&format!("    \"executed_fused_wall_s\": {},\n", json_f(plan_s)));
-    s.push_str(&format!("    \"executed_default_wall_s\": {},\n", json_f(default_s)));
-    s.push_str(&format!("    \"bit_identical_outputs\": {lowerings_identical}\n"));
-    s.push_str("  }\n");
-    s.push_str("}\n");
-
-    std::fs::write(&out_path, &s).expect("write bench report");
+    let workspace = format!(
+        "{{\"intermediates\": {}, \"arena_bytes\": {}, \"naive_bytes\": {}, \
+         \"saving_fraction\": {}}}",
+        fused.temps.len(),
+        ws.arena_bytes(),
+        ws.naive_bytes(),
+        json_f(saving),
+    );
+    let engines = format!(
+        "{{\"kernel_launches\": {}, \"distinct_recordings\": {}, \"trace_cache_hits\": {}, \
+         \"record_once_wall_s\": {}, \"plan_sequential_wall_s\": {}, \"replay_wall_s\": {}, \
+         \"speedup_replay_vs_plan\": {}, \"bit_identical_outputs\": {bit_identical}, \
+         \"identical_counters\": {counters_identical}}}",
+        gt.num_kernels(),
+        traces.recordings(),
+        traces.hits(),
+        json_f(record_s),
+        json_f(plan_s),
+        json_f(replay_s),
+        json_f(speedup),
+    );
+    let lowerings = format!(
+        "{{\"fused_launches\": {}, \"default_launches\": {}, \"modeled_fused_s\": {}, \
+         \"modeled_default_s\": {}, \"executed_fused_wall_s\": {}, \
+         \"executed_default_wall_s\": {}, \"bit_identical_outputs\": {lowerings_identical}}}",
+        fused.nodes.len(),
+        default.nodes.len(),
+        json_f(modeled_fused_s),
+        json_f(modeled_default_s),
+        json_f(plan_s),
+        json_f(default_s),
+    );
+    let report = BenchReport::new("graph-exec")
+        .config_int("iterations_per_engine", i64::from(iters))
+        .config_bool("fast_mode", fast)
+        .config_str(
+            "encoder",
+            &format!(
+                "layers={} batch={} seq={} hidden={} heads={} ffn={}",
+                shape.layers, shape.batch, shape.seq, shape.hidden, shape.heads, shape.ffn
+            ),
+        )
+        .metric_raw("workspace", &workspace)
+        .metric_raw("engines", &engines)
+        .metric_raw("lowerings", &lowerings)
+        .speedup("replay_vs_plan", speedup)
+        .speedup("modeled_fused_vs_default", modeled_default_s / modeled_fused_s);
+    report.write(&out_path).expect("write bench report");
     println!("\nwrote {out_path}");
 }

@@ -19,8 +19,8 @@
 
 use graphene_ir::{Arch, Kernel};
 use graphene_sim::{
-    analyze, execute_graph, execute_plan, execute_reference, machine_for, replay, replay_graph,
-    time_kernel, ExecMode, GraphTraceCache, HostTensor, KernelPlan, TraceCache, TraceKey,
+    analyze, execute_graph, execute_plan, execute_reference, machine_for, replay_graph, replay_opt,
+    time_kernel, ExecMode, GraphTraceCache, HostTensor, KernelPlan, OptStats, TraceCache, TraceKey,
 };
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -295,6 +295,7 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
     // requests from it — the second cache lookup and the reported
     // hit/re-interpretation stats demonstrate the record-once contract.
     let mut trace_line = None;
+    let mut opt_line = None;
     let mut cache_line = None;
     let start = std::time::Instant::now();
     let outcome = match &engine {
@@ -311,15 +312,17 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
             let trace =
                 cache.get_or_record(&key, &plan, &bindings).map_err(|e| CliError(e.to_string()))?;
             let record_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let st = trace.stats();
             trace_line = Some(format!(
-                "trace    : {} steps, {} addresses, recorded in {record_ms:.3} ms",
+                "trace    : {} steps, {} residual addresses, recorded in {record_ms:.3} ms",
                 trace.num_steps(),
                 trace.num_addrs()
             ));
+            opt_line = Some(opt_stats_line(st));
             let trace =
                 cache.get_or_record(&key, &plan, &bindings).map_err(|e| CliError(e.to_string()))?;
-            let first = replay(&trace, &inputs);
-            let second = replay(&trace, &inputs);
+            let first = replay_opt(&trace, &inputs);
+            let second = replay_opt(&trace, &inputs);
             cache_line = Some(format!(
                 "trace-cache : {} recording(s), {} hit(s), re-interpretations : {}",
                 cache.recordings(),
@@ -350,6 +353,9 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
     if let Some(l) = &trace_line {
         let _ = writeln!(out, "{l}");
     }
+    if let Some(l) = &opt_line {
+        let _ = writeln!(out, "{l}");
+    }
     if let Some(l) = &cache_line {
         let _ = writeln!(out, "{l}");
     }
@@ -366,6 +372,22 @@ fn exec_run(cli: &Cli) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "checksum : {checksum:.6}");
     Ok(out)
+}
+
+/// Renders one trace-optimizer stats line (`run --exec replay` and
+/// `run-graph --exec replay` share the format).
+fn opt_stats_line(st: &OptStats) -> String {
+    format!(
+        "trace-opt : {:.1}% coalesced, {} -> {} trace bytes ({:.1}% smaller), {} -> {} steps ({} dead fills, {} fused)",
+        st.coalesced_fraction() * 100.0,
+        st.bytes_before,
+        st.bytes_after,
+        st.bytes_saved_fraction() * 100.0,
+        st.steps_before,
+        st.steps_after,
+        st.dead_fills,
+        st.fused_steps
+    )
 }
 
 /// The `run-graph` sub-command: build a transformer encoder graph,
@@ -426,6 +448,7 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
         replay_ms: f64,
         graph_stats: (u64, u64, u64),
         trace_stats: (u64, u64),
+        opt: OptStats,
         same: bool,
     }
     let start = std::time::Instant::now();
@@ -462,6 +485,7 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
             replay_ms,
             graph_stats: (graphs.recordings(), graphs.hits(), graphs.evictions()),
             trace_stats: (traces.recordings(), traces.hits()),
+            opt: gt.opt_stats(),
             same,
         };
         (replayed, Some(info))
@@ -496,6 +520,9 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
             let _ = write!(
                 out,
                 "\"trace\":{{\"kernels\":{},\"steps\":{},\"record_ms\":{:.3},\"replay_ms\":{:.3}}},\
+                 \"trace_opt\":{{\"coalesced_fraction\":{:.4},\"bytes_before\":{},\
+                 \"bytes_after\":{},\"steps_before\":{},\"steps_after\":{},\
+                 \"dead_fills\":{},\"fused_steps\":{}}},\
                  \"graph_cache\":{{\"recordings\":{},\"hits\":{},\"evictions\":{}}},\
                  \"trace_cache\":{{\"recordings\":{},\"hits\":{}}},\
                  \"plan_vs_replay\":\"{}\",",
@@ -503,6 +530,13 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
                 r.steps,
                 r.record_ms,
                 r.replay_ms,
+                r.opt.coalesced_fraction(),
+                r.opt.bytes_before,
+                r.opt.bytes_after,
+                r.opt.steps_before,
+                r.opt.steps_after,
+                r.opt.dead_fills,
+                r.opt.fused_steps,
                 r.graph_stats.0,
                 r.graph_stats.1,
                 r.graph_stats.2,
@@ -544,6 +578,7 @@ fn run_graph(cli: &Cli) -> Result<String, CliError> {
                 "trace    : {} kernels, {} steps, recorded in {:.3} ms",
                 r.kernels, r.steps, r.record_ms
             );
+            let _ = writeln!(out, "{}", opt_stats_line(&r.opt));
             let _ = writeln!(
                 out,
                 "graph-cache : {} recording(s), {} hit(s), evictions : {}",

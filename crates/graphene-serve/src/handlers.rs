@@ -13,7 +13,7 @@ use crate::proto::{err_envelope, ok_envelope, parse_request, Obj, Request};
 use crate::state::ServerState;
 use graphene_ir::Arch;
 use graphene_sim::{
-    execute_graph, execute_plan, execute_reference, replay, replay_graph, ExecMode, HostTensor,
+    execute_graph, execute_plan, execute_reference, replay_graph, replay_opt, ExecMode, HostTensor,
     TraceKey,
 };
 use std::collections::HashMap;
@@ -186,7 +186,7 @@ fn run(state: &ServerState, req: &Request) -> Result<Obj, String> {
                 .traces
                 .get_or_record(&key, &entry.plan, &bindings)
                 .map_err(|e| e.to_string())?;
-            replay(&trace, &inputs)
+            replay_opt(&trace, &inputs)
         }
     }
     .map_err(|e| e.to_string())?;
@@ -433,21 +433,25 @@ fn stats(state: &ServerState) -> Obj {
                 .raw(
                     "traces",
                     &format!(
-                        "{{\"hits\":{},\"recordings\":{},\"evictions\":{},\"entries\":{}}}",
+                        "{{\"hits\":{},\"recordings\":{},\"evictions\":{},\"entries\":{},\
+                         \"resident_bytes\":{}}}",
                         state.traces.hits(),
                         state.traces.recordings(),
                         state.traces.evictions(),
-                        state.traces.len()
+                        state.traces.len(),
+                        state.traces.resident_bytes()
                     ),
                 )
                 .raw(
                     "graphs",
                     &format!(
-                        "{{\"hits\":{},\"recordings\":{},\"evictions\":{},\"entries\":{}}}",
+                        "{{\"hits\":{},\"recordings\":{},\"evictions\":{},\"entries\":{},\
+                         \"resident_bytes\":{}}}",
                         state.graphs.hits(),
                         state.graphs.recordings(),
                         state.graphs.evictions(),
-                        state.graphs.len()
+                        state.graphs.len(),
+                        state.graphs.resident_bytes()
                     ),
                 )
                 .raw(

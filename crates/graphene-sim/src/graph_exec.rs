@@ -35,9 +35,10 @@
 use crate::counters::Counters;
 use crate::exec::ExecError;
 use crate::plan::KernelPlan;
-use crate::replay::replay_with;
+use crate::replay::replay_opt_with;
 use crate::run::{execute_plan, ExecMode};
-use crate::trace::{LruMap, Trace, TraceCache, TraceKey};
+use crate::trace::{LruMap, TraceCache, TraceKey};
+use crate::trace_opt::{OptStats, OptTrace};
 use crate::workspace::{plan_workspace, NodeUse, WorkspacePlan};
 use graphene_ir::tensor::TensorId;
 use graphene_ir::Arch;
@@ -298,7 +299,7 @@ pub fn execute_graph(
 /// [`record_graph`], executed by [`replay_graph`].
 #[derive(Debug)]
 pub struct GraphTrace {
-    nodes: Vec<(Arc<Trace>, Vec<ArgBinding>)>,
+    nodes: Vec<(Arc<OptTrace>, Vec<ArgBinding>)>,
     workspace: WorkspacePlan,
     temps: Vec<usize>,
     outputs: Vec<usize>,
@@ -319,6 +320,40 @@ impl GraphTrace {
     /// The workspace plan replay binds its slices from.
     pub fn workspace(&self) -> &WorkspacePlan {
         &self.workspace
+    }
+
+    /// Trace-optimizer stats aggregated over the stitched chain
+    /// (shared recordings counted once per launch, matching
+    /// [`num_steps`](Self::num_steps)).
+    pub fn opt_stats(&self) -> OptStats {
+        let mut agg = OptStats::default();
+        for (t, _) in &self.nodes {
+            let s = t.stats();
+            agg.steps_before += s.steps_before;
+            agg.steps_after += s.steps_after;
+            agg.addrs_before += s.addrs_before;
+            agg.gather_addrs += s.gather_addrs;
+            agg.dead_fills += s.dead_fills;
+            agg.fused_steps += s.fused_steps;
+            agg.bytes_before += s.bytes_before;
+            agg.bytes_after += s.bytes_after;
+        }
+        agg
+    }
+
+    /// Resident payload bytes of the stitched chain, counting each
+    /// shared recording once.
+    pub fn resident_bytes(&self) -> usize {
+        let mut seen: Vec<*const OptTrace> = Vec::with_capacity(self.nodes.len());
+        let mut total = 0;
+        for (t, _) in &self.nodes {
+            let p = Arc::as_ptr(t);
+            if !seen.contains(&p) {
+                seen.push(p);
+                total += t.resident_bytes();
+            }
+        }
+        total
     }
 }
 
@@ -366,7 +401,7 @@ pub fn replay_graph(
     let mut counters = Counters::default();
     for (trace, args) in &gt.nodes {
         let kin = node_inputs(&trace.params, args, inputs, &arena, ws)?;
-        let out = replay_with(trace, &kin, mode)?;
+        let out = replay_opt_with(trace, &kin, mode)?;
         counters.merge(&out.counters);
         scatter_outputs(&trace.params, args, &out.globals, &mut arena, ws);
     }
@@ -464,6 +499,17 @@ impl GraphTraceCache {
     /// Number of distinct graph traces held.
     pub fn len(&self) -> usize {
         self.traces.lock().expect("graph-trace cache poisoned").len()
+    }
+
+    /// Total resident payload bytes across all cached graph traces
+    /// (each stitched chain counts its shared recordings once).
+    pub fn resident_bytes(&self) -> usize {
+        self.traces
+            .lock()
+            .expect("graph-trace cache poisoned")
+            .values()
+            .map(|t| t.resident_bytes())
+            .sum()
     }
 
     /// Whether the cache holds no graph traces.

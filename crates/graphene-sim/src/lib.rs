@@ -34,7 +34,12 @@
 //! [`TraceCache`] memoizes traces per (kernel, problem, arch), and
 //! [`replay`](replay()) re-runs the program against fresh inputs with
 //! no dispatch, no symbolic environment, and no address emission
-//! ([`ExecMode::Replay`] for one-shot use).
+//! ([`ExecMode::Replay`] for one-shot use). Recorded traces are then
+//! lowered by the trace optimizer ([`optimize_trace`], [`trace_opt`])
+//! into an [`OptTrace`] whose address slices are compact affine
+//! descriptors: [`replay_opt`](replay_opt()) runs contiguous steps at
+//! memcpy speed, and the [`TraceCache`] keeps only this compact form
+//! resident.
 
 #![warn(missing_docs)]
 
@@ -50,6 +55,7 @@ pub mod replay;
 pub mod run;
 pub mod timing;
 pub mod trace;
+pub mod trace_opt;
 pub mod workspace;
 
 pub use analyze::{
@@ -72,8 +78,9 @@ pub use prove::{
     grade_conflicts_cached, linear_site, prove_conflicts_enumerated, prove_conflicts_linear,
     sample_is_aligned_warp, ConflictGrade, ConflictProvenance, LinearSite,
 };
-pub use replay::{replay, replay_with};
+pub use replay::{replay, replay_opt, replay_opt_with, replay_with};
 pub use run::{execute_plan, ExecMode};
 pub use timing::{time_kernel, time_sequence, KernelProfile};
 pub use trace::{record_trace, Trace, TraceCache, TraceKey};
+pub use trace_opt::{optimize_trace, record_opt_trace, OptStats, OptTrace};
 pub use workspace::{plan_workspace, NodeUse, TempPlan, WorkspacePlan};

@@ -16,6 +16,7 @@
 use crate::exec::{ExecError, ExecOutcome};
 use crate::run::ExecMode;
 use crate::trace::{TOp, Trace};
+use crate::trace_opt::{LaneRef, OTp, OptTrace, Span};
 use std::collections::HashMap;
 
 use graphene_ir::tensor::TensorId;
@@ -76,13 +77,15 @@ pub fn replay_with(
 
 /// Validates `inputs` against the trace's parameters and produces the
 /// unified buffer table (globals in params order, then zeroed shared
-/// and register buffers).
-fn initial_bufs(
-    trace: &Trace,
+/// and register buffers). Shared by the raw and optimized replays.
+fn initial_bufs_from(
+    params: &[(TensorId, String, usize)],
+    buf_lens: &[usize],
+    n_globals: usize,
     inputs: &HashMap<TensorId, Vec<f32>>,
 ) -> Result<Vec<Vec<f32>>, ExecError> {
-    let mut bufs = Vec::with_capacity(trace.buf_lens.len());
-    for (p, name, want) in &trace.params {
+    let mut bufs = Vec::with_capacity(buf_lens.len());
+    for (p, name, want) in params {
         match inputs.get(p) {
             Some(b) if b.len() != *want => {
                 return Err(ExecError::BadInput(format!(
@@ -96,8 +99,15 @@ fn initial_bufs(
             None => bufs.push(vec![0.0; *want]),
         }
     }
-    bufs.extend(trace.buf_lens[trace.n_globals..].iter().map(|&len| vec![0.0; len]));
+    bufs.extend(buf_lens[n_globals..].iter().map(|&len| vec![0.0; len]));
     Ok(bufs)
+}
+
+fn initial_bufs(
+    trace: &Trace,
+    inputs: &HashMap<TensorId, Vec<f32>>,
+) -> Result<Vec<Vec<f32>>, ExecError> {
+    initial_bufs_from(&trace.params, &trace.buf_lens, trace.n_globals, inputs)
 }
 
 fn run_sequential(trace: &Trace, init: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
@@ -134,6 +144,102 @@ fn run_parallel(trace: &Trace, init: Vec<Vec<f32>>, workers: usize) -> Vec<Vec<f
         }
     }
     globals
+}
+
+/// Replays an optimized trace sequentially against `inputs` — the
+/// coalesced fast path: contiguous copies run as `copy_from_slice`,
+/// contiguous element-wise steps as tight slice loops, strided/lane
+/// spans as stepped loops, and only residual gathers walk an address
+/// array. Bit-identical to [`replay`] of the unoptimized trace.
+///
+/// # Errors
+///
+/// [`ExecError::BadInput`] when an input buffer is mis-sized.
+pub fn replay_opt(
+    trace: &OptTrace,
+    inputs: &HashMap<TensorId, Vec<f32>>,
+) -> Result<ExecOutcome, ExecError> {
+    replay_opt_with(trace, inputs, ExecMode::Sequential)
+}
+
+/// Like [`replay_opt`], with an explicit [`ExecMode`] selecting
+/// sequential or parallel CTA replay ([`ExecMode::Replay`] acts as
+/// sequential). The parallel merge logs whole written runs instead of
+/// scalar writes, so coalesced steps stay coalesced across the merge.
+///
+/// # Errors
+///
+/// See [`replay_opt`].
+pub fn replay_opt_with(
+    trace: &OptTrace,
+    inputs: &HashMap<TensorId, Vec<f32>>,
+    mode: ExecMode,
+) -> Result<ExecOutcome, ExecError> {
+    let init = initial_bufs_from(&trace.params, &trace.buf_lens, trace.n_globals, inputs)?;
+    let grid = trace.blocks.len();
+    let workers = match mode {
+        ExecMode::Sequential | ExecMode::Replay => 1,
+        ExecMode::Parallel => {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(grid.max(1))
+        }
+        ExecMode::Workers(n) => n.max(1).min(grid.max(1)),
+    };
+    let globals = if workers <= 1 || grid <= 1 {
+        let mut cta = OptCta { trace, bufs: init, log: None };
+        for b in 0..grid {
+            cta.run_block(b);
+        }
+        cta.bufs.truncate(trace.n_globals);
+        cta.bufs
+    } else {
+        run_parallel_opt(trace, init, workers)
+    };
+    let globals = trace.params.iter().map(|(p, _, _)| *p).zip(globals).collect::<HashMap<_, _>>();
+    Ok(ExecOutcome { globals, counters: trace.counters })
+}
+
+fn run_parallel_opt(trace: &OptTrace, init: Vec<Vec<f32>>, workers: usize) -> Vec<Vec<f32>> {
+    let grid = trace.blocks.len();
+    let chunk = grid.div_ceil(workers);
+    let mut logs: Vec<Vec<OWrite>> = vec![Vec::new(); grid];
+    let init_ref = &init;
+    std::thread::scope(|s| {
+        for (w, log_chunk) in (0..workers).zip(logs.chunks_mut(chunk)) {
+            s.spawn(move || {
+                let mut cta = OptCta { trace, bufs: init_ref.clone(), log: Some(Vec::new()) };
+                for (i, slot) in log_chunk.iter_mut().enumerate() {
+                    cta.run_block(w * chunk + i);
+                    *slot = std::mem::take(cta.log.as_mut().expect("log installed"));
+                }
+            });
+        }
+    });
+    // Deterministic merge: apply every block's writes in block order;
+    // run entries splat whole slices, scalar entries single elements.
+    let mut globals = init;
+    globals.truncate(trace.n_globals);
+    for log in &logs {
+        for rec in log {
+            match rec {
+                OWrite::Run { buf, start, vals } => {
+                    let s = *start as usize;
+                    globals[*buf as usize][s..s + vals.len()].copy_from_slice(vals);
+                }
+                OWrite::At { buf, addr, val } => {
+                    globals[*buf as usize][*addr as usize] = *val;
+                }
+            }
+        }
+    }
+    globals
+}
+
+/// One logged global write of an optimized parallel replay: either a
+/// whole contiguous run (from a coalesced step) or a scalar.
+#[derive(Debug, Clone)]
+enum OWrite {
+    Run { buf: u32, start: u32, vals: Vec<f32> },
+    At { buf: u32, addr: u32, val: f32 },
 }
 
 /// Per-worker replay state: the unified flat buffer table plus an
@@ -325,6 +431,698 @@ impl ReplayCta<'_> {
                         let peer = li ^ mask as usize;
                         let v = vals[peer % vals.len()];
                         self.put(dst, ar[da as usize + li], v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Zero-dispatch address streams: a [`Span`] resolves to one concrete
+/// stream type per step (not per element), so the loops below
+/// monomorphize per variant combination with no enum branch in the
+/// body — the difference between matching and beating the raw arena
+/// walk.
+trait Addrs {
+    fn next_addr(&mut self) -> usize;
+}
+
+struct AffA {
+    cur: i64,
+    step: i64,
+}
+
+impl Addrs for AffA {
+    #[inline(always)]
+    fn next_addr(&mut self) -> usize {
+        let a = self.cur;
+        self.cur += self.step;
+        a as usize
+    }
+}
+
+struct LanA {
+    cur: i64,
+    row: i64,
+    lane: i64,
+    stride: i64,
+    per: u32,
+    j: u32,
+}
+
+impl Addrs for LanA {
+    #[inline(always)]
+    fn next_addr(&mut self) -> usize {
+        let a = self.cur;
+        self.j += 1;
+        if self.j == self.per {
+            self.j = 0;
+            self.row += self.lane;
+            self.cur = self.row;
+        } else {
+            self.cur += self.stride;
+        }
+        a as usize
+    }
+}
+
+struct GatA<'g> {
+    g: &'g [u32],
+    i: usize,
+}
+
+impl Addrs for GatA<'_> {
+    #[inline(always)]
+    fn next_addr(&mut self) -> usize {
+        let a = self.g[self.i];
+        self.i += 1;
+        a as usize
+    }
+}
+
+/// Binds `$it` to the concrete stream for `$span` and runs `$body`
+/// once — the single variant match per operand per step.
+macro_rules! dispatch_span {
+    ($span:expr, $g:expr, |$it:ident| $body:expr) => {
+        match $span {
+            Span::Affine { base, stride } => {
+                let mut $it = AffA { cur: i64::from(base), step: i64::from(stride) };
+                $body
+            }
+            Span::Lanes { base, lane, stride, per } => {
+                let mut $it = LanA {
+                    cur: i64::from(base),
+                    row: i64::from(base),
+                    lane: i64::from(lane),
+                    stride: i64::from(stride),
+                    per,
+                    j: 0,
+                };
+                $body
+            }
+            Span::Gather { start } => {
+                let mut $it = GatA { g: $g, i: start as usize };
+                $body
+            }
+        }
+    };
+}
+
+/// The loop drivers are macros, not generic fns taking closures: a
+/// closure shared by 9–27 monomorphized loop variants is too bloated
+/// for LLVM to inline, leaving a function call per element. Textual
+/// expansion gives every span-variant combination its own
+/// straight-line loop body.
+macro_rules! each1 {
+    ($s:expr, $g:expr, $n:expr, |$a:ident| $body:expr) => {
+        dispatch_span!($s, $g, |it| for _ in 0..$n {
+            let $a = it.next_addr();
+            $body
+        })
+    };
+}
+
+macro_rules! zip2 {
+    ($s:expr, $d:expr, $g:expr, $n:expr, |$a:ident, $b:ident| $body:expr) => {
+        dispatch_span!($s, $g, |ai| dispatch_span!($d, $g, |bi| for _ in 0..$n {
+            let $a = ai.next_addr();
+            let $b = bi.next_addr();
+            $body
+        }))
+    };
+}
+
+macro_rules! zip3 {
+    ($x:expr, $y:expr, $z:expr, $g:expr, $n:expr, |$a:ident, $b:ident, $c:ident| $body:expr) => {
+        dispatch_span!($x, $g, |ai| dispatch_span!($y, $g, |bi| dispatch_span!(
+            $z,
+            $g,
+            |ci| for _ in 0..$n {
+                let $a = ai.next_addr();
+                let $b = bi.next_addr();
+                let $c = ci.next_addr();
+                $body
+            }
+        )))
+    };
+}
+
+/// Iterates one lane of a collective operand — binds `($v, $a)` =
+/// (element index, address) for `$v in 0..$cnt` — with the lane's
+/// variant resolved once, not per element.
+macro_rules! each_lane {
+    ($s:expr, $g:expr, $li:expr, $per:expr, $cnt:expr, |$v:ident, $a:ident| $body:expr) => {
+        match $s.lane($g, $li, $per) {
+            LaneRef::Aff { start, step } => {
+                let mut cur = start;
+                for $v in 0..$cnt {
+                    let $a = cur as usize;
+                    $body;
+                    cur += step;
+                }
+            }
+            LaneRef::Gat(row) => {
+                for ($v, &addr_raw) in row[..$cnt].iter().enumerate() {
+                    let $a = addr_raw as usize;
+                    $body
+                }
+            }
+        }
+    };
+}
+
+/// Row decomposition of a span whose rows are contiguous: element `i`
+/// lives at `start + (i/per)*row_step + i%per`. Affine stride-1 spans
+/// are one row of length `n`; `Lanes` stride-1 spans are `n/per` rows.
+/// These are the spans the bulk (`copy_from_slice` / slice-loop) arms
+/// can service.
+#[inline]
+fn rows1(s: Span, n: usize) -> Option<(i64, i64, usize)> {
+    match s {
+        Span::Affine { base, stride: 1 } => Some((i64::from(base), n as i64, n.max(1))),
+        Span::Lanes { base, lane, stride: 1, per } if per > 0 && n.is_multiple_of(per as usize) => {
+            Some((i64::from(base), i64::from(lane), per as usize))
+        }
+        _ => None,
+    }
+}
+
+/// Walks two row-contiguous spans in matched chunks — `f(sa, da, len)`
+/// with both ranges contiguous — or returns `false` untouched when
+/// either span has no contiguous-row shape. The chunk length is the
+/// smaller `per`, so a long source row can feed several short
+/// destination rows and vice versa.
+#[inline]
+fn chunks2<F: FnMut(usize, usize, usize)>(sa: Span, da: Span, n: usize, mut f: F) -> bool {
+    let (Some((s0, sl, sp)), Some((d0, dl, dp))) = (rows1(sa, n), rows1(da, n)) else {
+        return false;
+    };
+    let rp = sp.min(dp);
+    if rp == 0 || sp % rp != 0 || dp % rp != 0 || (rp < 8 && rp != n) {
+        return false;
+    }
+    let mut i = 0usize;
+    while i < n {
+        let s = s0 + (i / sp) as i64 * sl + (i % sp) as i64;
+        let d = d0 + (i / dp) as i64 * dl + (i % dp) as i64;
+        f(s as usize, d as usize, rp);
+        i += rp;
+    }
+    true
+}
+
+/// Three-operand variant of [`chunks2`].
+#[inline]
+fn chunks3<F: FnMut(usize, usize, usize, usize)>(
+    aa: Span,
+    ba: Span,
+    ca: Span,
+    n: usize,
+    mut f: F,
+) -> bool {
+    let (Some((a0, al, ap)), Some((b0, bl, bp)), Some((c0, cl, cp))) =
+        (rows1(aa, n), rows1(ba, n), rows1(ca, n))
+    else {
+        return false;
+    };
+    let rp = ap.min(bp).min(cp);
+    if rp == 0 || ap % rp != 0 || bp % rp != 0 || cp % rp != 0 || (rp < 8 && rp != n) {
+        return false;
+    }
+    let mut i = 0usize;
+    while i < n {
+        let a = a0 + (i / ap) as i64 * al + (i % ap) as i64;
+        let b = b0 + (i / bp) as i64 * bl + (i % bp) as i64;
+        let c = c0 + (i / cp) as i64 * cl + (i % cp) as i64;
+        f(a as usize, b as usize, c as usize, rp);
+        i += rp;
+    }
+    true
+}
+
+/// Fills a row-major matrix from a span's addresses. The gather case
+/// (the norm for composed MMA fragments) pre-slices the address table
+/// so the const-bound nested loop carries one bounds check per element
+/// and no division.
+#[inline(always)]
+fn load_mat<const R: usize, const C: usize>(
+    dst: &mut [[f32; C]; R],
+    buf: &[f32],
+    s: Span,
+    g: &[u32],
+) {
+    if let Span::Gather { start } = s {
+        let tbl = &g[start as usize..start as usize + R * C];
+        for (r, row) in dst.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = buf[tbl[r * C + c] as usize];
+            }
+        }
+    } else {
+        let mut i = 0;
+        each1!(s, g, R * C, |addr| {
+            dst[i / C][i % C] = buf[addr];
+            i += 1;
+        });
+    }
+}
+
+/// Per-worker optimized replay state.
+struct OptCta<'t> {
+    trace: &'t OptTrace,
+    bufs: Vec<Vec<f32>>,
+    log: Option<Vec<OWrite>>,
+}
+
+impl OptCta<'_> {
+    #[inline]
+    fn get(&self, buf: u32, addr: usize) -> f32 {
+        self.bufs[buf as usize][addr]
+    }
+
+    #[inline]
+    fn put(&mut self, buf: u32, addr: usize, v: f32) {
+        self.bufs[buf as usize][addr] = v;
+        if (buf as usize) < self.trace.n_globals {
+            if let Some(log) = &mut self.log {
+                log.push(OWrite::At { buf, addr: addr as u32, val: v });
+            }
+        }
+    }
+
+    /// Logs a contiguous run already written to `buf` at `start`.
+    #[inline]
+    fn log_run(&mut self, buf: u32, start: usize, n: usize) {
+        if (buf as usize) < self.trace.n_globals && self.log.is_some() {
+            let vals = self.bufs[buf as usize][start..start + n].to_vec();
+            if let Some(log) = &mut self.log {
+                log.push(OWrite::Run { buf, start: start as u32, vals });
+            }
+        }
+    }
+
+    /// Logs every destination row a bulk arm just wrote — only when the
+    /// parallel merge needs it (`log` installed and `buf` global).
+    #[inline]
+    fn log_chunks2(&mut self, buf: u32, da: Span, n: usize) {
+        if (buf as usize) < self.trace.n_globals && self.log.is_some() {
+            let Some((d0, dl, dp)) = rows1(da, n) else { return };
+            let mut i = 0usize;
+            while i < n {
+                let d = (d0 + (i / dp) as i64 * dl) as usize;
+                self.log_run(buf, d, dp.min(n - i));
+                i += dp;
+            }
+        }
+    }
+
+    /// Dense tensor-core MMA: fragment operands were permuted into
+    /// matrix order at optimize time, so loads and the writeback
+    /// stream whole matrices with zero per-element fragment
+    /// arithmetic, and the accumulate vectorizes over `n` with the
+    /// exact per-output f32 op order of the lane-order interpreter.
+    #[inline(never)]
+    fn mma_dense<const M: usize, const N: usize, const K: usize>(
+        &mut self,
+        (a, b, c): (u32, u32, u32),
+        (am, bm, cm): (Span, Span, Span),
+        g: &[u32],
+    ) {
+        let mut amx = [[0.0f32; K]; M];
+        let mut bmx = [[0.0f32; N]; K];
+        let mut cmx = [[0.0f32; N]; M];
+        load_mat(&mut amx, &self.bufs[a as usize], am, g);
+        load_mat(&mut bmx, &self.bufs[b as usize], bm, g);
+        load_mat(&mut cmx, &self.bufs[c as usize], cm, g);
+        for mi in 0..M {
+            let mut acc = [0.0f32; N];
+            for ki in 0..K {
+                let av = amx[mi][ki];
+                for ni in 0..N {
+                    acc[ni] += av * bmx[ki][ni];
+                }
+            }
+            for ni in 0..N {
+                cmx[mi][ni] += acc[ni];
+            }
+        }
+        if (c as usize) < self.trace.n_globals && self.log.is_some() {
+            let mut i = 0;
+            each1!(cm, g, M * N, |addr| {
+                self.put(c, addr, cmx[i / N][i % N]);
+                i += 1;
+            });
+        } else {
+            let cb = &mut self.bufs[c as usize];
+            if let Span::Gather { start } = cm {
+                let tbl = &g[start as usize..start as usize + M * N];
+                for (r, row) in cmx.iter().enumerate() {
+                    for (ni, v) in row.iter().enumerate() {
+                        cb[tbl[r * N + ni] as usize] = *v;
+                    }
+                }
+            } else {
+                let mut i = 0;
+                each1!(cm, g, M * N, |addr| {
+                    cb[addr] = cmx[i / N][i % N];
+                    i += 1;
+                });
+            }
+        }
+    }
+
+    /// Disjoint `(&src, &mut dst)` buffer views; `src != dst`.
+    #[inline]
+    fn pair(&mut self, src: u32, dst: u32) -> (&[f32], &mut [f32]) {
+        let (s, d) = (src as usize, dst as usize);
+        debug_assert_ne!(s, d);
+        if s < d {
+            let (lo, hi) = self.bufs.split_at_mut(d);
+            (&lo[s], &mut hi[0])
+        } else {
+            let (lo, hi) = self.bufs.split_at_mut(s);
+            (&hi[0], &mut lo[d])
+        }
+    }
+
+    // `assign_op_pattern`: FMA accumulates are written `acc = x*y + acc`
+    // (not `acc += x*y`) so the f32 addition keeps the raw
+    // interpreter's operand order exactly — bit-identity is a hard
+    // contract here.
+    #[allow(clippy::too_many_lines, clippy::assign_op_pattern)]
+    fn run_block(&mut self, b: usize) {
+        let t = self.trace;
+        let (start, end) = t.blocks[b];
+        let g: &[u32] = &t.gather;
+        use graphene_ir::atomic::fragments as frag;
+        for step in &t.steps[start as usize..end as usize] {
+            match *step {
+                OTp::Fill { buf } => {
+                    self.bufs[buf as usize].fill(0.0);
+                    // Never a global (plans reject global allocs), so
+                    // no logging for the parallel merge.
+                }
+                OTp::Copy { src, dst, sa, da, n } => {
+                    let n = n as usize;
+                    let logged = (dst as usize) < t.n_globals && self.log.is_some();
+                    let bulk = src != dst && {
+                        let (s, d) = self.pair(src, dst);
+                        chunks2(sa, da, n, |si, di, len| {
+                            d[di..di + len].copy_from_slice(&s[si..si + len]);
+                        })
+                    };
+                    if bulk {
+                        self.log_chunks2(dst, da, n);
+                    } else if src != dst && !logged {
+                        let (s, d) = self.pair(src, dst);
+                        zip2!(sa, da, g, n, |si, di| d[di] = s[si]);
+                    } else {
+                        zip2!(sa, da, g, n, |s, d| {
+                            let v = self.get(src, s);
+                            self.put(dst, d, v);
+                        });
+                    }
+                }
+                OTp::Unary { op, src, dst, sa, da, n } => {
+                    let n = n as usize;
+                    let bulk = src != dst && {
+                        let (s, d) = self.pair(src, dst);
+                        chunks2(sa, da, n, |si, di, len| {
+                            for (x, y) in s[si..si + len].iter().zip(&mut d[di..di + len]) {
+                                *y = op.apply(f64::from(*x)) as f32;
+                            }
+                        })
+                    };
+                    if bulk {
+                        self.log_chunks2(dst, da, n);
+                    } else if src != dst && !((dst as usize) < t.n_globals && self.log.is_some()) {
+                        let (s, d) = self.pair(src, dst);
+                        zip2!(sa, da, g, n, |si, di| {
+                            d[di] = op.apply(f64::from(s[si])) as f32;
+                        });
+                    } else if !((dst as usize) < t.n_globals && self.log.is_some()) {
+                        // src == dst: in-place, element order preserved.
+                        let d = &mut self.bufs[dst as usize];
+                        zip2!(sa, da, g, n, |si, di| {
+                            d[di] = op.apply(f64::from(d[si])) as f32;
+                        });
+                    } else {
+                        zip2!(sa, da, g, n, |s, d| {
+                            let v = self.get(src, s);
+                            self.put(dst, d, op.apply(f64::from(v)) as f32);
+                        });
+                    }
+                }
+                OTp::Binary { op, a, b, dst, aa, ba, da, n } => {
+                    let n = n as usize;
+                    let bulk = a != dst && b != dst && {
+                        let mut dvec = std::mem::take(&mut self.bufs[dst as usize]);
+                        let hit = {
+                            let av = &self.bufs[a as usize];
+                            let bv = &self.bufs[b as usize];
+                            chunks3(aa, ba, da, n, |ia, ib, id, len| {
+                                let (xs, ys) = (&av[ia..ia + len], &bv[ib..ib + len]);
+                                for ((x, y), o) in xs.iter().zip(ys).zip(&mut dvec[id..id + len]) {
+                                    *o = op.apply(f64::from(*x), f64::from(*y)) as f32;
+                                }
+                            })
+                        };
+                        self.bufs[dst as usize] = dvec;
+                        hit
+                    };
+                    if bulk {
+                        self.log_chunks2(dst, da, n);
+                    } else if a != dst
+                        && b != dst
+                        && !((dst as usize) < t.n_globals && self.log.is_some())
+                    {
+                        let mut dvec = std::mem::take(&mut self.bufs[dst as usize]);
+                        {
+                            let av = &self.bufs[a as usize];
+                            let bv = &self.bufs[b as usize];
+                            zip3!(aa, ba, da, g, n, |ia, ib, id| {
+                                dvec[id] = op.apply(f64::from(av[ia]), f64::from(bv[ib])) as f32;
+                            });
+                        }
+                        self.bufs[dst as usize] = dvec;
+                    } else if a == dst
+                        && b != dst
+                        && !((dst as usize) < t.n_globals && self.log.is_some())
+                    {
+                        // In-place accumulate: read/write the same
+                        // buffer in element order, like the raw
+                        // interpreter.
+                        let (bv, d) = self.pair(b, dst);
+                        zip3!(aa, ba, da, g, n, |ia, ib, id| {
+                            d[id] = op.apply(f64::from(d[ia]), f64::from(bv[ib])) as f32;
+                        });
+                    } else {
+                        zip3!(aa, ba, da, g, n, |ia, ib, id| {
+                            let x = self.get(a, ia);
+                            let y = self.get(b, ib);
+                            self.put(dst, id, op.apply(f64::from(x), f64::from(y)) as f32);
+                        });
+                    }
+                }
+                OTp::Fma { a, b, c, aa, ba, ca, n } => {
+                    let n = n as usize;
+                    let bulk = a != c && b != c && {
+                        let mut cvec = std::mem::take(&mut self.bufs[c as usize]);
+                        let hit = {
+                            let av = &self.bufs[a as usize];
+                            let bv = &self.bufs[b as usize];
+                            chunks3(aa, ba, ca, n, |ia, ib, ic, len| {
+                                let (xs, ys) = (&av[ia..ia + len], &bv[ib..ib + len]);
+                                for ((x, y), o) in xs.iter().zip(ys).zip(&mut cvec[ic..ic + len]) {
+                                    *o = x * y + *o;
+                                }
+                            })
+                        };
+                        self.bufs[c as usize] = cvec;
+                        hit
+                    };
+                    if bulk {
+                        self.log_chunks2(c, ca, n);
+                    } else if a != c
+                        && b != c
+                        && !((c as usize) < t.n_globals && self.log.is_some())
+                    {
+                        let mut cvec = std::mem::take(&mut self.bufs[c as usize]);
+                        {
+                            let av = &self.bufs[a as usize];
+                            let bv = &self.bufs[b as usize];
+                            zip3!(aa, ba, ca, g, n, |ia, ib, ic| {
+                                cvec[ic] = av[ia] * bv[ib] + cvec[ic];
+                            });
+                        }
+                        self.bufs[c as usize] = cvec;
+                    } else {
+                        zip3!(aa, ba, ca, g, n, |ia, ib, ic| {
+                            let x = self.get(a, ia);
+                            let y = self.get(b, ib);
+                            let z = self.get(c, ic);
+                            self.put(c, ic, x * y + z);
+                        });
+                    }
+                }
+                OTp::Init { value, dst, da, n } => {
+                    let n = n as usize;
+                    if n == 0 {
+                        continue;
+                    }
+                    let bulk = {
+                        let dbuf = &mut self.bufs[dst as usize];
+                        chunks2(da, da, n, |_, di, len| dbuf[di..di + len].fill(value))
+                    };
+                    if bulk {
+                        self.log_chunks2(dst, da, n);
+                    } else {
+                        each1!(da, g, n, |d| self.put(dst, d, value));
+                    }
+                }
+                OTp::Reduce { op, src, dst, sa, da, groups, per } => {
+                    let per = per as usize;
+                    match sa {
+                        Span::Affine { base, stride: 1 } => {
+                            for gi in 0..groups as usize {
+                                let s0 = base as usize + gi * per;
+                                let acc = self.bufs[src as usize][s0..s0 + per]
+                                    .iter()
+                                    .fold(op.identity(), |acc, &v| op.combine(acc, f64::from(v)));
+                                self.put(dst, da.at(g, gi), acc as f32);
+                            }
+                        }
+                        _ => {
+                            for gi in 0..groups as usize {
+                                let mut acc = op.identity();
+                                each_lane!(sa, g, gi, per, per, |_v, addr| {
+                                    acc = op.combine(acc, f64::from(self.get(src, addr)));
+                                });
+                                self.put(dst, da.at(g, gi), acc as f32);
+                            }
+                        }
+                    }
+                }
+                OTp::LdMatrix { num, trans, src, dst, sa, sper, da, dper, lanes } => {
+                    let num = num as usize;
+                    let (sper, dper) = (sper as usize, dper as usize);
+                    let mut mats = [[[0.0f32; 8]; 8]; 4];
+                    for (p, mat) in mats.iter_mut().enumerate().take(num) {
+                        for (r, row) in mat.iter_mut().enumerate() {
+                            each_lane!(sa, g, p * 8 + r, sper, 8, |c, addr| {
+                                row[c] = self.bufs[src as usize][addr];
+                            });
+                        }
+                    }
+                    for li in 0..lanes as usize {
+                        each_lane!(da, g, li, dper, 2 * num, |v, addr| {
+                            let (p, c) = (v / 2, v % 2);
+                            let (row, col) = if trans {
+                                (2 * (li % 4) + c, li / 4)
+                            } else {
+                                (li / 4, 2 * (li % 4) + c)
+                            };
+                            self.put(dst, addr, mats[p][row][col]);
+                        });
+                    }
+                }
+                OTp::Mma16816 { a, b, c, aa, aper, ba, bper, ca, cper, lanes } => {
+                    let (aper, bper, cper) = (aper as usize, bper as usize, cper as usize);
+                    let mut am = [[0.0f32; 16]; 16];
+                    let mut bm = [[0.0f32; 8]; 16];
+                    let mut cm = [[0.0f32; 8]; 16];
+                    for li in 0..lanes as usize {
+                        each_lane!(aa, g, li, aper, 8, |v, addr| {
+                            let (m_, k) = frag::mma_16816_a(li, v);
+                            am[m_][k] = self.bufs[a as usize][addr];
+                        });
+                        each_lane!(ba, g, li, bper, 4, |v, addr| {
+                            let (k, n) = frag::mma_16816_b(li, v);
+                            bm[k][n] = self.bufs[b as usize][addr];
+                        });
+                        each_lane!(ca, g, li, cper, 4, |v, addr| {
+                            let (m_, n) = frag::mma_16816_c(li, v);
+                            cm[m_][n] = self.bufs[c as usize][addr];
+                        });
+                    }
+                    let mut d = cm;
+                    // Same per-output f32 op order as the scalar loop (no
+                    // mul+add contraction), reordered so the n loop
+                    // vectorizes 8-wide.
+                    for m_ in 0..16 {
+                        let mut acc = [0.0f32; 8];
+                        for k in 0..16 {
+                            let av = am[m_][k];
+                            for n in 0..8 {
+                                acc[n] += av * bm[k][n];
+                            }
+                        }
+                        for n in 0..8 {
+                            d[m_][n] += acc[n];
+                        }
+                    }
+                    for li in 0..lanes as usize {
+                        each_lane!(ca, g, li, cper, 4, |v, addr| {
+                            let (m_, n) = frag::mma_16816_c(li, v);
+                            self.put(c, addr, d[m_][n]);
+                        });
+                    }
+                }
+                OTp::Mma884 { a, b, c, aa, aper, ba, bper, ca, cper, lanes } => {
+                    let (aper, bper, cper) = (aper as usize, bper as usize, cper as usize);
+                    let mut am = [[0.0f32; 4]; 8];
+                    let mut bm = [[0.0f32; 8]; 4];
+                    let mut cm = [[0.0f32; 8]; 8];
+                    for li in 0..lanes as usize {
+                        each_lane!(aa, g, li, aper, 4, |v, addr| {
+                            let (m_, k) = frag::mma_884_a(li, v);
+                            am[m_][k] = self.bufs[a as usize][addr];
+                        });
+                        each_lane!(ba, g, li, bper, 4, |v, addr| {
+                            let (k, n) = frag::mma_884_b(li, v);
+                            bm[k][n] = self.bufs[b as usize][addr];
+                        });
+                        each_lane!(ca, g, li, cper, 8, |v, addr| {
+                            let (m_, n) = frag::mma_884_c(li, v);
+                            cm[m_][n] = self.bufs[c as usize][addr];
+                        });
+                    }
+                    // Same per-output f32 op order as the scalar loop (no
+                    // mul+add contraction), reordered so the n loop
+                    // vectorizes 8-wide.
+                    for m_ in 0..8 {
+                        let mut acc = [0.0f32; 8];
+                        for k in 0..4 {
+                            let av = am[m_][k];
+                            for n in 0..8 {
+                                acc[n] += av * bm[k][n];
+                            }
+                        }
+                        for n in 0..8 {
+                            cm[m_][n] += acc[n];
+                        }
+                    }
+                    for li in 0..lanes as usize {
+                        each_lane!(ca, g, li, cper, 8, |v, addr| {
+                            let (m_, n) = frag::mma_884_c(li, v);
+                            self.put(c, addr, cm[m_][n]);
+                        });
+                    }
+                }
+                OTp::MmaDense { m16, a, b, c, am, bm, cm } => {
+                    if m16 {
+                        self.mma_dense::<16, 8, 16>((a, b, c), (am, bm, cm), g);
+                    } else {
+                        self.mma_dense::<8, 8, 4>((a, b, c), (am, bm, cm), g);
+                    }
+                }
+                OTp::Shfl { mask, src, dst, sa, da, lanes } => {
+                    let lanes = lanes as usize;
+                    let vals: Vec<f32> = (0..lanes).map(|li| self.get(src, sa.at(g, li))).collect();
+                    for li in 0..lanes {
+                        let peer = li ^ mask as usize;
+                        let v = vals[peer % vals.len()];
+                        self.put(dst, da.at(g, li), v);
                     }
                 }
             }

@@ -648,10 +648,12 @@ pub fn execute_plan(
     mode: ExecMode,
 ) -> Result<ExecOutcome, ExecError> {
     if mode == ExecMode::Replay {
-        // Record once, replay once. Repeated executions should share a
-        // `TraceCache` and call `replay` directly.
-        let trace = crate::trace::record_trace(plan, bindings)?;
-        return crate::replay::replay(&trace, inputs);
+        // Record once, optimize, replay once — the same pipeline the
+        // `TraceCache` runs, so one-shot replay execution and cached
+        // replay are the same engine. Repeated executions should share
+        // a `TraceCache` and call `replay_opt` directly.
+        let trace = crate::trace_opt::record_opt_trace(plan, bindings)?;
+        return crate::replay::replay_opt(&trace, inputs);
     }
     let init = initial_globals(plan, inputs)?;
     let workers = match mode {

@@ -30,6 +30,7 @@ use crate::counters::Counters;
 use crate::exec::ExecError;
 use crate::plan::{BufRef, CSpec, KernelPlan};
 use crate::run::{AddrScratch, CtaRunner};
+use crate::trace_opt::{record_opt_trace, OptTrace};
 use graphene_ir::atomic::AtomicSemantics;
 use graphene_ir::ops::{BinaryOp, ReduceOp, UnaryOp};
 use graphene_ir::tensor::TensorId;
@@ -146,6 +147,22 @@ impl Trace {
     /// The profile counters every replay of this trace reports.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Resident payload bytes: step list, address arena, block table
+    /// and buffer metadata (length-based, so the figure is
+    /// deterministic — the optimizer's before/after comparison).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.steps.len() * std::mem::size_of::<TOp>()
+            + self.addrs.len() * std::mem::size_of::<u32>()
+            + self.blocks.len() * std::mem::size_of::<(u32, u32)>()
+            + self.buf_lens.len() * std::mem::size_of::<usize>()
+            + self
+                .params
+                .iter()
+                .map(|(_, name, _)| std::mem::size_of::<(TensorId, String, usize)>() + name.len())
+                .sum::<usize>()
     }
 }
 
@@ -465,6 +482,11 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruMap<K, V> {
         self.map.len()
     }
 
+    /// Iterates the resident values without touching recency.
+    pub(crate) fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|(v, _)| v)
+    }
+
     /// Membership test that does **not** bump recency.
     pub(crate) fn contains(&self, k: &K) -> bool {
         self.map.contains_key(k)
@@ -487,13 +509,19 @@ pub const TRACE_CACHE_CAPACITY: usize = 256;
 /// can serve the per-CTA parallel fan-out and concurrent tuner
 /// workers.
 ///
+/// What the cache keeps resident is the **optimized** form
+/// ([`OptTrace`]): recording runs the trace optimizer before insertion,
+/// so every cached trace replays on the coalesced fast path and the
+/// cache's memory footprint is the post-classification one (see
+/// [`resident_bytes`](Self::resident_bytes)).
+///
 /// The cache is bounded ([`TRACE_CACHE_CAPACITY`] by default, or
 /// [`TraceCache::with_capacity`]): inserting past capacity evicts the
 /// least-recently-used trace and bumps [`evictions`](Self::evictions).
 /// An evicted key simply re-records on next request.
 #[derive(Debug)]
 pub struct TraceCache {
-    traces: Mutex<LruMap<TraceKey, Arc<Trace>>>,
+    traces: Mutex<LruMap<TraceKey, Arc<OptTrace>>>,
     hits: AtomicU64,
     recordings: AtomicU64,
 }
@@ -534,12 +562,12 @@ impl TraceCache {
         key: &TraceKey,
         plan: &KernelPlan,
         bindings: &HashMap<String, i64>,
-    ) -> Result<Arc<Trace>, ExecError> {
+    ) -> Result<Arc<OptTrace>, ExecError> {
         if let Some(t) = self.traces.lock().expect("trace cache poisoned").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(t);
         }
-        let t = Arc::new(record_trace(plan, bindings)?);
+        let t = Arc::new(record_opt_trace(plan, bindings)?);
         self.recordings.fetch_add(1, Ordering::Relaxed);
         Ok(self.traces.lock().expect("trace cache poisoned").insert(key.clone(), t))
     }
@@ -570,6 +598,12 @@ impl TraceCache {
     /// Number of distinct traces held.
     pub fn len(&self) -> usize {
         self.traces.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Total resident payload bytes across all cached (optimized)
+    /// traces: step lists plus residual gather arenas plus metadata.
+    pub fn resident_bytes(&self) -> usize {
+        self.traces.lock().expect("trace cache poisoned").values().map(|t| t.resident_bytes()).sum()
     }
 
     /// Whether the cache holds no traces.

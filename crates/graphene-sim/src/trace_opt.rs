@@ -1,0 +1,1070 @@
+//! Trace optimization: lower a recorded [`Trace`] into an [`OptTrace`]
+//! whose address arrays are compact affine descriptors and whose step
+//! list has been peephole-cleaned.
+//!
+//! PR 7's replay executes every step as a per-element gather/scatter
+//! through the shared `u32` address arena, even though most recorded
+//! address runs in the paper's kernels are *affine* — contiguous or
+//! constant-stride, often with a regular per-lane (2D) structure. That
+//! is not an accident: under the F₂/linear-layout view of addresses,
+//! every non-swizzled operand of these kernels is a linear function of
+//! `(blockIdx, threadIdx, loop vars)`, so its recorded address slice is
+//! an arithmetic progression (or a lane-major grid of them). This pass
+//! runs **once at record time** and:
+//!
+//! 1. **Classifies** each operand slice by scanning the arena:
+//!    [`Span::Affine`] `(base, stride)` for 1D progressions,
+//!    [`Span::Lanes`] `(base, lane, stride, per)` for lane-major 2D
+//!    grids (register files flattened to `thread*len+addr`, strided
+//!    global loads, mma fragments), and [`Span::Gather`] for the
+//!    residue (e.g. XOR-swizzled shared memory). Classified slices are
+//!    dropped from the arena, shrinking the resident trace — and
+//!    therefore the `TraceCache`/`GraphTraceCache` footprint.
+//! 2. **Fuses** adjacent same-shape steps whose descriptors chain
+//!    (`base₂ = base₁ + n₁·stride`), within a block only.
+//! 3. **Eliminates dead fills**: a recorded `Alloc` zero-fill is
+//!    dropped when the first subsequent touch of that buffer inside the
+//!    same block is a write that fully overwrites it.
+//!
+//! The optimized replay ([`crate::replay::replay_opt`]) then runs
+//! contiguous copies as `copy_from_slice`, contiguous element-wise ops
+//! as tight auto-vectorizable slice loops, strided/lane spans as
+//! stepped loops with no arena traffic, and residual gathers exactly as
+//! before — bit-identical to the unoptimized replay by construction
+//! (element order and `f64` op semantics are preserved).
+
+use crate::counters::Counters;
+use crate::exec::ExecError;
+use crate::plan::KernelPlan;
+use crate::trace::{record_trace, TOp, Trace};
+use graphene_ir::ops::{BinaryOp, ReduceOp, UnaryOp};
+use graphene_ir::tensor::TensorId;
+use std::collections::HashMap;
+
+/// A classified operand address slice: the compact replacement for a
+/// run of arena addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Span {
+    /// `addr(i) = base + i·stride`. Contiguous is `stride == 1`,
+    /// broadcast is `stride == 0`.
+    Affine { base: u32, stride: i32 },
+    /// Lane-major 2D progression over `per`-element rows:
+    /// `addr(i) = base + (i / per)·lane + (i % per)·stride`.
+    Lanes { base: u32, lane: i32, stride: i32, per: u32 },
+    /// Residual irregular slice: `addr(i) = gather[start + i]` in the
+    /// [`OptTrace::gather`] arena.
+    Gather { start: u32 },
+}
+
+impl Span {
+    /// The address of element `i`; `g` is the residual gather arena.
+    #[inline]
+    pub(crate) fn at(&self, g: &[u32], i: usize) -> usize {
+        match *self {
+            Span::Affine { base, stride } => {
+                (i64::from(base) + i as i64 * i64::from(stride)) as usize
+            }
+            Span::Lanes { base, lane, stride, per } => {
+                let (li, j) = (i / per as usize, i % per as usize);
+                (i64::from(base) + li as i64 * i64::from(lane) + j as i64 * i64::from(stride))
+                    as usize
+            }
+            Span::Gather { start } => g[start as usize + i] as usize,
+        }
+    }
+
+    /// Per-lane accessor for lane-structured (collective) operands:
+    /// lane `li` of a span recorded with `per` addresses per lane.
+    #[inline]
+    pub(crate) fn lane<'g>(&self, g: &'g [u32], li: usize, per: usize) -> LaneRef<'g> {
+        match *self {
+            Span::Affine { base, stride } => LaneRef::Aff {
+                start: i64::from(base) + (li * per) as i64 * i64::from(stride),
+                step: i64::from(stride),
+            },
+            Span::Lanes { base, lane, stride, .. } => LaneRef::Aff {
+                start: i64::from(base) + li as i64 * i64::from(lane),
+                step: i64::from(stride),
+            },
+            Span::Gather { start } => {
+                let s = start as usize + li * per;
+                LaneRef::Gat(&g[s..s + per])
+            }
+        }
+    }
+}
+
+/// One lane of a lane-structured operand: an arithmetic progression or
+/// a residual gather row.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LaneRef<'g> {
+    Aff { start: i64, step: i64 },
+    Gat(&'g [u32]),
+}
+
+/// One optimized step: mirrors [`TOp`] with arena offsets replaced by
+/// classified [`Span`] descriptors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OTp {
+    Fill {
+        buf: u32,
+    },
+    Copy {
+        src: u32,
+        dst: u32,
+        sa: Span,
+        da: Span,
+        n: u32,
+    },
+    Unary {
+        op: UnaryOp,
+        src: u32,
+        dst: u32,
+        sa: Span,
+        da: Span,
+        n: u32,
+    },
+    Binary {
+        op: BinaryOp,
+        a: u32,
+        b: u32,
+        dst: u32,
+        aa: Span,
+        ba: Span,
+        da: Span,
+        n: u32,
+    },
+    Fma {
+        a: u32,
+        b: u32,
+        c: u32,
+        aa: Span,
+        ba: Span,
+        ca: Span,
+        n: u32,
+    },
+    Init {
+        value: f32,
+        dst: u32,
+        da: Span,
+        n: u32,
+    },
+    Reduce {
+        op: ReduceOp,
+        src: u32,
+        dst: u32,
+        sa: Span,
+        da: Span,
+        groups: u32,
+        per: u32,
+    },
+    LdMatrix {
+        num: u8,
+        trans: bool,
+        src: u32,
+        dst: u32,
+        sa: Span,
+        sper: u32,
+        da: Span,
+        dper: u32,
+        lanes: u32,
+    },
+    Mma16816 {
+        a: u32,
+        b: u32,
+        c: u32,
+        aa: Span,
+        aper: u32,
+        ba: Span,
+        bper: u32,
+        ca: Span,
+        cper: u32,
+        lanes: u32,
+    },
+    Mma884 {
+        a: u32,
+        b: u32,
+        c: u32,
+        aa: Span,
+        aper: u32,
+        ba: Span,
+        bper: u32,
+        ca: Span,
+        cper: u32,
+        lanes: u32,
+    },
+    /// Full-warp tensor-core MMA with the fragment shuffle composed
+    /// away at optimize time: `am.at(i)` addresses `A[m][k]` at
+    /// `i = m*K + k` (row-major), likewise `bm` for `B[k][n]` and `cm`
+    /// for the `C[m][n]` accumulator. Replay streams whole matrices
+    /// with no per-element lane/fragment arithmetic. `m16` selects
+    /// m16n8k16 (true) vs m8n8k4 (false).
+    MmaDense {
+        m16: bool,
+        a: u32,
+        b: u32,
+        c: u32,
+        am: Span,
+        bm: Span,
+        cm: Span,
+    },
+    Shfl {
+        mask: u32,
+        src: u32,
+        dst: u32,
+        sa: Span,
+        da: Span,
+        lanes: u32,
+    },
+}
+
+/// What the optimizer did to one trace — surfaced in CLI replay output,
+/// the serve daemon's `stats`, and BENCH_PR10.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OptStats {
+    /// Steps in the unoptimized trace.
+    pub steps_before: usize,
+    /// Steps after fusion and dead-fill elimination.
+    pub steps_after: usize,
+    /// Scalar addresses in the unoptimized arena.
+    pub addrs_before: usize,
+    /// Addresses that stayed irregular (the residual gather arena).
+    pub gather_addrs: usize,
+    /// Zero-fill steps proven dead and removed.
+    pub dead_fills: usize,
+    /// Steps merged into a predecessor by adjacent-step fusion.
+    pub fused_steps: usize,
+    /// Resident payload bytes of the unoptimized trace.
+    pub bytes_before: usize,
+    /// Resident payload bytes of the optimized trace.
+    pub bytes_after: usize,
+}
+
+impl OptStats {
+    /// Fraction of recorded addresses replaced by affine descriptors
+    /// (1.0 when the trace recorded no addresses at all).
+    #[must_use]
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.addrs_before == 0 {
+            1.0
+        } else {
+            1.0 - self.gather_addrs as f64 / self.addrs_before as f64
+        }
+    }
+
+    /// Fraction of resident trace bytes eliminated.
+    #[must_use]
+    pub fn bytes_saved_fraction(&self) -> f64 {
+        if self.bytes_before == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_after as f64 / self.bytes_before as f64
+        }
+    }
+}
+
+/// An optimized straight-line trace: [`Trace`] after classification,
+/// fusion and dead-fill elimination. Produced by [`optimize_trace`],
+/// executed by [`crate::replay::replay_opt`]; this is what the
+/// [`crate::trace::TraceCache`] and graph-trace cache keep resident.
+#[derive(Debug)]
+pub struct OptTrace {
+    pub(crate) steps: Vec<OTp>,
+    /// Residual irregular addresses ([`Span::Gather`] targets).
+    pub(crate) gather: Vec<u32>,
+    pub(crate) blocks: Vec<(u32, u32)>,
+    pub(crate) buf_lens: Vec<usize>,
+    pub(crate) n_globals: usize,
+    pub(crate) params: Vec<(TensorId, String, usize)>,
+    pub(crate) counters: Counters,
+    stats: OptStats,
+}
+
+impl OptTrace {
+    /// Number of optimized steps across all blocks.
+    #[must_use]
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of residual gather addresses still held.
+    #[must_use]
+    pub fn num_addrs(&self) -> usize {
+        self.gather.len()
+    }
+
+    /// Number of thread blocks in the recorded grid.
+    #[must_use]
+    pub fn grid_size(&self) -> i64 {
+        self.blocks.len() as i64
+    }
+
+    /// The profile counters every replay of this trace reports.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// What the optimizer did to this trace.
+    #[must_use]
+    pub fn stats(&self) -> &OptStats {
+        &self.stats
+    }
+
+    /// Resident payload bytes: step list, gather arena, block table and
+    /// buffer metadata (length-based, so the figure is deterministic).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.steps.len() * std::mem::size_of::<OTp>()
+            + self.gather.len() * std::mem::size_of::<u32>()
+            + self.blocks.len() * std::mem::size_of::<(u32, u32)>()
+            + self.buf_lens.len() * std::mem::size_of::<usize>()
+            + self
+                .params
+                .iter()
+                .map(|(_, name, _)| std::mem::size_of::<(TensorId, String, usize)>() + name.len())
+                .sum::<usize>()
+    }
+}
+
+/// Classifies a flat (lane-major flattened) address slice, falling back
+/// to the residual gather arena.
+fn classify_flat(addrs: &[u32], gather: &mut Vec<u32>) -> Span {
+    if let Some(s) = affine_1d(addrs) {
+        return s;
+    }
+    if let Some(s) = affine_periodic(addrs) {
+        return s;
+    }
+    push_gather(addrs, gather)
+}
+
+/// Flat ops lose their lane structure when the recorder flattens
+/// per-thread work lane-major, so an interleaved access pattern (lane
+/// `li` touching `col·lanes + li`) reads as a two-level periodic
+/// progression. Recover it: the first stride break fixes the row
+/// length, then the implied `(rows, per)` grid is verified exactly.
+fn affine_periodic(a: &[u32]) -> Option<Span> {
+    if a.len() < 4 {
+        return None;
+    }
+    let stride = i64::from(a[1]) - i64::from(a[0]);
+    let per = a.windows(2).position(|w| i64::from(w[1]) - i64::from(w[0]) != stride)? + 1;
+    if !a.len().is_multiple_of(per) {
+        return None;
+    }
+    affine_2d(a, a.len() / per, per)
+}
+
+/// Classifies a lane-structured slice (`lanes` rows of `per`): 1D
+/// affine first (it subsumes the 2D form when `lane == per·stride`),
+/// then lane-major 2D, then gather.
+fn classify_lanes(addrs: &[u32], lanes: usize, per: usize, gather: &mut Vec<u32>) -> Span {
+    if let Some(s) = affine_1d(addrs) {
+        return s;
+    }
+    if let Some(s) = affine_2d(addrs, lanes, per) {
+        return s;
+    }
+    push_gather(addrs, gather)
+}
+
+fn push_gather(addrs: &[u32], gather: &mut Vec<u32>) -> Span {
+    let start = u32::try_from(gather.len()).expect("gather arena exceeds u32 range");
+    gather.extend_from_slice(addrs);
+    Span::Gather { start }
+}
+
+/// `Some(Affine)` iff the whole slice is one arithmetic progression.
+fn affine_1d(a: &[u32]) -> Option<Span> {
+    let Some((&first, rest)) = a.split_first() else {
+        return Some(Span::Affine { base: 0, stride: 0 });
+    };
+    let stride = rest.first().map_or(0, |&x| i64::from(x) - i64::from(first));
+    let stride32 = i32::try_from(stride).ok()?;
+    let mut want = i64::from(first);
+    for &x in a {
+        if i64::from(x) != want {
+            return None;
+        }
+        want += stride;
+    }
+    Some(Span::Affine { base: first, stride: stride32 })
+}
+
+/// `Some(Lanes)` iff the slice is a lane-major 2D progression:
+/// `a[li·per + j] = base + li·lane + j·stride`.
+fn affine_2d(a: &[u32], lanes: usize, per: usize) -> Option<Span> {
+    if lanes * per != a.len() || per == 0 || lanes < 2 || per < 1 {
+        return None;
+    }
+    let base = i64::from(a[0]);
+    let stride = if per > 1 { i64::from(a[1]) - base } else { 0 };
+    let lane = i64::from(a[per]) - base;
+    let (lane32, stride32) = (i32::try_from(lane).ok()?, i32::try_from(stride).ok()?);
+    for li in 0..lanes {
+        let row = base + li as i64 * lane;
+        for j in 0..per {
+            if i64::from(a[li * per + j]) != row + j as i64 * stride {
+                return None;
+            }
+        }
+    }
+    Some(Span::Lanes { base: a[0], lane: lane32, stride: stride32, per: u32::try_from(per).ok()? })
+}
+
+/// Whether span `b` continues span `a` after `n` elements — the fusion
+/// precondition. Gather spans chain when their arena runs are adjacent
+/// (classification appends them in step order, so this is exact).
+fn chains(a: Span, b: Span, n: u32) -> bool {
+    match (a, b) {
+        (Span::Affine { base: b1, stride: s1 }, Span::Affine { base: b2, stride: s2 }) => {
+            s1 == s2 && i64::from(b2) == i64::from(b1) + i64::from(n) * i64::from(s1)
+        }
+        (Span::Gather { start: g1 }, Span::Gather { start: g2 }) => g2 == g1 + n,
+        _ => false,
+    }
+}
+
+/// Tries to merge `next` into `prev` (adjacent steps of one block).
+/// Only flat element-wise shapes fuse; collectives keep their lane
+/// structure and `Reduce` its group structure.
+fn try_fuse(prev: &mut OTp, next: &OTp) -> bool {
+    match (prev, next) {
+        (
+            OTp::Copy { src, dst, sa, da, n },
+            OTp::Copy { src: s2, dst: d2, sa: sa2, da: da2, n: n2 },
+        ) if src == s2 && dst == d2 && chains(*sa, *sa2, *n) && chains(*da, *da2, *n) => {
+            *n += n2;
+            true
+        }
+        (
+            OTp::Unary { op, src, dst, sa, da, n },
+            OTp::Unary { op: o2, src: s2, dst: d2, sa: sa2, da: da2, n: n2 },
+        ) if op == o2
+            && src == s2
+            && dst == d2
+            && chains(*sa, *sa2, *n)
+            && chains(*da, *da2, *n) =>
+        {
+            *n += n2;
+            true
+        }
+        (
+            OTp::Binary { op, a, b, dst, aa, ba, da, n },
+            OTp::Binary { op: o2, a: a2, b: b2, dst: d2, aa: aa2, ba: ba2, da: da2, n: n2 },
+        ) if op == o2
+            && a == a2
+            && b == b2
+            && dst == d2
+            && chains(*aa, *aa2, *n)
+            && chains(*ba, *ba2, *n)
+            && chains(*da, *da2, *n) =>
+        {
+            *n += n2;
+            true
+        }
+        (
+            OTp::Fma { a, b, c, aa, ba, ca, n },
+            OTp::Fma { a: a2, b: b2, c: c2, aa: aa2, ba: ba2, ca: ca2, n: n2 },
+        ) if a == a2
+            && b == b2
+            && c == c2
+            && chains(*aa, *aa2, *n)
+            && chains(*ba, *ba2, *n)
+            && chains(*ca, *ca2, *n) =>
+        {
+            *n += n2;
+            true
+        }
+        (OTp::Init { value, dst, da, n }, OTp::Init { value: v2, dst: d2, da: da2, n: n2 })
+            if value.to_bits() == v2.to_bits() && dst == d2 && chains(*da, *da2, *n) =>
+        {
+            *n += n2;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// How one step relates to buffer `buf` — the dead-fill query.
+enum Touch {
+    /// The step does not reference `buf`.
+    None,
+    /// The step's **first** effect on `buf` is a write that overwrites
+    /// the entire buffer without reading it.
+    FullOverwrite,
+    /// Anything else: a read, a partial write, or a read-modify-write.
+    Other,
+}
+
+/// Whether `span` writes exactly `[0, len)` left-to-right.
+fn covers(span: Span, n: u32, len: usize) -> bool {
+    n as usize == len && span == Span::Affine { base: 0, stride: 1 }
+}
+
+fn touch(step: &OTp, buf: u32, len: usize) -> Touch {
+    let write = |dst: u32, da: Span, n: u32, reads: &[u32]| {
+        if reads.contains(&buf) {
+            Touch::Other
+        } else if dst == buf {
+            if covers(da, n, len) {
+                Touch::FullOverwrite
+            } else {
+                Touch::Other
+            }
+        } else {
+            Touch::None
+        }
+    };
+    match *step {
+        OTp::Fill { buf: b } => {
+            if b == buf {
+                Touch::FullOverwrite
+            } else {
+                Touch::None
+            }
+        }
+        OTp::Copy { src, dst, da, n, .. } => write(dst, da, n, &[src]),
+        OTp::Unary { src, dst, da, n, .. } => write(dst, da, n, &[src]),
+        OTp::Binary { a, b, dst, da, n, .. } => write(dst, da, n, &[a, b]),
+        OTp::Init { dst, da, n, .. } => write(dst, da, n, &[]),
+        OTp::Reduce { src, dst, da, groups, .. } => write(dst, da, groups, &[src]),
+        // Fma reads its accumulator; collectives write lane fragments
+        // (never a provable full overwrite worth the analysis).
+        OTp::Fma { a, b, c, .. } => {
+            if a == buf || b == buf || c == buf {
+                Touch::Other
+            } else {
+                Touch::None
+            }
+        }
+        OTp::LdMatrix { src, dst, .. } | OTp::Shfl { src, dst, .. } => {
+            if src == buf || dst == buf {
+                Touch::Other
+            } else {
+                Touch::None
+            }
+        }
+        OTp::Mma16816 { a, b, c, .. }
+        | OTp::Mma884 { a, b, c, .. }
+        | OTp::MmaDense { a, b, c, .. } => {
+            if a == buf || b == buf || c == buf {
+                Touch::Other
+            } else {
+                Touch::None
+            }
+        }
+    }
+}
+
+/// A `Fill` at `i` is dead iff the first later step in the block that
+/// touches its buffer fully overwrites it without reading it first.
+/// (Untouched buffers keep their fill: a later block could read them.)
+fn fill_is_dead(steps: &[OTp], i: usize, buf: u32, len: usize) -> bool {
+    for step in &steps[i + 1..] {
+        match touch(step, buf, len) {
+            Touch::None => {}
+            Touch::FullOverwrite => return true,
+            Touch::Other => return false,
+        }
+    }
+    false
+}
+
+/// One fusion sweep over a block's steps, in place.
+fn fuse_block(steps: &mut Vec<OTp>, fused: &mut usize) {
+    let mut out: Vec<OTp> = Vec::with_capacity(steps.len());
+    for step in steps.drain(..) {
+        if let Some(last) = out.last_mut() {
+            if try_fuse(last, &step) {
+                *fused += 1;
+                continue;
+            }
+        }
+        out.push(step);
+    }
+    *steps = out;
+}
+
+/// Composes a full-warp MMA's fragment shuffle into matrix-order
+/// address vectors and classifies them — `None` when the warp is
+/// partial (some matrix slot unwritten), which keeps the lane-order
+/// step in place. Slots are filled in the raw interpreter's lane-major
+/// load order, so a hypothetical duplicate slot resolves to the same
+/// last writer.
+fn mma_dense(
+    ar: &[u32],
+    m16: bool,
+    (a, b, c): (u32, u32, u32),
+    (aa, aper, ba, bper, ca, cper): (u32, u32, u32, u32, u32, u32),
+    lanes: u32,
+    g: &mut Vec<u32>,
+) -> Option<OTp> {
+    use graphene_ir::atomic::fragments as frag;
+    let (m, n, k, an, bn, cn) = if m16 { (16, 8, 16, 8, 4, 4) } else { (8, 8, 4, 4, 4, 8) };
+    let mut av = vec![u32::MAX; m * k];
+    let mut bv = vec![u32::MAX; k * n];
+    let mut cv = vec![u32::MAX; m * n];
+    for li in 0..lanes as usize {
+        for v in 0..an {
+            let (mi, ki) = if m16 { frag::mma_16816_a(li, v) } else { frag::mma_884_a(li, v) };
+            av[mi * k + ki] = ar[aa as usize + li * aper as usize + v];
+        }
+        for v in 0..bn {
+            let (ki, ni) = if m16 { frag::mma_16816_b(li, v) } else { frag::mma_884_b(li, v) };
+            bv[ki * n + ni] = ar[ba as usize + li * bper as usize + v];
+        }
+        for v in 0..cn {
+            let (mi, ni) = if m16 { frag::mma_16816_c(li, v) } else { frag::mma_884_c(li, v) };
+            cv[mi * n + ni] = ar[ca as usize + li * cper as usize + v];
+        }
+    }
+    if av.contains(&u32::MAX) || bv.contains(&u32::MAX) || cv.contains(&u32::MAX) {
+        return None;
+    }
+    Some(OTp::MmaDense {
+        m16,
+        a,
+        b,
+        c,
+        am: classify_flat(&av, g),
+        bm: classify_flat(&bv, g),
+        cm: classify_flat(&cv, g),
+    })
+}
+
+/// Lowers a recorded [`Trace`] into an [`OptTrace`]: classify every
+/// operand slice, fuse adjacent chained steps, drop dead fills.
+///
+/// The result replays bit-identically to the input trace: descriptors
+/// reproduce the exact recorded addresses (classification verifies
+/// every element), fusion preserves element order, and a dead fill is
+/// only removed when the buffer is fully overwritten before any read.
+#[must_use]
+pub fn optimize_trace(trace: &Trace) -> OptTrace {
+    let mut stats = OptStats {
+        steps_before: trace.steps.len(),
+        addrs_before: trace.addrs.len(),
+        bytes_before: trace.resident_bytes(),
+        ..OptStats::default()
+    };
+    let mut steps: Vec<OTp> = Vec::with_capacity(trace.steps.len());
+    let mut gather: Vec<u32> = Vec::new();
+    let mut blocks: Vec<(u32, u32)> = Vec::with_capacity(trace.blocks.len());
+    let ar = &trace.addrs;
+    let sl = |start: u32, n: u32| &ar[start as usize..(start + n) as usize];
+    let mut block_steps: Vec<OTp> = Vec::new();
+    for &(bs, be) in &trace.blocks {
+        block_steps.clear();
+        for step in &trace.steps[bs as usize..be as usize] {
+            let g = &mut gather;
+            let ot = match *step {
+                TOp::Fill { buf } => OTp::Fill { buf },
+                TOp::Copy { src, dst, sa, da, n } => OTp::Copy {
+                    src,
+                    dst,
+                    sa: classify_flat(sl(sa, n), g),
+                    da: classify_flat(sl(da, n), g),
+                    n,
+                },
+                TOp::Unary { op, src, dst, sa, da, n } => OTp::Unary {
+                    op,
+                    src,
+                    dst,
+                    sa: classify_flat(sl(sa, n), g),
+                    da: classify_flat(sl(da, n), g),
+                    n,
+                },
+                TOp::Binary { op, a, b, dst, aa, ba, da, n } => OTp::Binary {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    aa: classify_flat(sl(aa, n), g),
+                    ba: classify_flat(sl(ba, n), g),
+                    da: classify_flat(sl(da, n), g),
+                    n,
+                },
+                TOp::Fma { a, b, c, aa, ba, ca, n } => OTp::Fma {
+                    a,
+                    b,
+                    c,
+                    aa: classify_flat(sl(aa, n), g),
+                    ba: classify_flat(sl(ba, n), g),
+                    ca: classify_flat(sl(ca, n), g),
+                    n,
+                },
+                TOp::Init { value, dst, da, n } => {
+                    OTp::Init { value, dst, da: classify_flat(sl(da, n), g), n }
+                }
+                TOp::Reduce { op, src, dst, sa, da, groups, per } => OTp::Reduce {
+                    op,
+                    src,
+                    dst,
+                    sa: classify_lanes(sl(sa, groups * per), groups as usize, per as usize, g),
+                    da: classify_flat(sl(da, groups), g),
+                    groups,
+                    per,
+                },
+                // The ldmatrix load/shuffle/store is a fixed permutation:
+                // store (li, v) takes matrix element (p=v/2, c=v%2,
+                // row/col from `trans`), which was loaded from source
+                // lane p*8+row element col. Composing it at optimize
+                // time turns the whole collective into one flat permuted
+                // copy the bulk arms (and the classifier) can chew on.
+                // Same-buffer steps keep the two-phase lane form: a
+                // fused copy would interleave loads with stores.
+                TOp::LdMatrix { num, trans, src, dst, sa, sper, da, dper, lanes } if src != dst => {
+                    let numu = num as usize;
+                    let n = lanes as usize * 2 * numu;
+                    let mut sv = Vec::with_capacity(n);
+                    let mut dv = Vec::with_capacity(n);
+                    for li in 0..lanes as usize {
+                        for v in 0..2 * numu {
+                            let (p, cc) = (v / 2, v % 2);
+                            let (row, col) = if trans {
+                                (2 * (li % 4) + cc, li / 4)
+                            } else {
+                                (li / 4, 2 * (li % 4) + cc)
+                            };
+                            sv.push(ar[sa as usize + (p * 8 + row) * sper as usize + col]);
+                            dv.push(ar[da as usize + li * dper as usize + v]);
+                        }
+                    }
+                    OTp::Copy {
+                        src,
+                        dst,
+                        sa: classify_flat(&sv, g),
+                        da: classify_flat(&dv, g),
+                        n: u32::try_from(n).expect("ldmatrix width fits u32"),
+                    }
+                }
+                TOp::LdMatrix { num, trans, src, dst, sa, sper, da, dper, lanes } => {
+                    OTp::LdMatrix {
+                        num,
+                        trans,
+                        src,
+                        dst,
+                        sa: classify_lanes(sl(sa, lanes * sper), lanes as usize, sper as usize, g),
+                        sper,
+                        da: classify_lanes(sl(da, lanes * dper), lanes as usize, dper as usize, g),
+                        dper,
+                        lanes,
+                    }
+                }
+                TOp::Mma16816 { a, b, c, aa, aper, ba, bper, ca, cper, lanes } => {
+                    match mma_dense(ar, true, (a, b, c), (aa, aper, ba, bper, ca, cper), lanes, g) {
+                        Some(ot) => ot,
+                        None => OTp::Mma16816 {
+                            a,
+                            b,
+                            c,
+                            aa: classify_lanes(
+                                sl(aa, lanes * aper),
+                                lanes as usize,
+                                aper as usize,
+                                g,
+                            ),
+                            aper,
+                            ba: classify_lanes(
+                                sl(ba, lanes * bper),
+                                lanes as usize,
+                                bper as usize,
+                                g,
+                            ),
+                            bper,
+                            ca: classify_lanes(
+                                sl(ca, lanes * cper),
+                                lanes as usize,
+                                cper as usize,
+                                g,
+                            ),
+                            cper,
+                            lanes,
+                        },
+                    }
+                }
+                TOp::Mma884 { a, b, c, aa, aper, ba, bper, ca, cper, lanes } => {
+                    match mma_dense(ar, false, (a, b, c), (aa, aper, ba, bper, ca, cper), lanes, g)
+                    {
+                        Some(ot) => ot,
+                        None => OTp::Mma884 {
+                            a,
+                            b,
+                            c,
+                            aa: classify_lanes(
+                                sl(aa, lanes * aper),
+                                lanes as usize,
+                                aper as usize,
+                                g,
+                            ),
+                            aper,
+                            ba: classify_lanes(
+                                sl(ba, lanes * bper),
+                                lanes as usize,
+                                bper as usize,
+                                g,
+                            ),
+                            bper,
+                            ca: classify_lanes(
+                                sl(ca, lanes * cper),
+                                lanes as usize,
+                                cper as usize,
+                                g,
+                            ),
+                            cper,
+                            lanes,
+                        },
+                    }
+                }
+                TOp::Shfl { mask, src, dst, sa, da, lanes } => OTp::Shfl {
+                    mask,
+                    src,
+                    dst,
+                    sa: classify_flat(sl(sa, lanes), g),
+                    da: classify_flat(sl(da, lanes), g),
+                    lanes,
+                },
+            };
+            block_steps.push(ot);
+        }
+        fuse_block(&mut block_steps, &mut stats.fused_steps);
+        // Dead-fill elimination, then one more fusion sweep: removing a
+        // fill can make its neighbours adjacent and chainable.
+        let dead: Vec<usize> = block_steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match *s {
+                OTp::Fill { buf }
+                    if fill_is_dead(&block_steps, i, buf, trace.buf_lens[buf as usize]) =>
+                {
+                    Some(i)
+                }
+                _ => None,
+            })
+            .collect();
+        if !dead.is_empty() {
+            stats.dead_fills += dead.len();
+            let mut keep = 0usize;
+            let mut di = dead.iter().peekable();
+            block_steps.retain(|_| {
+                let drop = di.peek().is_some_and(|&&d| d == keep);
+                if drop {
+                    di.next();
+                }
+                keep += 1;
+                !drop
+            });
+            fuse_block(&mut block_steps, &mut stats.fused_steps);
+        }
+        let start = u32::try_from(steps.len()).expect("optimized trace exceeds u32 steps");
+        steps.extend_from_slice(&block_steps);
+        let end = u32::try_from(steps.len()).expect("optimized trace exceeds u32 steps");
+        blocks.push((start, end));
+    }
+    stats.steps_after = steps.len();
+    stats.gather_addrs = gather.len();
+    let mut opt = OptTrace {
+        steps,
+        gather,
+        blocks,
+        buf_lens: trace.buf_lens.clone(),
+        n_globals: trace.n_globals,
+        params: trace.params.clone(),
+        counters: trace.counters,
+        stats,
+    };
+    opt.stats.bytes_after = opt.resident_bytes();
+    opt
+}
+
+/// Records `plan` once and optimizes the trace in the same pass — the
+/// cache-facing entry point ([`crate::trace::TraceCache`] keeps only
+/// the optimized form resident).
+///
+/// # Errors
+///
+/// Any [`ExecError`] the recording run hits.
+pub fn record_opt_trace(
+    plan: &KernelPlan,
+    bindings: &HashMap<String, i64>,
+) -> Result<OptTrace, ExecError> {
+    Ok(optimize_trace(&record_trace(plan, bindings)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{replay, replay_opt};
+    use graphene_ir::tensor::TensorId;
+    use std::collections::HashMap;
+
+    /// A two-buffer trace (global `out` of `len`, scratch of `len`)
+    /// with the given steps and arena, as one block.
+    fn plant(steps: Vec<TOp>, addrs: Vec<u32>, len: usize) -> Trace {
+        let n = steps.len() as u32;
+        Trace {
+            steps,
+            addrs,
+            blocks: vec![(0, n)],
+            buf_lens: vec![len, len],
+            n_globals: 1,
+            params: vec![(TensorId(0), "out".to_string(), len)],
+            counters: Counters::default(),
+        }
+    }
+
+    #[test]
+    fn fully_affine_trace_drops_its_arena() {
+        // scratch[i] = out[i] for i in 0..64 — contiguous both sides.
+        let addrs: Vec<u32> = (0..64).chain(0..64).collect();
+        let t = plant(vec![TOp::Copy { src: 0, dst: 1, sa: 0, da: 64, n: 64 }], addrs, 64);
+        let o = optimize_trace(&t);
+        assert_eq!(o.gather.len(), 0, "affine slices must not reach the gather arena");
+        assert!(matches!(
+            o.steps[0],
+            OTp::Copy {
+                sa: Span::Affine { base: 0, stride: 1 },
+                da: Span::Affine { base: 0, stride: 1 },
+                ..
+            }
+        ));
+        assert!((o.stats().coalesced_fraction() - 1.0).abs() < 1e-12);
+        assert!(o.stats().bytes_saved_fraction() > 0.0, "descriptors must shrink the trace");
+    }
+
+    #[test]
+    fn pure_gather_trace_keeps_the_old_path() {
+        // A swizzle-like permutation on both sides: nothing affine.
+        let perm: Vec<u32> = vec![0, 3, 1, 2, 7, 4, 6, 5];
+        let mut addrs = perm.clone();
+        addrs.extend(&perm);
+        let t = plant(vec![TOp::Copy { src: 0, dst: 1, sa: 0, da: 8, n: 8 }], addrs.clone(), 8);
+        let o = optimize_trace(&t);
+        assert_eq!(o.gather, addrs, "irregular slices must be preserved verbatim");
+        assert!(matches!(
+            o.steps[0],
+            OTp::Copy { sa: Span::Gather { start: 0 }, da: Span::Gather { start: 8 }, .. }
+        ));
+        assert!(o.stats().coalesced_fraction() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_trace_classifies_per_operand() {
+        // Contiguous source, permuted destination.
+        let mut addrs: Vec<u32> = (0..8).collect();
+        addrs.extend([0u32, 3, 1, 2, 7, 4, 6, 5]);
+        let t = plant(vec![TOp::Copy { src: 0, dst: 1, sa: 0, da: 8, n: 8 }], addrs, 8);
+        let o = optimize_trace(&t);
+        assert!(matches!(
+            o.steps[0],
+            OTp::Copy {
+                sa: Span::Affine { base: 0, stride: 1 },
+                da: Span::Gather { start: 0 },
+                ..
+            }
+        ));
+        assert_eq!(o.gather.len(), 8);
+        assert!((o.stats().coalesced_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_and_lane_major_slices_classify() {
+        // Stride-2 1D progression.
+        assert_eq!(affine_1d(&[4, 6, 8, 10]), Some(Span::Affine { base: 4, stride: 2 }));
+        // Lane-major 2D: 3 lanes of 2, lane stride 10, element stride 1.
+        let a = [0, 1, 10, 11, 20, 21];
+        assert_eq!(affine_1d(&a), None);
+        assert_eq!(affine_2d(&a, 3, 2), Some(Span::Lanes { base: 0, lane: 10, stride: 1, per: 2 }));
+        // Broken tail: not affine in either view.
+        assert_eq!(affine_2d(&[0, 1, 10, 11, 20, 99], 3, 2), None);
+    }
+
+    #[test]
+    fn adjacent_chained_copies_fuse() {
+        let addrs: Vec<u32> = (0..4).chain(0..4).chain(4..8).chain(4..8).collect();
+        let t = plant(
+            vec![
+                TOp::Copy { src: 0, dst: 1, sa: 0, da: 4, n: 4 },
+                TOp::Copy { src: 0, dst: 1, sa: 8, da: 12, n: 4 },
+            ],
+            addrs,
+            8,
+        );
+        let o = optimize_trace(&t);
+        assert_eq!(o.steps.len(), 1, "chained copies must fuse");
+        assert!(matches!(o.steps[0], OTp::Copy { n: 8, .. }));
+        assert_eq!(o.stats().fused_steps, 1);
+    }
+
+    #[test]
+    fn dead_fill_is_removed_when_fully_overwritten() {
+        // Fill scratch; then init fully overwrites it before any read.
+        let addrs: Vec<u32> = (0..8).collect();
+        let t = plant(
+            vec![TOp::Fill { buf: 1 }, TOp::Init { value: 2.5, dst: 1, da: 0, n: 8 }],
+            addrs,
+            8,
+        );
+        let o = optimize_trace(&t);
+        assert_eq!(o.stats().dead_fills, 1);
+        assert!(matches!(o.steps[0], OTp::Init { .. }));
+    }
+
+    #[test]
+    fn live_fill_is_kept_when_read_first() {
+        // Fill scratch; copy reads scratch into out: fill is live.
+        let addrs: Vec<u32> = (0..8).chain(0..8).collect();
+        let t = plant(
+            vec![TOp::Fill { buf: 1 }, TOp::Copy { src: 1, dst: 0, sa: 0, da: 8, n: 8 }],
+            addrs,
+            8,
+        );
+        let o = optimize_trace(&t);
+        assert_eq!(o.stats().dead_fills, 0);
+        assert_eq!(o.steps.len(), 2);
+    }
+
+    #[test]
+    fn planted_trace_replays_identically_optimized() {
+        // out[i] = out[perm[i]] * 2 staged through scratch, with a
+        // gather on one side — exercises both paths end to end.
+        let perm: Vec<u32> = vec![3, 1, 0, 2, 6, 7, 5, 4];
+        let mut addrs: Vec<u32> = perm.clone();
+        addrs.extend(0..8u32); // da of copy: contiguous scratch
+        addrs.extend(0..8u32); // sa of binary: scratch
+        addrs.extend(0..8u32); // ba of binary: scratch
+        addrs.extend(0..8u32); // da of binary: out
+        let t = plant(
+            vec![
+                TOp::Copy { src: 0, dst: 1, sa: 0, da: 8, n: 8 },
+                TOp::Binary {
+                    op: graphene_ir::ops::BinaryOp::Add,
+                    a: 1,
+                    b: 1,
+                    dst: 0,
+                    aa: 16,
+                    ba: 24,
+                    da: 32,
+                    n: 8,
+                },
+            ],
+            addrs,
+            8,
+        );
+        let o = optimize_trace(&t);
+        let inputs: HashMap<TensorId, Vec<f32>> =
+            [(TensorId(0), (0..8).map(|i| i as f32 + 0.5).collect())].into();
+        let base = replay(&t, &inputs).expect("raw replay");
+        let opt = replay_opt(&o, &inputs).expect("opt replay");
+        let b = &base.globals[&TensorId(0)];
+        let p = &opt.globals[&TensorId(0)];
+        assert_eq!(b.len(), p.len());
+        for (x, y) in b.iter().zip(p) {
+            assert_eq!(x.to_bits(), y.to_bits(), "optimized replay must be bit-identical");
+        }
+        assert_eq!(base.counters, opt.counters);
+    }
+}

@@ -10,7 +10,7 @@ use graphene_ir::tensor::{TensorId, TensorType};
 use graphene_ir::{Arch, ScalarType};
 use graphene_layout::Layout;
 use graphene_sim::{
-    replay_graph, replay_with, ArgBinding, ExecGraph, ExecMode, ExecNode, GraphTraceCache,
+    replay_graph, replay_opt_with, ArgBinding, ExecGraph, ExecMode, ExecNode, GraphTraceCache,
     KernelPlan, TraceCache, TraceKey,
 };
 use std::collections::HashMap;
@@ -75,7 +75,8 @@ fn trace_cache_survives_concurrent_hammering_past_capacity() {
                     let trace = cache.get_or_record(key, plan, &bindings).expect("record");
                     let mut inputs = HashMap::new();
                     inputs.insert(*src, input.clone());
-                    let out = replay_with(&trace, &inputs, ExecMode::Sequential).expect("replay");
+                    let out =
+                        replay_opt_with(&trace, &inputs, ExecMode::Sequential).expect("replay");
                     // The copy output must be bit-identical to this
                     // key's input — any torn or mixed-up trace shows
                     // up here.

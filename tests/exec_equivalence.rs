@@ -8,11 +8,17 @@ use graphene::kernels::fmha::{build_fused_fmha, FmhaConfig};
 use graphene::kernels::gemm::{build_gemm, build_gemm_double_buffered, Epilogue, GemmConfig};
 use graphene::kernels::layernorm::{build_layernorm, LayernormConfig};
 use graphene::sim::host::HostTensor;
-use graphene::sim::{execute_reference, execute_with, replay_with, ExecMode, KernelPlan};
+use graphene::sim::{
+    execute_reference, execute_with, optimize_trace, record_trace, replay_opt_with, replay_with,
+    ExecMode, KernelPlan,
+};
 use std::collections::HashMap;
 
-/// Runs `kernel` through all four engines and asserts bit-identical
-/// globals and identical counters.
+/// Runs `kernel` through every engine — sequential / parallel / forced
+/// 3-worker plan execution, raw trace replay, optimized trace replay
+/// (sequential and threaded), and `ExecMode::Replay` routing — and
+/// asserts bit-identical globals and identical counters against the
+/// reference interpreter.
 fn assert_equivalent(
     name: &str,
     kernel: &Kernel,
@@ -34,6 +40,19 @@ fn assert_equivalent(
     let reference = execute_reference(kernel, arch, inputs)
         .unwrap_or_else(|e| panic!("{name}: reference execution failed: {e}"));
 
+    // Raw vs optimized replay of the same recording, both engines in
+    // both threading modes. The optimizer must be a pure representation
+    // change: same globals, bit for bit, same counters.
+    let plan = KernelPlan::compile(kernel, arch).unwrap_or_else(|e| panic!("{name}: plan: {e}"));
+    let raw = record_trace(&plan, &bindings).unwrap_or_else(|e| panic!("{name}: record: {e}"));
+    let opt = optimize_trace(&raw);
+    let raw_seq = replay_with(&raw, inputs, ExecMode::Sequential)
+        .unwrap_or_else(|e| panic!("{name}: raw replay failed: {e}"));
+    let opt_seq = replay_opt_with(&opt, inputs, ExecMode::Sequential)
+        .unwrap_or_else(|e| panic!("{name}: opt replay failed: {e}"));
+    let opt_par = replay_opt_with(&opt, inputs, ExecMode::Workers(3))
+        .unwrap_or_else(|e| panic!("{name}: opt 3-worker replay failed: {e}"));
+
     for (id, want) in &reference.globals {
         let pname = &kernel.module[*id].name;
         for (mode, got) in [
@@ -41,6 +60,9 @@ fn assert_equivalent(
             ("parallel", &par.globals[id]),
             ("3 workers", &forced.globals[id]),
             ("replay", &replayed.globals[id]),
+            ("raw replay", &raw_seq.globals[id]),
+            ("opt replay", &opt_seq.globals[id]),
+            ("opt replay, 3 workers", &opt_par.globals[id]),
         ] {
             assert_eq!(want.len(), got.len(), "{name}: %{pname} length ({mode})");
             for (i, (w, g)) in want.iter().zip(got).enumerate() {
@@ -56,6 +78,7 @@ fn assert_equivalent(
     assert_eq!(par.counters, reference.counters, "{name}: parallel counters");
     assert_eq!(forced.counters, reference.counters, "{name}: 3-worker counters");
     assert_eq!(replayed.counters, reference.counters, "{name}: replay counters");
+    assert_eq!(opt_seq.counters, reference.counters, "{name}: opt replay counters");
 }
 
 fn gemm_inputs(kernel: &Kernel, cfg: &GemmConfig) -> HashMap<graphene::ir::TensorId, Vec<f32>> {
@@ -148,21 +171,50 @@ fn replay_fresh_inputs_matches_fresh_interpretation() {
         inputs.insert(kernel.params[0], a.as_slice().to_vec());
         inputs.insert(kernel.params[1], b.as_slice().to_vec());
         let replayed = replay_with(&trace, &inputs, mode).expect("replay");
+        let optimized = replay_opt_with(&optimize_trace(&trace), &inputs, mode).expect("opt");
         let reference = execute_reference(&kernel, Arch::Sm86, &inputs).expect("reference");
         for (id, want) in &reference.globals {
             let pname = &kernel.module[*id].name;
-            let got = &replayed.globals[id];
-            assert_eq!(want.len(), got.len(), "%{pname} length (seeds {seed_a}/{seed_b})");
-            for (i, (w, g)) in want.iter().zip(got).enumerate() {
-                assert_eq!(
-                    w.to_bits(),
-                    g.to_bits(),
-                    "%{pname}[{i}] differs (seeds {seed_a}/{seed_b}): {w} vs {g}"
-                );
+            for (engine, got) in
+                [("replay", &replayed.globals[id]), ("opt replay", &optimized.globals[id])]
+            {
+                assert_eq!(want.len(), got.len(), "%{pname} length (seeds {seed_a}/{seed_b})");
+                for (i, (w, g)) in want.iter().zip(got).enumerate() {
+                    assert_eq!(
+                        w.to_bits(),
+                        g.to_bits(),
+                        "%{pname}[{i}] differs ({engine}, seeds {seed_a}/{seed_b}): {w} vs {g}"
+                    );
+                }
             }
         }
         assert_eq!(replayed.counters, reference.counters, "replay counters");
+        assert_eq!(optimized.counters, reference.counters, "opt replay counters");
     }
+}
+
+/// The optimizer must genuinely compress an affine-dominated kernel:
+/// most address slices coalesce into descriptors and the resident
+/// trace shrinks by at least half (the PR's acceptance gate).
+#[test]
+fn optimizer_shrinks_affine_dominated_trace() {
+    let cfg = LayernormConfig::new(8, 256);
+    let kernel = build_layernorm(Arch::Sm86, &cfg);
+    let plan = KernelPlan::compile(&kernel, Arch::Sm86).expect("plan");
+    let raw = graphene::sim::record_trace(&plan, &HashMap::new()).expect("record");
+    let opt = optimize_trace(&raw);
+    let st = opt.stats();
+    assert!(
+        st.coalesced_fraction() > 0.5,
+        "layernorm should be mostly affine, got {:.3} coalesced",
+        st.coalesced_fraction()
+    );
+    assert!(
+        opt.resident_bytes() * 2 <= raw.resident_bytes(),
+        "expected >=50% trace-byte reduction: {} -> {}",
+        raw.resident_bytes(),
+        opt.resident_bytes()
+    );
 }
 
 /// A shared `TraceCache` records once and serves every later request.
